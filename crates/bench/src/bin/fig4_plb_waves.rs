@@ -1,0 +1,66 @@
+//! Regenerates the PLB protocol and adaptation diagrams of Figs 4.5–4.8:
+//! native PLB read/write signalling side by side with the SIS transactions
+//! the generated adapter produces from them.
+
+use splice::prelude::*;
+use splice_sim::Trace;
+use splice_sis::waves;
+
+fn main() {
+    let spec = "
+        %device_name wavedemo
+        %bus_type plb
+        %bus_width 32
+        %base_address 0x80000000
+        long echo(int x);
+    ";
+    let module = splice::parse_and_validate(spec).unwrap().module;
+
+    struct Echo;
+    impl CalcLogic for Echo {
+        fn run(&mut self, inputs: &FuncInputs) -> CalcResult {
+            CalcResult { cycles: 1, output: vec![inputs.scalar(0) + 1] }
+        }
+    }
+    let mut system = SplicedSystem::build(&module, |_, _| Box::new(Echo));
+
+    // Trace both the native PLB side and the SIS side of the adapter.
+    let names = [
+        "native.PLB_ADDR",
+        "native.PLB_M_DATA",
+        "native.PLB_WR_CE",
+        "native.PLB_RD_CE",
+        "native.PLB_BE",
+        "native.PLB_WR_REQ",
+        "native.PLB_RD_REQ",
+        "native.PLB_WR_ACK",
+        "native.PLB_RD_ACK",
+        "native.PLB_S_DATA",
+        "sis.DATA_IN",
+        "sis.DATA_IN_VALID",
+        "sis.IO_ENABLE",
+        "sis.FUNC_ID",
+        "sis.DATA_OUT",
+        "sis.DATA_OUT_VALID",
+        "sis.IO_DONE",
+    ];
+    let ids: Vec<_> = names
+        .iter()
+        .map(|n| system.sim().signal_id(n).expect("traced signal"))
+        .collect();
+    let t = system.sim_mut().attach_trace(&ids);
+
+    let out = system.call("echo", &CallArgs::scalars(&[0xBEEF])).unwrap();
+    assert_eq!(out.result, vec![0xBEF0]);
+    system.sim_mut().run(2).unwrap();
+
+    let trace: &Trace = system.sim().trace(t);
+    println!("Figs 4.5-4.8 — PLB native protocol adapted to the SIS");
+    println!("(write of 0xBEEF to FUNC_ID 1, then the result read; {} cycles)\n", out.bus_cycles);
+    println!("{}", waves::render(trace));
+    println!(
+        "The adaptation of §4.3.2 reads off directly: WR_REQ/RD_REQ lines up with\n\
+         IO_ENABLE, DATA_IN follows PLB_M_DATA, the one-hot CE decode appears as\n\
+         FUNC_ID, and WR_ACK/RD_ACK answer IO_DONE (plus DATA_OUT_VALID for reads)."
+    );
+}

@@ -1,0 +1,25 @@
+//! Regenerates Fig 9.1: input parameters required for each scenario.
+
+use splice_bench::{maybe_dump, table};
+use splice_devices::interp::Scenario;
+
+fn main() {
+    let headers = ["Scenario", "Set 1", "Set 2", "Set 3", "Total"];
+    let rows: Vec<Vec<String>> = Scenario::all()
+        .iter()
+        .map(|s| {
+            let (a, b, c) = s.set_sizes();
+            vec![
+                s.number().to_string(),
+                a.to_string(),
+                b.to_string(),
+                c.to_string(),
+                s.total_inputs().to_string(),
+            ]
+        })
+        .collect();
+    println!("Fig 9.1 — input parameters required for each scenario");
+    println!("(note: the thesis prints scenario 3's total as 16; its own sets sum to 17)\n");
+    print!("{}", table(&headers, &rows));
+    maybe_dump("fig9_1", &headers, &rows);
+}

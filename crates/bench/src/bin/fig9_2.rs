@@ -1,0 +1,35 @@
+//! Regenerates Fig 9.2: clock cycles per run by each implementation.
+//!
+//! Absolute numbers differ from the thesis (their substrate was a real
+//! ML-403 board; ours is the cycle simulator), but the comparative shape —
+//! who wins, by roughly what factor — is the reproduced claim. See
+//! EXPERIMENTS.md.
+
+use splice_bench::{maybe_dump, table};
+use splice_devices::eval::{fig_9_2, speedup_pct, InterpImpl};
+use splice_devices::interp::Scenario;
+
+fn main() {
+    let rows_data = fig_9_2();
+    let headers = ["implementation", "S1", "S2", "S3", "S4", "total"];
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|(imp, r)| {
+            let mut v: Vec<String> = vec![imp.label().into()];
+            v.extend(r.iter().map(u64::to_string));
+            v.push(r.iter().sum::<u64>().to_string());
+            v
+        })
+        .collect();
+    println!("Fig 9.2 — clock cycles per run by each implementation");
+    println!("(scenarios per Fig 9.1: {:?})\n", Scenario::all().map(|s| s.total_inputs()));
+    print!("{}", table(&headers, &rows));
+
+    use InterpImpl::*;
+    println!("\ncomparisons (thesis §9.3.1 claims in parentheses):");
+    println!("  Splice PLB vs naive hand PLB : {:+6.1}%  (≈ +25%)", speedup_pct(&rows_data, SplicePlbSimple, SimplePlbHand));
+    println!("  Splice FCB vs naive hand PLB : {:+6.1}%  (≈ +43%)", speedup_pct(&rows_data, SpliceFcb, SimplePlbHand));
+    println!("  optimized FCB vs Splice FCB  : {:+6.1}%  (≈ +13%)", speedup_pct(&rows_data, OptimizedFcbHand, SpliceFcb));
+    println!("  Splice PLB DMA vs simple     : {:+6.1}%  (+1..4%)", speedup_pct(&rows_data, SplicePlbDma, SplicePlbSimple));
+    maybe_dump("fig9_2", &headers, &rows);
+}

@@ -1,0 +1,43 @@
+//! Regenerates Fig 9.3: FPGA resources consumed by each implementation.
+//!
+//! Estimated structurally from the same design IR that produces the HDL
+//! (we cannot run Xilinx ISE); the reproduced claims are the ratios.
+
+use splice_bench::{maybe_dump, table};
+use splice_devices::eval::{fig_9_3, InterpImpl};
+
+fn main() {
+    let data = fig_9_3();
+    let headers = ["implementation", "LUTs", "FFs", "slices"];
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|(imp, rep)| {
+            let t = rep.total();
+            vec![
+                imp.label().into(),
+                t.luts.to_string(),
+                t.ffs.to_string(),
+                t.slices().to_string(),
+            ]
+        })
+        .collect();
+    println!("Fig 9.3 — FPGA resources consumed by each implementation\n");
+    print!("{}", table(&headers, &rows));
+
+    let slices = |imp: InterpImpl| {
+        data.iter().find(|(i, _)| *i == imp).unwrap().1.total().slices() as f64
+    };
+    use InterpImpl::*;
+    println!("\ncomparisons (thesis §9.3.2 claims in parentheses):");
+    println!("  Splice PLB vs naive hand PLB : {:+6.1}%  (≈ -23%)", (slices(SplicePlbSimple) / slices(SimplePlbHand) - 1.0) * 100.0);
+    println!("  Splice FCB vs naive hand PLB : {:+6.1}%  (≈ -28%)", (slices(SpliceFcb) / slices(SimplePlbHand) - 1.0) * 100.0);
+    println!("  Splice FCB vs optimized FCB  : {:+6.1}%  (≈  +2%)", (slices(SpliceFcb) / slices(OptimizedFcbHand) - 1.0) * 100.0);
+    println!("  DMA PLB vs simple Splice PLB : {:+6.1}%  (+57..69%)", (slices(SplicePlbDma) / slices(SplicePlbSimple) - 1.0) * 100.0);
+
+    println!("\nper-file breakdown (Splice PLB simple):");
+    let (_, rep) = data.iter().find(|(i, _)| *i == SplicePlbSimple).unwrap();
+    for (name, cost) in &rep.items {
+        println!("  {name:24} {cost}");
+    }
+    maybe_dump("fig9_3", &headers, &rows);
+}

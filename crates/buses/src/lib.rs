@@ -1,0 +1,26 @@
+//! # splice-buses — native bus models, SIS adapters, CPU master
+//!
+//! The thesis evaluates Splice on real interconnects: the IBM CoreConnect
+//! PLB/OPB/FCB attached to a PowerPC 405 and the AMBA APB attached to a
+//! LEON2 (chapter 2). This crate provides cycle-accurate simulation models
+//! of those buses — master side (a PPC405-flavoured CPU executing the
+//! driver's [`BusOp`](splice_driver::BusOp) sequences at a 3:1 core:bus
+//! clock ratio) and slave side (the native→SIS adapters of §4.3) — plus
+//! [`splice_core::api::BusLibrary`] implementations carrying each bus's
+//! HDL adapter template, markers and capability description.
+//!
+//! The PLB is modelled signal-for-signal after Figs 4.5–4.8 ([`plb`]); the
+//! remaining pseudo-asynchronous buses share one parameterised model
+//! ([`generic`]) whose constants ([`timing`]) encode the per-bus
+//! differences the thesis describes (bridge hops for the OPB/APB, opcode
+//! coupling for the FCB, burst depths, DMA limits).
+
+pub mod generic;
+pub mod system;
+pub mod libs;
+pub mod plb;
+pub mod timing;
+
+pub use libs::{builtin_libraries, library_for};
+pub use system::{CallOutcome, SplicedSystem, SystemError};
+pub use timing::BusTiming;

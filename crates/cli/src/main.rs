@@ -1,0 +1,236 @@
+//! The `splice` command-line tool.
+//!
+//! Mirrors the thesis's workflow: a specification file goes in, a
+//! `<device_name>/` directory of generated HDL and driver sources comes
+//! out (Fig 8.3's hardware files and Fig 8.7's software files). The tool
+//! refuses to proceed on specification errors, warns before reusing an
+//! existing output directory (§3.2.3), and prints the §5.3.1 generation
+//! notes.
+//!
+//! ```text
+//! USAGE:
+//!   splice [OPTIONS] <spec-file>
+//!
+//! OPTIONS:
+//!   -o, --out <dir>     parent directory for the device subdirectory (default .)
+//!   -f, --force         overwrite an existing device directory without asking
+//!   -n, --dry-run       print what would be generated without writing files
+//!       --resources     print the estimated FPGA resource bill
+//!       --list-buses    list the registered bus libraries and exit
+//!   -h, --help          show this help
+//! ```
+
+use splice_buses::builtin_libraries;
+use splice_core::api::BusLibraryRegistry;
+use splice_core::elaborate::elaborate;
+use splice_core::hdlgen::generate_hardware;
+use splice_driver::cgen::{driver_header, driver_source};
+use splice_resources::design_cost;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    spec_file: PathBuf,
+    out_dir: PathBuf,
+    force: bool,
+    dry_run: bool,
+    resources: bool,
+    linux: bool,
+}
+
+const USAGE: &str = "\
+splice — a standardized peripheral logic and interface creation engine
+
+USAGE:
+  splice [OPTIONS] <spec-file>
+
+OPTIONS:
+  -o, --out <dir>     parent directory for the device subdirectory (default .)
+  -f, --force         overwrite an existing device directory without asking
+  -n, --dry-run       print what would be generated without writing files
+      --resources     print the estimated FPGA resource bill
+      --linux         also emit splice_lib_linux.h (mmap-based user-space driver)
+      --list-buses    list the registered bus libraries and exit
+  -h, --help          show this help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("splice: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut spec_file = None;
+    let mut out_dir = PathBuf::from(".");
+    let mut force = false;
+    let mut dry_run = false;
+    let mut resources = false;
+    let mut linux = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            "--list-buses" => {
+                let libs = builtin_libraries();
+                println!("registered bus libraries:");
+                for name in libs.names() {
+                    println!("  {name:10} ({})", BusLibraryRegistry::library_file_name(name));
+                }
+                return Ok(None);
+            }
+            "-o" | "--out" => {
+                let dir = it.next().ok_or("--out needs a directory argument")?;
+                out_dir = PathBuf::from(dir);
+            }
+            "-f" | "--force" => force = true,
+            "-n" | "--dry-run" => dry_run = true,
+            "--resources" => resources = true,
+            "--linux" => linux = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n{USAGE}"));
+            }
+            file => {
+                if spec_file.replace(PathBuf::from(file)).is_some() {
+                    return Err("exactly one spec file expected".into());
+                }
+            }
+        }
+    }
+    let spec_file = spec_file.ok_or_else(|| format!("no spec file given\n{USAGE}"))?;
+    Ok(Some(Options { spec_file, out_dir, force, dry_run, resources, linux }))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(opts) = parse_args(args)? else {
+        return Ok(ExitCode::SUCCESS);
+    };
+
+    let source = std::fs::read_to_string(&opts.spec_file)
+        .map_err(|e| format!("cannot read {}: {e}", opts.spec_file.display()))?;
+
+    // Front end: parse + validate against the registered bus libraries.
+    let libs = builtin_libraries();
+    let spec = match splice_spec::parser::parse(&source) {
+        Ok(s) => s,
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("{}", e.render(&source));
+            }
+            return Err(format!("{} specification error(s); nothing generated", errors.len()));
+        }
+    };
+    let validated = splice_spec::validate::validate(&spec, &libs.spec_registry())
+        .map_err(|e| e.render(&source))?;
+    let module = validated.module;
+
+    // Bus library parameter check (§7.1.2).
+    let bus_name = module.params.bus.kind.name().to_owned();
+    let lib = libs
+        .get(&bus_name)
+        .ok_or_else(|| format!("no interface library for bus `{bus_name}`"))?;
+    lib.check_params(&module).map_err(|e| format!("bus library rejected the design: {e}"))?;
+
+    // Elaborate and generate.
+    let ir = elaborate(&module);
+    let markers = lib.markers(&ir);
+    let hw = generate_hardware(&ir, &lib.interface_template(&ir), &markers, &gen_date())
+        .map_err(|e| format!("template expansion failed: {e}"))?;
+    let dev = module.params.device_name.clone();
+    let mut sw: Vec<(String, String)> = vec![
+        (
+            "splice_lib.h".into(),
+            splice_driver::macros::macro_header_with_irq(
+                &module.params.bus,
+                module.params.bus_width,
+                module.params.base_address,
+                module.params.irq,
+            ),
+        ),
+        (format!("{dev}_driver.h"), driver_header(&module)),
+        (format!("{dev}_driver.c"), driver_source(&module)),
+    ];
+    if opts.linux {
+        sw.push((
+            "splice_lib_linux.h".into(),
+            splice_driver::macros::linux_macro_header(
+                &module.params.bus,
+                module.params.bus_width,
+                module.params.base_address,
+            ),
+        ));
+    }
+
+    for note in &ir.notes {
+        println!("note: {note}");
+    }
+
+    if opts.resources {
+        let report = design_cost(&ir);
+        println!("estimated FPGA resources:");
+        for (name, cost) in &report.items {
+            println!("  {name:28} {cost}");
+        }
+        println!("  {:28} {}", "TOTAL", report.total());
+    }
+
+    let device_dir = opts.out_dir.join(&dev);
+    if opts.dry_run {
+        println!("would generate into {}:", device_dir.display());
+        for f in &hw {
+            println!("  {} ({} bytes)", f.name, f.text.len());
+        }
+        for (name, text) in &sw {
+            println!("  {} ({} bytes)", name, text.len());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // §3.2.3: warn and confirm when the device directory already exists.
+    if device_dir.exists() && !opts.force {
+        eprint!(
+            "warning: {} already exists; overwrite its generated files? [y/N] ",
+            device_dir.display()
+        );
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        std::io::stdin().lock().read_line(&mut line).ok();
+        if !matches!(line.trim(), "y" | "Y" | "yes") {
+            return Err("aborted by user".into());
+        }
+    }
+    std::fs::create_dir_all(&device_dir)
+        .map_err(|e| format!("cannot create {}: {e}", device_dir.display()))?;
+
+    let mut written = 0usize;
+    for f in &hw {
+        write_file(&device_dir.join(&f.name), &f.text)?;
+        written += 1;
+    }
+    for (name, text) in &sw {
+        write_file(&device_dir.join(name), text)?;
+        written += 1;
+    }
+    println!("generated {written} files for device `{dev}` into {}", device_dir.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn write_file(path: &Path, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// A deterministic, environment-derived generation stamp (the `%GEN_DATE%`
+/// marker); overridable for reproducible golden files.
+fn gen_date() -> String {
+    std::env::var("SPLICE_GEN_DATE")
+        .unwrap_or_else(|_| format!("splice {} build", env!("CARGO_PKG_VERSION")))
+}

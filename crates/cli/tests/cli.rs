@@ -1,0 +1,198 @@
+//! Integration tests of the `splice` binary itself.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn splice_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_splice"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("splice-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const TIMER_SPEC: &str = "\
+%name hw_timer
+%hdl_type vhdl
+%bus_type plb
+%bus_width 32
+%base_address 0x8000401C
+%user_type llong, unsigned long long, 64
+%user_type ulong, unsigned long, 32
+void disable{};
+void enable{};
+void set_threshold{llong thold};
+llong get_threshold{};
+llong get_snapshot{};
+ulong get_clock{};
+ulong get_status{};
+";
+
+#[test]
+fn generates_the_fig_8_3_and_8_7_files() {
+    let dir = tmp_dir("gen");
+    let spec = dir.join("timer.splice");
+    std::fs::write(&spec, TIMER_SPEC).unwrap();
+
+    let out = splice_bin()
+        .arg("-o")
+        .arg(&dir)
+        .arg("--force")
+        .arg(&spec)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let device = dir.join("hw_timer");
+    // Fig 8.3's hardware inventory.
+    for f in [
+        "plb_interface.vhd",
+        "user_hw_timer.vhd",
+        "func_enable.vhd",
+        "func_disable.vhd",
+        "func_set_threshold.vhd",
+        "func_get_threshold.vhd",
+        "func_get_snapshot.vhd",
+        "func_get_clock.vhd",
+        "func_get_status.vhd",
+    ] {
+        assert!(device.join(f).exists(), "missing {f}");
+    }
+    // Fig 8.7's software inventory.
+    for f in ["splice_lib.h", "hw_timer_driver.c", "hw_timer_driver.h"] {
+        assert!(device.join(f).exists(), "missing {f}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dry_run_writes_nothing() {
+    let dir = tmp_dir("dry");
+    let spec = dir.join("t.splice");
+    std::fs::write(&spec, TIMER_SPEC).unwrap();
+    let out = splice_bin().arg("-n").arg("-o").arg(&dir).arg(&spec).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("would generate"), "{stdout}");
+    assert!(!dir.join("hw_timer").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resources_flag_prints_the_bill() {
+    let dir = tmp_dir("res");
+    let spec = dir.join("t.splice");
+    std::fs::write(&spec, TIMER_SPEC).unwrap();
+    let out = splice_bin()
+        .args(["--resources", "-n", "-o"])
+        .arg(&dir)
+        .arg(&spec)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("estimated FPGA resources"), "{stdout}");
+    assert!(stdout.contains("plb_interface"), "{stdout}");
+    assert!(stdout.contains("TOTAL"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_spec_reports_errors_and_fails() {
+    let dir = tmp_dir("bad");
+    let spec = dir.join("bad.splice");
+    std::fs::write(&spec, "%bus_type plb\nvoid f(int*:x y, int x);\n").unwrap();
+    let out = splice_bin().arg("-o").arg(&dir).arg(&spec).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The implicit-index ordering rule of §3.3 (validation runs after the
+    // parse succeeds; missing %device_name is caught first here).
+    assert!(stderr.contains("error"), "{stderr}");
+    assert!(!dir.join("hw_timer").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dma_on_fcb_is_rejected_with_the_thesis_message() {
+    let dir = tmp_dir("dma");
+    let spec = dir.join("bad.splice");
+    std::fs::write(
+        &spec,
+        "%device_name d\n%bus_type fcb\n%bus_width 32\n%dma_support true\nvoid f(int*:8^ x);\n",
+    )
+    .unwrap();
+    let out = splice_bin().arg("-o").arg(&dir).arg(&spec).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("DMA") || stderr.contains("dma"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn list_buses_names_all_seven() {
+    let out = splice_bin().arg("--list-buses").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for bus in ["plb", "opb", "fcb", "apb", "ahb", "wishbone", "avalon"] {
+        assert!(stdout.contains(bus), "missing {bus}: {stdout}");
+    }
+    assert!(stdout.contains("libplb_interface.so"), "{stdout}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = splice_bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn verilog_target_emits_dot_v_files() {
+    let dir = tmp_dir("verilog");
+    let spec = dir.join("t.splice");
+    std::fs::write(
+        &spec,
+        "%device_name vdev\n%target_hdl verilog\n%bus_type plb\n%bus_width 32\n\
+         %base_address 0x80000000\nlong f(int x);\n",
+    )
+    .unwrap();
+    let out = splice_bin().arg("-o").arg(&dir).arg("--force").arg(&spec).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("vdev/func_f.v").exists());
+    assert!(dir.join("vdev/user_vdev.v").exists());
+    let text = std::fs::read_to_string(dir.join("vdev/func_f.v")).unwrap();
+    assert!(text.contains("module func_f ("), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generation_notes_are_printed() {
+    let dir = tmp_dir("notes");
+    let spec = dir.join("t.splice");
+    // 5 packed chars leave 24 padding bits in the final beat (§5.3.1).
+    std::fs::write(
+        &spec,
+        "%device_name noted\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n\
+         void f(char*:5+ x);\n",
+    )
+    .unwrap();
+    let out = splice_bin().arg("-n").arg("-o").arg(&dir).arg(&spec).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("note:") && stdout.contains("padding"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn linux_flag_emits_the_mmap_header() {
+    let dir = tmp_dir("linux");
+    let spec = dir.join("t.splice");
+    std::fs::write(&spec, TIMER_SPEC).unwrap();
+    let out = splice_bin().args(["--linux", "--force", "-o"]).arg(&dir).arg(&spec).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let h = std::fs::read_to_string(dir.join("hw_timer/splice_lib_linux.h")).unwrap();
+    assert!(h.contains("/dev/mem"), "{h}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

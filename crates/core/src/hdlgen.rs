@@ -1,0 +1,774 @@
+//! HDL generation: [`DesignIr`] → generated source files.
+//!
+//! Reproduces the three-stage generation of chapter 5 and the file
+//! inventory of Fig 8.3:
+//!
+//! 1. the **native bus interface** — a bus-library template expanded
+//!    through the `%MACRO%` engine with the Fig 7.1 standard marker set;
+//! 2. the **arbitration unit** (`user_<device>`) — instantiates every
+//!    function copy, muxes the shared SIS return lines by FUNC_ID and
+//!    concatenates the CALC_DONE vector (§5.2);
+//! 3. one **user-logic stub** (`func_<name>`) per declaration — the
+//!    ICOB + SMB pair of §5.3 with all bus interaction pre-written and a
+//!    blank calculation state for the user.
+
+use crate::ir::{BeatCount, DesignIr, FunctionStub, StubState};
+use crate::template::{expand, MarkerSet, TemplateError};
+use splice_hdl::{emit, Decl, Expr, Hdl, Instance, Item, Module, Port, Process, Stmt};
+use splice_spec::validate::TargetHdl;
+
+/// A generated source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedFile {
+    /// File name (e.g. `func_enable.vhd`).
+    pub name: String,
+    /// Full source text.
+    pub text: String,
+}
+
+/// The target HDL of a design, as a `splice-hdl` selector.
+pub fn hdl_of(ir: &DesignIr) -> Hdl {
+    match ir.module.params.hdl {
+        TargetHdl::Vhdl => Hdl::Vhdl,
+        TargetHdl::Verilog => Hdl::Verilog,
+    }
+}
+
+/// Generate every hardware file for a design. `interface_template` is the
+/// native bus adapter template supplied by the bus library (§7.1.2);
+/// `extra_markers` are its bus-specific markers.
+pub fn generate_hardware(
+    ir: &DesignIr,
+    interface_template: &str,
+    extra_markers: &MarkerSet,
+    gen_date: &str,
+) -> Result<Vec<GeneratedFile>, TemplateError> {
+    let hdl = hdl_of(ir);
+    let ext = hdl.extension();
+    let mut files = Vec::with_capacity(ir.stubs.len() + 2);
+
+    // 1. Bus interface from the template.
+    let mut markers = standard_markers(ir, gen_date);
+    markers.merge(extra_markers);
+    let bus_name = ir.module.params.bus.kind.name();
+    files.push(GeneratedFile {
+        name: format!("{bus_name}_interface.{ext}"),
+        text: expand(interface_template, &markers)?,
+    });
+
+    // 2. Arbitration unit.
+    let arb = arbiter_module(ir, gen_date);
+    files.push(GeneratedFile {
+        name: format!("user_{}.{ext}", ir.module.params.device_name),
+        text: emit(&arb, hdl),
+    });
+
+    // 3. One stub per declaration.
+    for stub in &ir.stubs {
+        let m = stub_module(ir, stub, gen_date);
+        files.push(GeneratedFile { name: format!("func_{}.{ext}", stub.name), text: emit(&m, hdl) });
+    }
+    Ok(files)
+}
+
+/// The Fig 7.1 standard marker set for a whole design (module-level
+/// markers; the per-function markers come from [`function_markers`]).
+pub fn standard_markers(ir: &DesignIr, gen_date: &str) -> MarkerSet {
+    let p = &ir.module.params;
+    let hdl = hdl_of(ir);
+    let mut m = MarkerSet::new();
+    m.set("COMP_NAME", p.device_name.clone());
+    m.set("BUS_WIDTH", p.bus_width.to_string());
+    m.set("FUNC_ID_WIDTH", p.func_id_width.to_string());
+    m.set("BASE_ADDR", format!("{:#010X}", p.base_address));
+    m.set("GEN_DATE", gen_date.to_owned());
+    m.set("DMA_ENABLED", if p.dma { "true" } else { "false" });
+    m.set("DATA_OUT_MUX", render_items(&mux_items(ir, "DATA_OUT"), hdl));
+    m.set("DATA_OUT_V_MUX", render_items(&mux_items(ir, "DATA_OUT_VALID"), hdl));
+    m.set("IO_DONE_MUX", render_items(&mux_items(ir, "IO_DONE"), hdl));
+    m.set("CALC_DONE_ENCODE", render_items(&[calc_done_encode(ir)], hdl));
+    m
+}
+
+/// The per-function markers of Fig 7.1 for one stub.
+pub fn function_markers(ir: &DesignIr, stub: &FunctionStub, gen_date: &str) -> MarkerSet {
+    let hdl = hdl_of(ir);
+    let mut m = standard_markers(ir, gen_date);
+    m.set("FUNC_NAME", stub.name.clone());
+    m.set("MY_FUNC_ID", stub.first_func_id.to_string());
+    m.set("FUNC_INSTS", stub.instances.to_string());
+    m.set("FUNC_CONSTS", render_decls(&stub_constants(ir, stub), hdl));
+    m.set("FUNC_SIGNALS", render_decls(&stub_signals(ir, stub), hdl));
+    m.set("FUNC_FSM", render_items(&[Item::Process(smb_process(stub))], hdl));
+    m.set("FUNC_STUB", render_items(&[Item::Process(icob_process(ir, stub))], hdl));
+    m
+}
+
+// ---------------------------------------------------------------------
+// user-logic stub generation (§5.3)
+// ---------------------------------------------------------------------
+
+/// Standard SIS-facing ports of a stub entity.
+fn sis_ports(bus_width: u32, func_id_width: u32, irq: bool) -> Vec<Port> {
+    let mut ports = vec![
+        Port::input("CLK", 1),
+        Port::input("RST", 1),
+        Port::input("DATA_IN", bus_width),
+        Port::input("DATA_IN_VALID", 1),
+        Port::input("IO_ENABLE", 1),
+        Port::input("FUNC_ID", func_id_width),
+        Port::output("DATA_OUT", bus_width),
+        Port::output("DATA_OUT_VALID", 1),
+        Port::output("IO_DONE", 1),
+        Port::output("CALC_DONE", 1),
+    ];
+    if irq {
+        // Completion interrupt (%irq_support, thesis §10.2): pulsed for one
+        // cycle when the function finishes a round.
+        ports.push(Port::output("IRQ", 1));
+    }
+    ports
+}
+
+fn state_const_name(stub: &FunctionStub, ir: &DesignIr, idx: usize) -> String {
+    let f = ir.module.function(&stub.name).expect("stub has a function");
+    match &stub.states[idx] {
+        StubState::Input { io, .. } => format!("IN_{}", f.inputs[*io].name),
+        StubState::Calc => "CALC_STATE".into(),
+        StubState::Output { .. } => "OUT_RESULT".into(),
+        StubState::PseudoOutput => "OUT_SYNC".into(),
+    }
+}
+
+fn stub_constants(ir: &DesignIr, stub: &FunctionStub) -> Vec<Decl> {
+    let mut decls = Vec::new();
+    decls.push(Decl::Comment(format!(
+        "Function identifier assigned to `{}` (instances {})",
+        stub.name, stub.instances
+    )));
+    decls.push(Decl::Constant {
+        name: "MY_FUNC_ID".into(),
+        width: ir.func_id_width(),
+        value: stub.first_func_id as u64,
+    });
+    let sb = stub.state_bits();
+    for (i, _) in stub.states.iter().enumerate() {
+        decls.push(Decl::Constant {
+            name: state_const_name(stub, ir, i),
+            width: sb,
+            value: i as u64,
+        });
+    }
+    // Tracker bound constants for statically bounded arrays.
+    let f = ir.module.function(&stub.name).expect("function");
+    for (i, st) in stub.states.iter().enumerate() {
+        if let StubState::Input { io, beats: BeatCount::Static(n), .. } = st {
+            if *n > 1 {
+                decls.push(Decl::Constant {
+                    name: format!("{}_max_value", f.inputs[*io].name),
+                    width: bits_for(*n),
+                    value: n - 1,
+                });
+            }
+        }
+        let _ = i;
+    }
+    decls
+}
+
+fn stub_signals(ir: &DesignIr, stub: &FunctionStub) -> Vec<Decl> {
+    let sb = stub.state_bits();
+    let mut decls = vec![
+        Decl::Signal { name: "cur_state".into(), width: sb, init: Some(0) },
+        Decl::Signal { name: "next_state".into(), width: sb, init: Some(0) },
+    ];
+    for t in &stub.trackers {
+        decls.push(Decl::Comment(format!(
+            "Tracking register for `{}` transfers (§5.3.1)",
+            t.for_io
+        )));
+        decls.push(Decl::Signal {
+            name: format!("{}_counter", t.for_io),
+            width: t.counter_bits,
+            init: Some(0),
+        });
+        if t.has_storage {
+            decls.push(Decl::Signal {
+                name: format!("{}_bound", t.for_io),
+                width: t.comparator_bits,
+                init: Some(0),
+            });
+        }
+    }
+    let _ = ir;
+    decls
+}
+
+/// The State Machine Block: advances `cur_state` to `next_state` each clock
+/// (§5.3.2).
+fn smb_process(stub: &FunctionStub) -> Process {
+    let _ = stub;
+    Process {
+        label: "smb".into(),
+        clocked: true,
+        body: vec![
+            Stmt::Comment("SMB: commit the transition the ICOB requested (§5.3.2)".into()),
+            Stmt::if_else(
+                Expr::sig("RST"),
+                vec![Stmt::assign("cur_state", Expr::lit(0, 1))],
+                vec![Stmt::assign("cur_state", Expr::sig("next_state"))],
+            ),
+        ],
+    }
+}
+
+/// The Input-Calculation-Output Block (§5.3.1): all bus interaction for the
+/// function, with a blank calculation state.
+fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
+    let f = ir.module.function(&stub.name).expect("function");
+    let sb = stub.state_bits();
+    let n_states = stub.states.len();
+    let mut arms: Vec<(u64, Vec<Stmt>)> = Vec::with_capacity(n_states);
+
+    let addressed = Expr::sig("FUNC_ID").eq(Expr::sig("MY_FUNC_ID"));
+    for (i, st) in stub.states.iter().enumerate() {
+        let next = ((i + 1) % n_states) as u64;
+        let body = match st {
+            StubState::Input { io, beats, ignore_tail_bits } => {
+                let name = &f.inputs[*io].name;
+                let mut b = vec![Stmt::Comment(format!(
+                    "Handling input `{name}`{}",
+                    if *ignore_tail_bits > 0 {
+                        format!(" — the final beat carries {ignore_tail_bits} ignorable padding bit(s)")
+                    } else {
+                        String::new()
+                    }
+                ))];
+                let accept = Expr::sig("DATA_IN_VALID").and(addressed.clone());
+                let mut on_accept = vec![
+                    Stmt::Comment(format!("TODO(user): store DATA_IN for `{name}` here")),
+                    Stmt::assign("IO_DONE", Expr::lit(1, 1)),
+                ];
+                match beats {
+                    BeatCount::Static(1) => {
+                        on_accept.push(Stmt::assign("next_state", Expr::lit(next, sb)));
+                    }
+                    BeatCount::Static(n) => {
+                        let ctr = format!("{name}_counter");
+                        let w = bits_for(*n);
+                        on_accept.push(Stmt::if_else(
+                            Expr::sig(&ctr).eq(Expr::sig(format!("{name}_max_value"))),
+                            vec![
+                                Stmt::assign(&ctr, Expr::lit(0, w)),
+                                Stmt::assign("next_state", Expr::lit(next, sb)),
+                            ],
+                            vec![Stmt::assign(&ctr, Expr::sig(&ctr).add(Expr::lit(1, w)))],
+                        ));
+                    }
+                    BeatCount::Dynamic { index_input, .. } => {
+                        let ctr = format!("{name}_counter");
+                        let bound = format!("{name}_bound");
+                        let idx_name = &f.inputs[*index_input].name;
+                        on_accept.insert(
+                            0,
+                            Stmt::Comment(format!(
+                                "`{name}` length was latched from `{idx_name}` into {bound}"
+                            )),
+                        );
+                        let w = stub
+                            .trackers
+                            .iter()
+                            .find(|t| t.for_io == *name)
+                            .map(|t| t.counter_bits)
+                            .unwrap_or(32);
+                        on_accept.push(Stmt::if_else(
+                            Expr::sig(&ctr)
+                                .add(Expr::lit(1, w))
+                                .eq(Expr::sig(&bound)),
+                            vec![
+                                Stmt::assign(&ctr, Expr::lit(0, w)),
+                                Stmt::assign("next_state", Expr::lit(next, sb)),
+                            ],
+                            vec![Stmt::assign(&ctr, Expr::sig(&ctr).add(Expr::lit(1, w)))],
+                        ));
+                    }
+                }
+                b.push(Stmt::if_then(accept, on_accept));
+                b
+            }
+            StubState::Calc => vec![
+                Stmt::Comment("TODO(user): calculation logic goes here (§5.3.1)".into()),
+                Stmt::assign("next_state", Expr::lit(next, sb)),
+            ],
+            StubState::Output { .. } => {
+                let read_req = Expr::sig("IO_ENABLE")
+                    .and(Expr::sig("DATA_IN_VALID").not())
+                    .and(addressed.clone());
+                vec![
+                    Stmt::Comment("Output state: hold CALC_DONE until read (§5.3.1)".into()),
+                    Stmt::assign("CALC_DONE", Expr::lit(1, 1)),
+                    Stmt::if_then(
+                        read_req,
+                        {
+                            let mut stmts = vec![
+                                Stmt::Comment("TODO(user): drive DATA_OUT with the result".into()),
+                                Stmt::assign("DATA_OUT_VALID", Expr::lit(1, 1)),
+                                Stmt::assign("IO_DONE", Expr::lit(1, 1)),
+                                Stmt::assign("CALC_DONE", Expr::lit(0, 1)),
+                                Stmt::assign("next_state", Expr::lit(next, sb)),
+                            ];
+                            if ir.module.params.irq {
+                                stmts.push(Stmt::assign("IRQ", Expr::lit(1, 1)));
+                            }
+                            stmts
+                        },
+                    ),
+                ]
+            }
+            StubState::PseudoOutput => {
+                let read_req = Expr::sig("IO_ENABLE")
+                    .and(Expr::sig("DATA_IN_VALID").not())
+                    .and(addressed.clone());
+                vec![
+                    Stmt::Comment(
+                        "Pseudo output state: report completion to the blocking driver".into(),
+                    ),
+                    Stmt::assign("CALC_DONE", Expr::lit(1, 1)),
+                    Stmt::if_then(
+                        read_req,
+                        vec![
+                            Stmt::assign("DATA_OUT", Expr::lit(0, ir.module.params.bus_width)),
+                            Stmt::assign("DATA_OUT_VALID", Expr::lit(1, 1)),
+                            Stmt::assign("IO_DONE", Expr::lit(1, 1)),
+                            Stmt::assign("CALC_DONE", Expr::lit(0, 1)),
+                            Stmt::assign("next_state", Expr::lit(next, sb)),
+                        ],
+                    ),
+                ]
+            }
+        };
+        arms.push((i as u64, body));
+    }
+
+    let body = vec![
+        Stmt::Comment("ICOB: all bus interactions for this function (§5.3.1)".into()),
+        Stmt::assign("IO_DONE", Expr::lit(0, 1)),
+        Stmt::assign("DATA_OUT_VALID", Expr::lit(0, 1)),
+        Stmt::Case {
+            expr: Expr::Slice {
+                base: Box::new(Expr::sig("cur_state")),
+                hi: sb - 1,
+                lo: 0,
+            },
+            arms,
+            default: Some(vec![Stmt::assign("next_state", Expr::lit(0, sb))]),
+        },
+    ];
+    Process { label: "icob".into(), clocked: true, body }
+}
+
+/// Build the complete `func_<name>` module.
+pub fn stub_module(ir: &DesignIr, stub: &FunctionStub, gen_date: &str) -> Module {
+    let p = &ir.module.params;
+    let mut m = Module::new(format!("func_{}", stub.name));
+    m.header = vec![
+        format!("func_{}.{} — user-logic stub generated by Splice", stub.name, hdl_of(ir).extension()),
+        format!("device: {}   bus: {}   generated: {}", p.device_name, p.bus.kind, gen_date),
+        "Fill in the TODO(user) calculation sections; all bus handshaking is complete.".into(),
+    ];
+    m.ports = sis_ports(p.bus_width, p.func_id_width, p.irq);
+    m.decls = stub_constants(ir, stub);
+    m.decls.extend(stub_signals(ir, stub));
+    m.items.push(Item::Process(smb_process(stub)));
+    m.items.push(Item::Process(icob_process(ir, stub)));
+    m
+}
+
+// ---------------------------------------------------------------------
+// arbitration unit generation (§5.2)
+// ---------------------------------------------------------------------
+
+/// Build the `user_<device>` arbitration module.
+pub fn arbiter_module(ir: &DesignIr, gen_date: &str) -> Module {
+    let p = &ir.module.params;
+    let total = ir.total_instances();
+    let mut m = Module::new(format!("user_{}", p.device_name));
+    m.header = vec![
+        format!("user_{}.{} — bus arbiter generated by Splice (§5.2)", p.device_name, hdl_of(ir).extension()),
+        format!("functions: {}   instances: {}   generated: {}", ir.stubs.len(), total, gen_date),
+    ];
+    m.ports = vec![
+        Port::input("CLK", 1),
+        Port::input("RST", 1),
+        Port::input("DATA_IN", p.bus_width),
+        Port::input("DATA_IN_VALID", 1),
+        Port::input("IO_ENABLE", 1),
+        Port::input("FUNC_ID", p.func_id_width),
+        Port::output("DATA_OUT", p.bus_width),
+        Port::output("DATA_OUT_VALID", 1),
+        Port::output("IO_DONE", 1),
+        Port::output("CALC_DONE_VEC", total + 1),
+    ];
+    if p.irq {
+        m.ports.push(Port::input("IRQ_ACK", 1));
+        m.ports.push(Port::output("IRQ_VECTOR", total + 1));
+    }
+
+    // Per-instance internal nets + instantiations.
+    for (si, inst, id) in ir.arbiter_entries() {
+        let stub = &ir.stubs[si];
+        let base = format!("f{id}_{}", stub.name);
+        for (suffix, width) in [
+            ("DATA_OUT", p.bus_width),
+            ("DATA_OUT_VALID", 1),
+            ("IO_DONE", 1),
+            ("CALC_DONE", 1),
+        ] {
+            m.decls.push(Decl::Signal { name: format!("{base}_{suffix}"), width, init: None });
+        }
+        if p.irq {
+            m.decls.push(Decl::Signal { name: format!("{base}_IRQ"), width: 1, init: None });
+        }
+        m.items.push(Item::Comment(format!(
+            "instance {inst} of `{}` answering to FUNC_ID {id}",
+            stub.name
+        )));
+        m.items.push(Item::Instance(Instance {
+            label: format!("u_{base}"),
+            module: format!("func_{}", stub.name),
+            connections: vec![
+                ("CLK".into(), "CLK".into()),
+                ("RST".into(), "RST".into()),
+                ("DATA_IN".into(), "DATA_IN".into()),
+                ("DATA_IN_VALID".into(), "DATA_IN_VALID".into()),
+                ("IO_ENABLE".into(), "IO_ENABLE".into()),
+                ("FUNC_ID".into(), "FUNC_ID".into()),
+                ("DATA_OUT".into(), format!("{base}_DATA_OUT")),
+                ("DATA_OUT_VALID".into(), format!("{base}_DATA_OUT_VALID")),
+                ("IO_DONE".into(), format!("{base}_IO_DONE")),
+                ("CALC_DONE".into(), format!("{base}_CALC_DONE")),
+            ],
+        }));
+        if p.irq {
+            if let Some(Item::Instance(inst)) = m.items.last_mut() {
+                inst.connections.push(("IRQ".into(), format!("{base}_IRQ")));
+            }
+        }
+    }
+
+    // Shared-line multiplexing.
+    m.items.push(Item::Comment("FUNC_ID-keyed return multiplexers (§5.2)".into()));
+    for item in mux_items(ir, "DATA_OUT") {
+        m.items.push(item);
+    }
+    for item in mux_items(ir, "DATA_OUT_VALID") {
+        m.items.push(item);
+    }
+    for item in mux_items(ir, "IO_DONE") {
+        m.items.push(item);
+    }
+    m.items.push(Item::Comment(
+        "CALC_DONE concatenation: bit i reports function id i (§5.2)".into(),
+    ));
+    m.items.push(calc_done_encode(ir));
+    if p.irq {
+        m.items.push(Item::Comment(
+            "Sticky completion-interrupt vector (%irq_support): set on each \
+             function's IRQ pulse, cleared by the CPU's IRQ_ACK"
+                .into(),
+        ));
+        m.items.push(Item::Process(irq_latch_process(ir)));
+    }
+    m
+}
+
+/// The sticky interrupt-vector latch of `%irq_support` designs.
+fn irq_latch_process(ir: &DesignIr) -> Process {
+    let mut body = vec![Stmt::if_then(
+        Expr::sig("IRQ_ACK"),
+        vec![Stmt::assign("IRQ_VECTOR", Expr::lit(0, ir.total_instances() + 1))],
+    )];
+    for (si, _inst, id) in ir.arbiter_entries() {
+        let stub = &ir.stubs[si];
+        body.push(Stmt::if_then(
+            Expr::sig(format!("f{id}_{}_IRQ", stub.name)),
+            vec![Stmt::Comment(format!("latch interrupt bit {id}"))],
+        ));
+    }
+    Process { label: "irq_latch".into(), clocked: true, body }
+}
+
+/// A mux over the per-instance copies of `line`, keyed by FUNC_ID, with the
+/// status register (id 0) answering on DATA_OUT with the CALC_DONE vector.
+fn mux_items(ir: &DesignIr, line: &str) -> Vec<Item> {
+    let p = &ir.module.params;
+    let width = if line == "DATA_OUT" { p.bus_width } else { 1 };
+    let mut arms: Vec<(u64, Vec<Stmt>)> = Vec::new();
+    if line == "DATA_OUT" {
+        // Reserved id 0: the status register read (§4.2.2).
+        arms.push((
+            0,
+            vec![Stmt::assign(line, Expr::sig("CALC_DONE_VEC"))],
+        ));
+    }
+    for (si, _inst, id) in ir.arbiter_entries() {
+        let stub = &ir.stubs[si];
+        let src = format!("f{id}_{}_{line}", stub.name);
+        arms.push((id as u64, vec![Stmt::assign(line, Expr::sig(src))]));
+    }
+    let default = vec![Stmt::assign(line, Expr::lit(0, width))];
+    vec![Item::Process(Process {
+        label: format!("mux_{}", line.to_ascii_lowercase()),
+        clocked: false,
+        body: vec![Stmt::Case {
+            expr: Expr::Slice {
+                base: Box::new(Expr::sig("FUNC_ID")),
+                hi: p.func_id_width - 1,
+                lo: 0,
+            },
+            arms,
+            default: Some(default),
+        }],
+    })]
+}
+
+/// The CALC_DONE concatenation assignment.
+fn calc_done_encode(ir: &DesignIr) -> Item {
+    let mut parts: Vec<Expr> = Vec::new();
+    // Most-significant first: highest id down to bit 1, bit 0 constant '0'.
+    let mut entries = ir.arbiter_entries();
+    entries.sort_by_key(|&(_, _, id)| std::cmp::Reverse(id));
+    for (si, _inst, id) in entries {
+        let stub = &ir.stubs[si];
+        parts.push(Expr::sig(format!("f{id}_{}_CALC_DONE", stub.name)));
+    }
+    parts.push(Expr::lit(0, 1)); // id 0 is the status register itself
+    Item::Assign { lhs: "CALC_DONE_VEC".into(), rhs: Expr::Concat(parts) }
+}
+
+// ---------------------------------------------------------------------
+// rendering helpers
+// ---------------------------------------------------------------------
+
+fn bits_for(n: u64) -> u32 {
+    64 - n.max(1).leading_zeros()
+}
+
+/// Render declarations alone (for the FUNC_CONSTS / FUNC_SIGNALS markers).
+fn render_decls(decls: &[Decl], hdl: Hdl) -> String {
+    let mut m = Module::new("splice_marker_fragment");
+    m.decls = decls.to_vec();
+    slice_fragment(&emit(&m, hdl), hdl, true)
+}
+
+/// Render concurrent items alone (for the FSM/STUB/MUX markers).
+fn render_items(items: &[Item], hdl: Hdl) -> String {
+    let mut m = Module::new("splice_marker_fragment");
+    m.items = items.to_vec();
+    slice_fragment(&emit(&m, hdl), hdl, false)
+}
+
+/// Cut the declaration or body region out of a rendered dummy module.
+fn slice_fragment(text: &str, hdl: Hdl, decls: bool) -> String {
+    match hdl {
+        Hdl::Vhdl => {
+            let arch = text.find("architecture rtl of splice_marker_fragment is").unwrap_or(0);
+            let begin = text[arch..].find("\nbegin\n").map(|i| arch + i).unwrap_or(arch);
+            if decls {
+                let start = text[arch..].find('\n').map(|i| arch + i + 1).unwrap_or(arch);
+                text[start..begin.max(start)].to_owned()
+            } else {
+                let start = begin + "\nbegin\n".len();
+                let end = text.rfind("end architecture rtl;").unwrap_or(text.len());
+                text[start.min(end)..end].to_owned()
+            }
+        }
+        Hdl::Verilog => {
+            let start = text.find(");\n").map(|i| i + 3).unwrap_or(0);
+            let end = text.rfind("endmodule").unwrap_or(text.len());
+            text[start.min(end)..end].to_owned()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elaborate::elaborate;
+    use splice_spec::parse_and_validate;
+
+    fn design(decls: &str, extra: &str) -> DesignIr {
+        let src = format!(
+            "%device_name demo\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n{extra}\n{decls}"
+        );
+        elaborate(&parse_and_validate(&src).unwrap().module)
+    }
+
+    const TIMER_SRC: &str = r#"
+        %name hw_timer
+        %bus_type plb
+        %bus_width 32
+        %base_address 0x8000401C
+        %user_type llong, unsigned long long, 64
+        %user_type ulong, unsigned long, 32
+        void disable{};
+        void enable{};
+        void set_threshold{llong thold};
+        llong get_threshold{};
+        llong get_snapshot{};
+        ulong get_clock{};
+        ulong get_status{};
+    "#;
+
+    fn timer_design() -> DesignIr {
+        elaborate(&parse_and_validate(TIMER_SRC).unwrap().module)
+    }
+
+    #[test]
+    fn fig_8_3_file_inventory() {
+        let ir = timer_design();
+        let template = "-- %COMP_NAME% %BUS_WIDTH% %BASE_ADDR% %GEN_DATE%\n";
+        let files =
+            generate_hardware(&ir, template, &MarkerSet::new(), "2007-05-01").unwrap();
+        let names: Vec<&str> = files.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "plb_interface.vhd",
+                "user_hw_timer.vhd",
+                "func_disable.vhd",
+                "func_enable.vhd",
+                "func_set_threshold.vhd",
+                "func_get_threshold.vhd",
+                "func_get_snapshot.vhd",
+                "func_get_clock.vhd",
+                "func_get_status.vhd",
+            ]
+        );
+        assert!(files[0].text.contains("hw_timer 32 0x8000401C 2007-05-01"));
+    }
+
+    #[test]
+    fn stub_module_has_sis_ports_and_states() {
+        let ir = timer_design();
+        let stub = ir.stub("set_threshold").unwrap();
+        let m = stub_module(&ir, stub, "today");
+        let port_names: Vec<&str> = m.ports.iter().map(|p| p.name.as_str()).collect();
+        for want in ["CLK", "RST", "DATA_IN", "DATA_IN_VALID", "IO_ENABLE", "FUNC_ID", "DATA_OUT", "DATA_OUT_VALID", "IO_DONE", "CALC_DONE"] {
+            assert!(port_names.contains(&want), "missing {want}");
+        }
+        let text = emit(&m, Hdl::Vhdl);
+        assert!(text.contains("IN_thold"), "{text}");
+        assert!(text.contains("CALC_STATE"), "{text}");
+        assert!(text.contains("OUT_SYNC"), "{text}");
+        assert!(text.contains("TODO(user): calculation logic"), "{text}");
+        assert!(text.contains("thold_counter"), "split input needs a tracker: {text}");
+    }
+
+    #[test]
+    fn stub_emits_in_both_hdls() {
+        let ir = timer_design();
+        let stub = ir.stub("get_status").unwrap();
+        let m = stub_module(&ir, stub, "today");
+        let vhdl = emit(&m, Hdl::Vhdl);
+        let verilog = emit(&m, Hdl::Verilog);
+        assert!(vhdl.contains("entity func_get_status is"));
+        assert!(verilog.contains("module func_get_status ("));
+        // Same state constants appear in both.
+        assert!(vhdl.contains("OUT_RESULT") && verilog.contains("OUT_RESULT"));
+    }
+
+    #[test]
+    fn arbiter_instantiates_every_instance() {
+        let ir = design("void a();\nvoid b():3;", "");
+        let m = arbiter_module(&ir, "today");
+        let instances: Vec<&Item> =
+            m.items.iter().filter(|i| matches!(i, Item::Instance(_))).collect();
+        assert_eq!(instances.len(), 4);
+        let text = emit(&m, Hdl::Vhdl);
+        assert!(text.contains("u_f1_a: entity work.func_a"), "{text}");
+        assert!(text.contains("u_f2_b: entity work.func_b"), "{text}");
+        assert!(text.contains("u_f4_b: entity work.func_b"), "{text}");
+        // Status vector: 4 instances + reserved bit 0 = 5 bits.
+        assert!(text.contains("CALC_DONE_VEC"), "{text}");
+        assert!(text.contains("std_logic_vector(4 downto 0)"), "{text}");
+    }
+
+    #[test]
+    fn arbiter_muxes_and_status_arm() {
+        let ir = design("long f();\nlong g();", "");
+        let m = arbiter_module(&ir, "today");
+        let text = emit(&m, Hdl::Vhdl);
+        // The id-0 arm returns the status vector on DATA_OUT.
+        assert!(text.contains("DATA_OUT <= CALC_DONE_VEC;"), "{text}");
+        assert!(text.contains("DATA_OUT <= f1_f_DATA_OUT;"), "{text}");
+        assert!(text.contains("DATA_OUT <= f2_g_DATA_OUT;"), "{text}");
+        assert!(text.contains("IO_DONE <= f2_g_IO_DONE;"), "{text}");
+        assert!(
+            text.contains("CALC_DONE_VEC <= f2_g_CALC_DONE & f1_f_CALC_DONE & '0';"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn standard_markers_cover_fig_7_1() {
+        let ir = timer_design();
+        let m = standard_markers(&ir, "now");
+        for name in [
+            "COMP_NAME",
+            "BUS_WIDTH",
+            "FUNC_ID_WIDTH",
+            "BASE_ADDR",
+            "GEN_DATE",
+            "DMA_ENABLED",
+            "DATA_OUT_MUX",
+            "DATA_OUT_V_MUX",
+            "IO_DONE_MUX",
+            "CALC_DONE_ENCODE",
+        ] {
+            assert!(m.get(name).is_some(), "missing marker {name}");
+        }
+        assert_eq!(m.get("COMP_NAME"), Some("hw_timer"));
+        assert_eq!(m.get("DMA_ENABLED"), Some("false"));
+        assert!(m.get("DATA_OUT_MUX").unwrap().contains("case"));
+    }
+
+    #[test]
+    fn function_markers_cover_fig_7_1() {
+        let ir = timer_design();
+        let stub = ir.stub("set_threshold").unwrap();
+        let m = function_markers(&ir, stub, "now");
+        assert_eq!(m.get("FUNC_NAME"), Some("set_threshold"));
+        assert_eq!(m.get("MY_FUNC_ID"), Some("3"));
+        assert_eq!(m.get("FUNC_INSTS"), Some("1"));
+        assert!(m.get("FUNC_CONSTS").unwrap().contains("MY_FUNC_ID"));
+        assert!(m.get("FUNC_SIGNALS").unwrap().contains("cur_state"));
+        assert!(m.get("FUNC_FSM").unwrap().contains("smb"));
+        assert!(m.get("FUNC_STUB").unwrap().contains("icob"));
+    }
+
+    #[test]
+    fn verilog_target_changes_extensions() {
+        let ir = design("long f();", "%target_hdl verilog");
+        let files = generate_hardware(&ir, "// %COMP_NAME%\n", &MarkerSet::new(), "d").unwrap();
+        assert!(files.iter().all(|f| f.name.ends_with(".v")), "{:?}", files.iter().map(|f| &f.name).collect::<Vec<_>>());
+        assert!(files[1].text.contains("module user_demo ("));
+    }
+
+    #[test]
+    fn unknown_template_marker_is_reported() {
+        let ir = design("long f();", "");
+        let err =
+            generate_hardware(&ir, "%NO_SUCH_MARKER%", &MarkerSet::new(), "d").unwrap_err();
+        assert!(matches!(err, TemplateError::UnknownMarker { .. }));
+    }
+
+    #[test]
+    fn bus_specific_markers_extend_the_standard_set() {
+        let ir = design("long f();", "");
+        let mut extra = MarkerSet::new();
+        extra.set("PLB_SPECIAL", "wired");
+        let files = generate_hardware(&ir, "-- %PLB_SPECIAL% %COMP_NAME%\n", &extra, "d").unwrap();
+        assert!(files[0].text.contains("wired demo"));
+    }
+}

@@ -1,0 +1,229 @@
+//! The `splice_params` shared data structure (Fig 7.3).
+//!
+//! External bus libraries are "allowed to access the internal data
+//! structure (`splice_params`) that Splice uses to track the input
+//! specifications" (§7.1). These mirrors reproduce the C structs of
+//! Fig 7.3 field-for-field so plugin authors see the documented layout.
+
+use splice_spec::validate::{IoBound, ModuleSpec, TargetHdl, ValidatedIo};
+
+/// Mirror of `s_io_params` (Fig 7.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SIoParams {
+    /// Name of the input (i.e. `x`).
+    pub io_name: String,
+    /// String-based input type (i.e. `int *`).
+    pub io_type: String,
+    /// Name of the variable used as a variable-length array index.
+    pub index_var: Option<String>,
+    /// Whether an index variable is used.
+    pub has_index: bool,
+    /// Whether another variable uses this as an index.
+    pub used_as_index: bool,
+    /// Bit width of the input.
+    pub io_width: u32,
+    /// Number of entries to transmit in/out (0 when runtime-determined).
+    pub io_number: u64,
+    /// Input is defined as a pointer.
+    pub is_pointer: bool,
+    /// Per-variable packing.
+    pub is_packed: bool,
+    /// DMA access used for this parameter.
+    pub is_dma: bool,
+}
+
+/// Mirror of `s_func_params` (Fig 7.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SFuncParams {
+    /// Name of the user function.
+    pub func_name: String,
+    /// Numeric function ID (assigned by the tool).
+    pub func_id: u32,
+    /// Number of instances to generate.
+    pub nmbr_instances: u32,
+    /// Total number of inputs.
+    pub nmbr_inputs: usize,
+    /// Information about inputs.
+    pub inputs: Vec<SIoParams>,
+    /// Whether value returns are enabled.
+    pub has_output: bool,
+    /// Information about the output.
+    pub output: Option<SIoParams>,
+    /// Whether splitting is used by this function.
+    pub splitting_f: bool,
+    /// Whether I/O indexing (implicit bounds) is used by this function.
+    pub indexing_f: bool,
+}
+
+/// Mirror of `s_module_params` (Fig 7.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SModuleParams {
+    /// Name of the user hardware module.
+    pub mod_name: String,
+    /// Whether the module name was set.
+    pub mod_name_f: bool,
+    /// Targeted HDL (0 = VHDL, 1 = Verilog — the Fig 7.3 encoding).
+    pub hdl_type: i32,
+    /// Proper name of the bus.
+    pub bus_type: String,
+    /// Base address of the device in hardware.
+    pub base_addr: u64,
+    /// Width of the data path.
+    pub data_width: u32,
+    /// Maximum bits reserved for the function ID field.
+    pub func_id_width: u32,
+    /// Packing of values onto higher-bandwidth buses.
+    pub packing_f: bool,
+    /// Load burst operations enabled.
+    pub ld_burst_f: bool,
+    /// Store burst operations enabled.
+    pub st_burst_f: bool,
+    /// DMA memory operations enabled.
+    pub dma_support_f: bool,
+    /// Native DMA transfer width.
+    pub dma_width: u32,
+    /// Max bits sendable in one DMA operation.
+    pub dma_max_bits: u32,
+    /// The user functions.
+    pub funcs: Vec<SFuncParams>,
+    /// Number of functions code will be generated for.
+    pub nmbr_funcs: usize,
+    /// Total function instances defined.
+    pub total_instances: u32,
+}
+
+/// Build the Fig 7.3 view of a validated module.
+pub fn splice_params(module: &ModuleSpec) -> SModuleParams {
+    let p = &module.params;
+    let funcs: Vec<SFuncParams> = module
+        .functions
+        .iter()
+        .map(|f| {
+            let inputs: Vec<SIoParams> =
+                f.inputs.iter().map(|io| io_params(io, f, p.bus_width)).collect();
+            let output = f.output.as_ref().map(|io| io_params(io, f, p.bus_width));
+            let splitting_f = f
+                .inputs
+                .iter()
+                .chain(f.output.iter())
+                .any(|io| io.ty.bits > p.bus_width);
+            let indexing_f = f
+                .inputs
+                .iter()
+                .chain(f.output.iter())
+                .any(|io| matches!(io.bound, IoBound::Implicit { .. }));
+            SFuncParams {
+                func_name: f.name.clone(),
+                func_id: f.first_func_id,
+                nmbr_instances: f.instances,
+                nmbr_inputs: f.inputs.len(),
+                inputs,
+                has_output: f.output.is_some(),
+                output,
+                splitting_f,
+                indexing_f,
+            }
+        })
+        .collect();
+    SModuleParams {
+        mod_name: p.device_name.clone(),
+        mod_name_f: true,
+        hdl_type: match p.hdl {
+            TargetHdl::Vhdl => 0,
+            TargetHdl::Verilog => 1,
+        },
+        bus_type: p.bus.kind.name().to_owned(),
+        base_addr: p.base_address,
+        data_width: p.bus_width,
+        func_id_width: p.func_id_width,
+        packing_f: p.packing,
+        ld_burst_f: p.burst,
+        st_burst_f: p.burst,
+        dma_support_f: p.dma,
+        dma_width: if p.bus.dma { p.bus_width } else { 0 },
+        dma_max_bits: p.bus.dma_max_bytes * 8,
+        nmbr_funcs: funcs.len(),
+        total_instances: funcs.iter().map(|f| f.nmbr_instances).sum(),
+        funcs,
+    }
+}
+
+fn io_params(
+    io: &ValidatedIo,
+    f: &splice_spec::validate::ValidatedFunction,
+    _bus_width: u32,
+) -> SIoParams {
+    let (index_var, has_index, io_number) = match io.bound {
+        IoBound::Scalar => (None, false, 1),
+        IoBound::Explicit(n) => (None, false, n),
+        IoBound::Implicit { index_param, .. } => {
+            (Some(f.inputs[index_param].name.clone()), true, 0)
+        }
+    };
+    SIoParams {
+        io_name: io.name.clone(),
+        io_type: if io.is_pointer { format!("{} *", io.ty.name) } else { io.ty.name.clone() },
+        index_var,
+        has_index,
+        used_as_index: io.used_as_index,
+        io_width: io.ty.bits,
+        io_number,
+        is_pointer: io.is_pointer,
+        is_packed: io.packed,
+        is_dma: io.dma,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_spec::parse_and_validate;
+
+    #[test]
+    fn mirrors_the_fig_7_3_fields() {
+        let src = "%device_name dev\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n\
+                   %dma_support true\nfloat f(int n, int*:n x, char*:8+^ y):2;\nvoid g();";
+        let m = parse_and_validate(src).unwrap().module;
+        let sp = splice_params(&m);
+        assert_eq!(sp.mod_name, "dev");
+        assert!(sp.mod_name_f);
+        assert_eq!(sp.hdl_type, 0);
+        assert_eq!(sp.bus_type, "plb");
+        assert_eq!(sp.data_width, 32);
+        assert_eq!(sp.nmbr_funcs, 2);
+        assert_eq!(sp.total_instances, 3);
+        assert!(sp.dma_support_f);
+        assert_eq!(sp.dma_max_bits, 256 * 8);
+
+        let f = &sp.funcs[0];
+        assert_eq!(f.func_name, "f");
+        assert_eq!(f.nmbr_instances, 2);
+        assert_eq!(f.nmbr_inputs, 3);
+        assert!(f.has_output);
+        assert!(f.indexing_f);
+        assert!(!f.splitting_f);
+        let x = &f.inputs[1];
+        assert_eq!(x.io_type, "int *");
+        assert_eq!(x.index_var.as_deref(), Some("n"));
+        assert!(x.has_index);
+        assert_eq!(x.io_number, 0);
+        let n = &f.inputs[0];
+        assert!(n.used_as_index);
+        let y = &f.inputs[2];
+        assert!(y.is_packed && y.is_dma && y.is_pointer);
+        assert_eq!(y.io_number, 8);
+
+        let g = &sp.funcs[1];
+        assert!(!g.has_output);
+        assert!(g.output.is_none());
+    }
+
+    #[test]
+    fn splitting_flag_tracks_wide_types() {
+        let src = "%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n\
+                   %user_type llong, unsigned long long, 64\nllong get();";
+        let m = parse_and_validate(src).unwrap().module;
+        let sp = splice_params(&m);
+        assert!(sp.funcs[0].splitting_f);
+    }
+}

@@ -1,0 +1,241 @@
+//! The `%SYMBOL%` template-expansion engine (chapter 5/7).
+//!
+//! Native bus adapters are generated "by consulting a set of reference HDL
+//! files ... Embedded in these reference files are macro symbols of the
+//! form `%SYMBOL%` that are parsed out by the generation routine and
+//! replaced with the logic required to generate a functionally-complete
+//! bus" (§5.1). Bus libraries register additional bus-specific markers via
+//! their marker-loader routine (§7.1.2); the standard marker set is
+//! Fig 7.1.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors during template expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// A `%MARKER%` with no registered handler.
+    UnknownMarker { marker: String, offset: usize },
+    /// A `%` that never closes (not followed by `MARKER%`).
+    UnterminatedMarker { offset: usize },
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::UnknownMarker { marker, offset } => {
+                write!(f, "unknown template marker `%{marker}%` at byte {offset}")
+            }
+            TemplateError::UnterminatedMarker { offset } => {
+                write!(f, "unterminated `%` marker at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// A set of marker replacements. Values are produced eagerly; for the
+/// standard set see [`crate::hdlgen::standard_markers`].
+#[derive(Debug, Clone, Default)]
+pub struct MarkerSet {
+    map: BTreeMap<String, String>,
+}
+
+impl MarkerSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a marker. Names are conventionally
+    /// SCREAMING_SNAKE_CASE; the `%` delimiters are implied.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.map.insert(name.into(), value.into());
+        self
+    }
+
+    /// Look up a marker.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.map.get(name).map(String::as_str)
+    }
+
+    /// Merge `other` over this set (bus-specific markers override standard
+    /// ones, as the thesis's marker loader allows).
+    pub fn merge(&mut self, other: &MarkerSet) -> &mut Self {
+        for (k, v) in &other.map {
+            self.map.insert(k.clone(), v.clone());
+        }
+        self
+    }
+
+    /// Registered names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(String::as_str)
+    }
+}
+
+/// Expand every `%MARKER%` in `template` using `markers`.
+///
+/// `%%` escapes a literal percent sign. Markers are `%[A-Z0-9_]+%`; any
+/// other use of `%` is an error so adapter templates fail loudly instead of
+/// silently emitting broken HDL.
+pub fn expand(template: &str, markers: &MarkerSet) -> Result<String, TemplateError> {
+    let bytes = template.as_bytes();
+    let mut out = String::with_capacity(template.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'%' {
+            // Copy a run of plain bytes.
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'%' {
+                i += 1;
+            }
+            out.push_str(&template[start..i]);
+            continue;
+        }
+        // At a '%'.
+        if i + 1 < bytes.len() && bytes[i + 1] == b'%' {
+            out.push('%');
+            i += 2;
+            continue;
+        }
+        let start = i + 1;
+        let mut j = start;
+        while j < bytes.len() && (bytes[j].is_ascii_uppercase() || bytes[j].is_ascii_digit() || bytes[j] == b'_')
+        {
+            j += 1;
+        }
+        if j == start || j >= bytes.len() || bytes[j] != b'%' {
+            return Err(TemplateError::UnterminatedMarker { offset: i });
+        }
+        let name = &template[start..j];
+        match markers.get(name) {
+            Some(v) => out.push_str(v),
+            None => {
+                return Err(TemplateError::UnknownMarker {
+                    marker: name.to_owned(),
+                    offset: i,
+                })
+            }
+        }
+        i = j + 1;
+    }
+    Ok(out)
+}
+
+/// Scan a template for the marker names it references (useful for bus
+/// libraries validating their templates against their marker loaders).
+pub fn referenced_markers(template: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = template.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'%' {
+                i += 2;
+                continue;
+            }
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len()
+                && (bytes[j].is_ascii_uppercase() || bytes[j].is_ascii_digit() || bytes[j] == b'_')
+            {
+                j += 1;
+            }
+            if j > start && j < bytes.len() && bytes[j] == b'%' {
+                let name = template[start..j].to_owned();
+                if !out.contains(&name) {
+                    out.push(name);
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn markers(pairs: &[(&str, &str)]) -> MarkerSet {
+        let mut m = MarkerSet::new();
+        for (k, v) in pairs {
+            m.set(*k, *v);
+        }
+        m
+    }
+
+    #[test]
+    fn basic_expansion() {
+        let m = markers(&[("COMP_NAME", "hw_timer"), ("BUS_WIDTH", "32")]);
+        let out = expand("entity %COMP_NAME% is -- width %BUS_WIDTH%", &m).unwrap();
+        assert_eq!(out, "entity hw_timer is -- width 32");
+    }
+
+    #[test]
+    fn escaped_percent() {
+        let m = MarkerSet::new();
+        assert_eq!(expand("100%% done", &m).unwrap(), "100% done");
+    }
+
+    #[test]
+    fn unknown_marker_errors_with_position() {
+        let m = MarkerSet::new();
+        let err = expand("abc %NOPE% def", &m).unwrap_err();
+        assert_eq!(
+            err,
+            TemplateError::UnknownMarker { marker: "NOPE".into(), offset: 4 }
+        );
+    }
+
+    #[test]
+    fn unterminated_marker_errors() {
+        let m = markers(&[("A", "x")]);
+        assert!(matches!(
+            expand("%A% then %broken", &m),
+            Err(TemplateError::UnterminatedMarker { .. })
+        ));
+        // Lowercase after '%' is not a marker.
+        assert!(matches!(
+            expand("50%a", &m),
+            Err(TemplateError::UnterminatedMarker { offset: 2 })
+        ));
+    }
+
+    #[test]
+    fn repeated_markers_expand_each_time() {
+        let m = markers(&[("X", "ab")]);
+        assert_eq!(expand("%X%%X%%X%", &m).unwrap(), "ababab");
+    }
+
+    #[test]
+    fn merge_overrides() {
+        let mut base = markers(&[("A", "1"), ("B", "2")]);
+        let bus = markers(&[("B", "bus"), ("C", "3")]);
+        base.merge(&bus);
+        assert_eq!(base.get("A"), Some("1"));
+        assert_eq!(base.get("B"), Some("bus"));
+        assert_eq!(base.get("C"), Some("3"));
+        assert_eq!(base.names().count(), 3);
+    }
+
+    #[test]
+    fn referenced_marker_scan() {
+        let t = "-- %GEN_DATE%\nentity %COMP_NAME% port (%BUS_WIDTH% %COMP_NAME%) 100%%";
+        assert_eq!(
+            referenced_markers(t),
+            vec!["GEN_DATE".to_owned(), "COMP_NAME".into(), "BUS_WIDTH".into()]
+        );
+    }
+
+    #[test]
+    fn multiline_template() {
+        let m = markers(&[("DMA_ENABLED", "false")]);
+        let t = "line1\n-- dma: %DMA_ENABLED%\nline3\n";
+        assert_eq!(expand(t, &m).unwrap(), "line1\n-- dma: false\nline3\n");
+    }
+}

@@ -1,0 +1,300 @@
+//! A FIR filter peripheral — a second complete device in the style of the
+//! chapter 8 walk-through, exercising the feature combinations the timer
+//! does not: implicit-bound *and* packed transfers on one function,
+//! stateful configuration shared between functions, and multi-instance
+//! deployment for multi-channel filtering.
+//!
+//! Functions:
+//! * `set_taps(n, taps[])` — load the coefficient bank (shared state, like
+//!   the timer's threshold register);
+//! * `filter(n, samples[]):2` — two hardware channels convolving packed
+//!   16-bit samples against the loaded taps, returning the final output
+//!   sample;
+//! * `get_tap_count()` — configuration read-back.
+
+use splice_buses::system::SplicedSystem;
+use splice_core::simbuild::{CalcLogic, CalcResult, FuncInputs};
+use splice_driver::program::{CallArgs, CallValue};
+use splice_spec::parse_and_validate;
+use splice_spec::validate::ModuleSpec;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The FIR device specification.
+pub const FIR_SPEC: &str = "
+    %device_name fir
+    %target_hdl vhdl
+    %bus_type plb
+    %bus_width 32
+    %base_address 0x80002000
+
+    void set_taps(int n, int*:n taps);
+    long filter(int n, short*:n+ samples):2;
+    long get_tap_count();
+";
+
+/// Parse + validate the FIR specification.
+pub fn fir_module() -> ModuleSpec {
+    parse_and_validate(FIR_SPEC).expect("FIR spec validates").module
+}
+
+/// Reference convolution: the final output sample of `samples * taps`
+/// (16-bit signed samples, 32-bit signed taps, truncated to 32 bits).
+pub fn fir_reference(taps: &[i64], samples: &[i64]) -> u64 {
+    if samples.is_empty() || taps.is_empty() {
+        return 0;
+    }
+    let last = samples.len() - 1;
+    let mut acc: i64 = 0;
+    for (k, &t) in taps.iter().enumerate() {
+        if k <= last {
+            acc = acc.wrapping_add(t.wrapping_mul(samples[last - k]));
+        }
+    }
+    (acc as u64) & 0xFFFF_FFFF
+}
+
+/// Shared coefficient bank (the `timer.vhd`-style module both functions
+/// port-map into).
+#[derive(Debug, Default)]
+pub struct TapBank {
+    /// Signed taps as loaded.
+    pub taps: Vec<i64>,
+}
+
+/// Handle shared by the function stubs.
+pub type TapHandle = Rc<RefCell<TapBank>>;
+
+fn sign16(v: u64) -> i64 {
+    (v as u16) as i16 as i64
+}
+
+fn sign32(v: u64) -> i64 {
+    (v as u32) as i32 as i64
+}
+
+/// User logic for `set_taps`.
+pub struct SetTaps {
+    bank: TapHandle,
+}
+
+impl CalcLogic for SetTaps {
+    fn run(&mut self, inputs: &FuncInputs) -> CalcResult {
+        let taps: Vec<i64> = inputs.array(1).iter().map(|&v| sign32(v)).collect();
+        self.bank.borrow_mut().taps = taps;
+        CalcResult { cycles: 1, output: vec![] }
+    }
+}
+
+/// User logic for one `filter` channel.
+pub struct FilterChannel {
+    bank: TapHandle,
+    /// MAC latency: one cycle per tap per sample, like a single-multiplier
+    /// hardware implementation.
+    pub mac_cycles_per_sample: u32,
+}
+
+impl CalcLogic for FilterChannel {
+    fn run(&mut self, inputs: &FuncInputs) -> CalcResult {
+        let samples: Vec<i64> = inputs.array(1).iter().map(|&v| sign16(v)).collect();
+        let bank = self.bank.borrow();
+        let cycles =
+            1 + self.mac_cycles_per_sample * (bank.taps.len() as u32).max(1);
+        CalcResult { cycles, output: vec![fir_reference(&bank.taps, &samples)] }
+    }
+}
+
+/// User logic for `get_tap_count`.
+pub struct GetTapCount {
+    bank: TapHandle,
+}
+
+impl CalcLogic for GetTapCount {
+    fn run(&mut self, _inputs: &FuncInputs) -> CalcResult {
+        CalcResult { cycles: 1, output: vec![self.bank.borrow().taps.len() as u64] }
+    }
+}
+
+/// A fully built FIR device on the simulated PLB.
+pub struct FirDevice {
+    /// The live system.
+    pub system: SplicedSystem,
+    bank: TapHandle,
+}
+
+impl FirDevice {
+    /// Build the device.
+    pub fn build() -> FirDevice {
+        let module = fir_module();
+        let bank: TapHandle = Rc::new(RefCell::new(TapBank::default()));
+        let b = Rc::clone(&bank);
+        let system = SplicedSystem::build(&module, move |func, _inst| match func {
+            "set_taps" => Box::new(SetTaps { bank: Rc::clone(&b) }),
+            "filter" => Box::new(FilterChannel {
+                bank: Rc::clone(&b),
+                mac_cycles_per_sample: 1,
+            }),
+            "get_tap_count" => Box::new(GetTapCount { bank: Rc::clone(&b) }),
+            other => panic!("unknown FIR function {other}"),
+        });
+        FirDevice { system, bank }
+    }
+
+    /// `void set_taps(int n, int* taps)`.
+    pub fn set_taps(&mut self, taps: &[i64]) {
+        let words: Vec<u64> = taps.iter().map(|&t| t as u64 & 0xFFFF_FFFF).collect();
+        self.system
+            .call(
+                "set_taps",
+                &CallArgs::new(vec![
+                    CallValue::Scalar(taps.len() as u64),
+                    CallValue::Array(words),
+                ]),
+            )
+            .expect("set_taps");
+    }
+
+    /// `long filter(int n, short* samples)` on channel `channel`.
+    pub fn filter(&mut self, channel: u32, samples: &[i64]) -> (u64, u64) {
+        let words: Vec<u64> = samples.iter().map(|&s| s as u64 & 0xFFFF).collect();
+        let out = self
+            .system
+            .call(
+                "filter",
+                &CallArgs::new(vec![
+                    CallValue::Scalar(samples.len() as u64),
+                    CallValue::Array(words),
+                ])
+                .with_instance(channel),
+            )
+            .expect("filter");
+        (out.result[0], out.bus_cycles)
+    }
+
+    /// `long get_tap_count()`.
+    pub fn tap_count(&mut self) -> u64 {
+        self.system.call("get_tap_count", &CallArgs::none()).expect("get_tap_count").result[0]
+    }
+
+    /// Inspect the coefficient bank (tests).
+    pub fn bank(&self) -> std::cell::Ref<'_, TapBank> {
+        self.bank.borrow()
+    }
+}
+
+impl Default for FirDevice {
+    fn default() -> Self {
+        Self::build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_shape() {
+        let m = fir_module();
+        assert_eq!(m.functions.len(), 3);
+        let filter = m.function("filter").unwrap();
+        assert_eq!(filter.instances, 2);
+        assert!(filter.inputs[1].packed, "samples are packed shorts");
+        // ids: set_taps=1, filter=2..3, get_tap_count=4.
+        assert_eq!(m.function("get_tap_count").unwrap().first_func_id, 4);
+    }
+
+    #[test]
+    fn impulse_response_reproduces_taps() {
+        let mut fir = FirDevice::build();
+        let taps = [3, -2, 7, 1];
+        fir.set_taps(&taps);
+        assert_eq!(fir.tap_count(), 4);
+        // An impulse at the start: output sample k equals tap k.
+        for (k, &t) in taps.iter().enumerate() {
+            let mut signal = vec![0i64; k + 1];
+            signal[0] = 1;
+            let (y, _) = fir.filter(0, &signal);
+            assert_eq!(y, (t as u64) & 0xFFFF_FFFF, "tap {k}");
+        }
+    }
+
+    #[test]
+    fn reference_matches_textbook_convolution() {
+        assert_eq!(fir_reference(&[1], &[5]), 5);
+        assert_eq!(fir_reference(&[1, 1], &[1, 2]), 3); // 2*1 + 1*1
+        assert_eq!(fir_reference(&[2, -1], &[3, 4]), 5); // 4*2 + 3*(-1)
+        assert_eq!(fir_reference(&[], &[1]), 0);
+        assert_eq!(fir_reference(&[1], &[]), 0);
+        // Negative results wrap into 32 bits.
+        assert_eq!(fir_reference(&[-1], &[1]), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn both_channels_share_taps_but_not_state() {
+        let mut fir = FirDevice::build();
+        fir.set_taps(&[1, 1, 1]);
+        let (y0, _) = fir.filter(0, &[10, 20, 30]);
+        let (y1, _) = fir.filter(1, &[1, 2, 3]);
+        assert_eq!(y0, 60);
+        assert_eq!(y1, 6);
+    }
+
+    #[test]
+    fn retargeting_taps_affects_subsequent_runs() {
+        let mut fir = FirDevice::build();
+        fir.set_taps(&[1]);
+        assert_eq!(fir.filter(0, &[9]).0, 9);
+        fir.set_taps(&[10]);
+        assert_eq!(fir.filter(0, &[9]).0, 90);
+        assert_eq!(fir.tap_count(), 1);
+    }
+
+    #[test]
+    fn packed_samples_halve_the_input_beats() {
+        // 8 shorts = 4 packed beats; compare against a hypothetical
+        // unpacked variant by cycle count.
+        let unpacked_spec = FIR_SPEC.replace("short*:n+", "short*:n");
+        let m_packed = fir_module();
+        let m_plain = parse_and_validate(&unpacked_spec).unwrap().module;
+        let run = |m: &ModuleSpec| {
+            let bank: TapHandle = Rc::new(RefCell::new(TapBank { taps: vec![1] }));
+            let b = Rc::clone(&bank);
+            let mut sys = SplicedSystem::build(m, move |func, _| match func {
+                "set_taps" => Box::new(SetTaps { bank: Rc::clone(&b) }) as Box<dyn CalcLogic>,
+                "filter" => Box::new(FilterChannel { bank: Rc::clone(&b), mac_cycles_per_sample: 1 }),
+                _ => Box::new(GetTapCount { bank: Rc::clone(&b) }),
+            });
+            let words: Vec<u64> = (1..=8).collect();
+            sys.call(
+                "filter",
+                &CallArgs::new(vec![CallValue::Scalar(8), CallValue::Array(words)]),
+            )
+            .unwrap()
+            .bus_cycles
+        };
+        let packed = run(&m_packed);
+        let plain = run(&m_plain);
+        assert!(packed < plain, "packed {packed} vs plain {plain}");
+    }
+
+    #[test]
+    fn mac_latency_scales_with_tap_count() {
+        let mut fir = FirDevice::build();
+        fir.set_taps(&[1, 2]);
+        let (_, short_taps) = fir.filter(0, &[1, 2, 3]);
+        fir.set_taps(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]);
+        let (_, long_taps) = fir.filter(0, &[1, 2, 3]);
+        assert!(long_taps > short_taps, "{short_taps} vs {long_taps}");
+    }
+
+    #[test]
+    fn negative_samples_and_taps() {
+        let mut fir = FirDevice::build();
+        fir.set_taps(&[-3, 2]);
+        let samples = [-5, 7];
+        let (y, _) = fir.filter(1, &samples);
+        assert_eq!(y, fir_reference(&[-3, 2], &samples));
+        // -3*7 + 2*(-5) = -31.
+        assert_eq!(y, (-31i64 as u64) & 0xFFFF_FFFF);
+    }
+}

@@ -1,0 +1,26 @@
+//! # splice-devices — worked Splice devices and evaluation hardware
+//!
+//! The two devices the thesis builds with Splice, plus the hand-coded
+//! baseline interfaces it compares against:
+//!
+//! * [`timer`] — the chapter 8 hardware timer: the Fig 8.2 specification,
+//!   the filled-in user logic (command handling of Fig 8.5, counter of
+//!   Fig 8.6), and the Fig 8.8 software test suite as a runnable harness.
+//! * [`interp`] — the chapter 9 Scan-Eagle-style linear interpolator with
+//!   the four usage scenarios of Fig 9.1 (clean-room substitution for the
+//!   proprietary UAV device; the thesis itself notes only the I/O pattern
+//!   and constant calculation time matter for the comparison).
+//! * [`baselines`] — the two hand-coded interfaces of §9.2.1: the naive
+//!   "Simple PLB" and the "Optimized FCB", written directly against the
+//!   native bus models without any Splice-generated logic.
+//! * [`fir`] — a FIR-filter peripheral exercising packed+implicit
+//!   transfers, shared configuration state and multi-channel instances.
+//! * [`eval`] — the chapter 9 experiment engine: runs every
+//!   implementation × scenario combination and produces the Fig 9.2
+//!   (cycles) and Fig 9.3 (resources) datasets.
+
+pub mod baselines;
+pub mod eval;
+pub mod fir;
+pub mod interp;
+pub mod timer;

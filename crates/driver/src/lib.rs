@@ -1,0 +1,22 @@
+//! # splice-driver — software driver generation
+//!
+//! Chapter 6 of the thesis: for every interface declaration Splice emits an
+//! ANSI-C driver whose calling convention matches the original prototype,
+//! built from per-bus *transaction macros* (`WRITE_SINGLE`, `READ_QUAD`,
+//! `SET_ADDRESS`, `WAIT_FOR_RESULTS`, ... — Fig 7.2). This crate produces:
+//!
+//! * the **C source text** — `<dev>_driver.c`, `<dev>_driver.h` and the
+//!   per-bus `splice_lib.h` macro header ([`cgen`], [`macros`]);
+//! * the **executable form** of the same drivers — [`program::BusOp`]
+//!   sequences produced by [`lower`], which the simulated CPU master in
+//!   `splice-buses` executes cycle-accurately. Both forms are derived from
+//!   one lowering so the C text and the simulated traffic cannot diverge
+//!   (tests assert their macro counts agree).
+
+pub mod cgen;
+pub mod lower;
+pub mod macros;
+pub mod program;
+
+pub use lower::{expected_read_beats, lower_call};
+pub use program::{BusOp, CallArgs, CallValue, DriverProgram};

@@ -1,0 +1,350 @@
+//! Structural HDL intermediate representation.
+//!
+//! Deliberately small: exactly the constructs that appear in the files
+//! Splice generates (Fig 8.3's file inventory). Widths are explicit
+//! everywhere — both backends need them, and width mismatches are the
+//! classic interface-generation bug this tool exists to eliminate.
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Input port.
+    In,
+    /// Output port.
+    Out,
+}
+
+/// One port of a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: Dir,
+    /// Bit width (1 emits a scalar `std_logic` / `wire`).
+    pub width: u32,
+}
+
+impl Port {
+    /// Shorthand input port.
+    pub fn input(name: impl Into<String>, width: u32) -> Self {
+        Port { name: name.into(), dir: Dir::In, width }
+    }
+
+    /// Shorthand output port.
+    pub fn output(name: impl Into<String>, width: u32) -> Self {
+        Port { name: name.into(), dir: Dir::Out, width }
+    }
+}
+
+/// A declaration in the architecture/module body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decl {
+    /// An internal signal (VHDL `signal` / Verilog `reg`).
+    Signal { name: String, width: u32, init: Option<u64> },
+    /// A named constant.
+    Constant { name: String, width: u32, value: u64 },
+    /// A free-form comment line.
+    Comment(String),
+}
+
+/// Binary operators available to generated logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Equality comparison (yields 1 bit).
+    Eq,
+    /// Inequality comparison.
+    Ne,
+    /// Unsigned addition.
+    Add,
+    /// Unsigned subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned greater-or-equal.
+    Ge,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Reference to a signal, port or constant.
+    Sig(String),
+    /// A literal with an explicit width.
+    Lit { value: u64, width: u32 },
+    /// Binary operation.
+    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Logical not of a 1-bit expression.
+    Not(Box<Expr>),
+    /// Bit slice `sig[hi:lo]` (inclusive, `hi >= lo`).
+    Slice { base: Box<Expr>, hi: u32, lo: u32 },
+    /// Concatenation, most-significant first.
+    Concat(Vec<Expr>),
+}
+
+impl Expr {
+    /// Signal reference helper.
+    pub fn sig(name: impl Into<String>) -> Expr {
+        Expr::Sig(name.into())
+    }
+
+    /// Literal helper.
+    pub fn lit(value: u64, width: u32) -> Expr {
+        Expr::Lit { value, width }
+    }
+
+    /// `self == rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Bin { op: BinOp::Eq, lhs: Box::new(self), rhs: Box::new(rhs) }
+    }
+
+    /// `self /= rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Bin { op: BinOp::Ne, lhs: Box::new(self), rhs: Box::new(rhs) }
+    }
+
+    /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not arithmetic
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin { op: BinOp::Add, lhs: Box::new(self), rhs: Box::new(rhs) }
+    }
+
+    /// `self and rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::Bin { op: BinOp::And, lhs: Box::new(self), rhs: Box::new(rhs) }
+    }
+
+    /// `self or rhs`.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Bin { op: BinOp::Or, lhs: Box::new(self), rhs: Box::new(rhs) }
+    }
+
+    /// `not self`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not arithmetic
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+}
+
+/// A sequential statement inside a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `lhs <= rhs` (non-blocking in Verilog).
+    Assign { lhs: String, rhs: Expr },
+    /// `if cond then ... [elsif]* [else ...] end if`.
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        elifs: Vec<(Expr, Vec<Stmt>)>,
+        els: Option<Vec<Stmt>>,
+    },
+    /// `case expr is when v => ... end case` with an optional default arm.
+    Case {
+        expr: Expr,
+        arms: Vec<(u64, Vec<Stmt>)>,
+        default: Option<Vec<Stmt>>,
+    },
+    /// A comment line.
+    Comment(String),
+    /// `null;` — explicit do-nothing (used in default case arms, Fig 8.5).
+    Null,
+}
+
+impl Stmt {
+    /// Assignment helper.
+    pub fn assign(lhs: impl Into<String>, rhs: Expr) -> Stmt {
+        Stmt::Assign { lhs: lhs.into(), rhs }
+    }
+
+    /// Simple `if/then` helper.
+    pub fn if_then(cond: Expr, then: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then, elifs: Vec::new(), els: None }
+    }
+
+    /// `if/then/else` helper.
+    pub fn if_else(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then, elifs: Vec::new(), els: Some(els) }
+    }
+}
+
+/// A process / always-block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Process {
+    /// Label (VHDL process label; comment in Verilog).
+    pub label: String,
+    /// True: clocked on the rising edge of `CLK`. False: combinational,
+    /// sensitive to everything it reads.
+    pub clocked: bool,
+    /// Statement body.
+    pub body: Vec<Stmt>,
+}
+
+/// An instantiation of another generated module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Instance label.
+    pub label: String,
+    /// Module/entity name being instantiated.
+    pub module: String,
+    /// Port map: (formal, actual-signal-name).
+    pub connections: Vec<(String, String)>,
+}
+
+/// A concurrent item in the architecture body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A process.
+    Process(Process),
+    /// A continuous assignment `lhs <= expr`.
+    Assign { lhs: String, rhs: Expr },
+    /// A sub-module instantiation.
+    Instance(Instance),
+    /// A comment line.
+    Comment(String),
+}
+
+/// A complete generated module (VHDL entity+architecture / Verilog module).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Header comment lines (device-name tagging, generation date, ...).
+    pub header: Vec<String>,
+    /// Ports.
+    pub ports: Vec<Port>,
+    /// Internal declarations.
+    pub decls: Vec<Decl>,
+    /// Concurrent body items.
+    pub items: Vec<Item>,
+}
+
+impl Module {
+    /// A named, empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module { name: name.into(), ..Default::default() }
+    }
+
+    /// Count of flip-flop bits implied by the clocked processes: every
+    /// signal assigned inside a clocked process is a register. Used by the
+    /// resource estimator.
+    pub fn registered_bits(&self) -> u32 {
+        let mut regs: Vec<&str> = Vec::new();
+        for item in &self.items {
+            if let Item::Process(p) = item {
+                if p.clocked {
+                    collect_assigned(&p.body, &mut regs);
+                }
+            }
+        }
+        regs.sort_unstable();
+        regs.dedup();
+        regs.iter()
+            .map(|name| {
+                self.decls
+                    .iter()
+                    .find_map(|d| match d {
+                        Decl::Signal { name: n, width, .. } if n == name => Some(*width),
+                        _ => None,
+                    })
+                    .or_else(|| {
+                        self.ports
+                            .iter()
+                            .find(|p| p.name == *name)
+                            .map(|p| p.width)
+                    })
+                    .unwrap_or(1)
+            })
+            .sum()
+    }
+}
+
+fn collect_assigned<'a>(body: &'a [Stmt], out: &mut Vec<&'a str>) {
+    for s in body {
+        match s {
+            Stmt::Assign { lhs, .. } => out.push(lhs),
+            Stmt::If { then, elifs, els, .. } => {
+                collect_assigned(then, out);
+                for (_, b) in elifs {
+                    collect_assigned(b, out);
+                }
+                if let Some(b) = els {
+                    collect_assigned(b, out);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                for (_, b) in arms {
+                    collect_assigned(b, out);
+                }
+                if let Some(b) = default {
+                    collect_assigned(b, out);
+                }
+            }
+            Stmt::Comment(_) | Stmt::Null => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders_compose() {
+        let e = Expr::sig("a").add(Expr::lit(1, 8)).eq(Expr::sig("b"));
+        match e {
+            Expr::Bin { op: BinOp::Eq, lhs, .. } => {
+                assert!(matches!(*lhs, Expr::Bin { op: BinOp::Add, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn registered_bits_counts_unique_clocked_targets() {
+        let mut m = Module::new("t");
+        m.decls.push(Decl::Signal { name: "r8".into(), width: 8, init: None });
+        m.decls.push(Decl::Signal { name: "r16".into(), width: 16, init: None });
+        m.decls.push(Decl::Signal { name: "comb".into(), width: 32, init: None });
+        m.items.push(Item::Process(Process {
+            label: "p".into(),
+            clocked: true,
+            body: vec![
+                Stmt::assign("r8", Expr::lit(0, 8)),
+                Stmt::if_then(
+                    Expr::sig("r8").eq(Expr::lit(1, 8)),
+                    vec![Stmt::assign("r16", Expr::lit(2, 16)), Stmt::assign("r8", Expr::lit(3, 8))],
+                ),
+            ],
+        }));
+        m.items.push(Item::Assign { lhs: "comb".into(), rhs: Expr::sig("r16") });
+        assert_eq!(m.registered_bits(), 24); // r8 + r16, not comb, no doubles
+    }
+
+    #[test]
+    fn registered_bits_ignores_unclocked_processes() {
+        let mut m = Module::new("t");
+        m.decls.push(Decl::Signal { name: "s".into(), width: 4, init: None });
+        m.items.push(Item::Process(Process {
+            label: "c".into(),
+            clocked: false,
+            body: vec![Stmt::assign("s", Expr::lit(0, 4))],
+        }));
+        assert_eq!(m.registered_bits(), 0);
+    }
+
+    #[test]
+    fn registered_port_widths_counted() {
+        let mut m = Module::new("t");
+        m.ports.push(Port::output("DATA_OUT", 32));
+        m.items.push(Item::Process(Process {
+            label: "p".into(),
+            clocked: true,
+            body: vec![Stmt::assign("DATA_OUT", Expr::lit(0, 32))],
+        }));
+        assert_eq!(m.registered_bits(), 32);
+    }
+}

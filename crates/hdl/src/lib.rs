@@ -1,0 +1,45 @@
+//! # splice-hdl — HDL intermediate representation and emitters
+//!
+//! Splice generates bus interfaces, arbiters and user-logic stubs as HDL
+//! source files (chapter 5). The thesis ships a VHDL backend and names
+//! Verilog as future work (§10.2); this crate provides both, driven from a
+//! single structural IR so the two backends cannot drift apart.
+//!
+//! The IR models the synthesizable subset the generated files need:
+//! entities/modules with ports, signal and constant declarations, clocked
+//! processes (`always @(posedge clk)` / `process(CLK)`), combinational
+//! assignments, `if`/`case` statements and component instantiations.
+
+pub mod ast;
+pub mod ident;
+pub mod verilog;
+pub mod vhdl;
+
+pub use ast::{BinOp, Decl, Dir, Expr, Instance, Item, Module, Port, Process, Stmt};
+
+/// Render `module` in the requested language.
+pub fn emit(module: &Module, hdl: Hdl) -> String {
+    match hdl {
+        Hdl::Vhdl => vhdl::emit(module),
+        Hdl::Verilog => verilog::emit(module),
+    }
+}
+
+/// Output language selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hdl {
+    /// IEEE 1076 VHDL.
+    Vhdl,
+    /// IEEE 1364 Verilog.
+    Verilog,
+}
+
+impl Hdl {
+    /// Source-file extension.
+    pub fn extension(&self) -> &'static str {
+        match self {
+            Hdl::Vhdl => "vhd",
+            Hdl::Verilog => "v",
+        }
+    }
+}

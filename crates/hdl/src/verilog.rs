@@ -1,0 +1,281 @@
+//! Verilog backend (thesis future work §10.2): renders the same structural
+//! IR as Verilog-2001.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Emit a complete Verilog module for `m`.
+pub fn emit(m: &Module) -> String {
+    let mut o = String::new();
+    for line in &m.header {
+        let _ = writeln!(o, "// {line}");
+    }
+    let _ = writeln!(o, "module {} (", m.name);
+    for (i, p) in m.ports.iter().enumerate() {
+        let dir = match p.dir {
+            Dir::In => "input ",
+            Dir::Out => "output reg",
+        };
+        let range = range_of(p.width);
+        let sep = if i + 1 == m.ports.len() { "" } else { "," };
+        let _ = writeln!(o, "  {dir} {range}{}{}", p.name, sep);
+    }
+    o.push_str(");\n\n");
+
+    for d in &m.decls {
+        match d {
+            Decl::Signal { name, width, init } => {
+                let range = range_of(*width);
+                match init {
+                    Some(v) => {
+                        let _ = writeln!(o, "  reg {range}{name} = {};", lit_str(*v, *width));
+                    }
+                    None => {
+                        let _ = writeln!(o, "  reg {range}{name} = {};", lit_str(0, *width));
+                    }
+                }
+            }
+            Decl::Constant { name, width, value } => {
+                let _ = writeln!(
+                    o,
+                    "  localparam {range}{name} = {};",
+                    lit_str(*value, *width),
+                    range = range_of(*width)
+                );
+            }
+            Decl::Comment(c) => {
+                let _ = writeln!(o, "  // {c}");
+            }
+        }
+    }
+    o.push('\n');
+
+    for item in &m.items {
+        match item {
+            Item::Comment(c) => {
+                let _ = writeln!(o, "  // {c}");
+            }
+            Item::Assign { lhs, rhs } => {
+                // Continuous assignment targets must be wires in Verilog;
+                // generated designs assign ports, so use an always block.
+                let _ = writeln!(o, "  always @(*) {lhs} = {};", expr(rhs));
+            }
+            Item::Process(p) => emit_process(&mut o, p),
+            Item::Instance(inst) => {
+                let _ = writeln!(o, "  {} {} (", inst.module, inst.label);
+                for (i, (formal, actual)) in inst.connections.iter().enumerate() {
+                    let sep = if i + 1 == inst.connections.len() { "" } else { "," };
+                    let _ = writeln!(o, "    .{formal}({actual}){sep}");
+                }
+                o.push_str("  );\n");
+            }
+        }
+    }
+    o.push_str("endmodule\n");
+    o
+}
+
+fn emit_process(o: &mut String, p: &Process) {
+    if p.clocked {
+        let _ = writeln!(o, "  // process: {}", p.label);
+        o.push_str("  always @(posedge CLK) begin\n");
+        for s in &p.body {
+            stmt(o, s, 4, true);
+        }
+        o.push_str("  end\n");
+    } else {
+        let _ = writeln!(o, "  // process: {}", p.label);
+        o.push_str("  always @(*) begin\n");
+        for s in &p.body {
+            stmt(o, s, 4, false);
+        }
+        o.push_str("  end\n");
+    }
+}
+
+fn stmt(o: &mut String, s: &Stmt, indent: usize, clocked: bool) {
+    let pad = " ".repeat(indent);
+    let assign_op = if clocked { "<=" } else { "=" };
+    match s {
+        Stmt::Assign { lhs, rhs } => {
+            let _ = writeln!(o, "{pad}{lhs} {assign_op} {};", expr(rhs));
+        }
+        Stmt::If { cond, then, elifs, els } => {
+            let _ = writeln!(o, "{pad}if ({}) begin", expr(cond));
+            for s in then {
+                stmt(o, s, indent + 2, clocked);
+            }
+            for (c, body) in elifs {
+                let _ = writeln!(o, "{pad}end else if ({}) begin", expr(c));
+                for s in body {
+                    stmt(o, s, indent + 2, clocked);
+                }
+            }
+            if let Some(body) = els {
+                let _ = writeln!(o, "{pad}end else begin");
+                for s in body {
+                    stmt(o, s, indent + 2, clocked);
+                }
+            }
+            let _ = writeln!(o, "{pad}end");
+        }
+        Stmt::Case { expr: e, arms, default } => {
+            let _ = writeln!(o, "{pad}case ({})", expr(e));
+            for (v, body) in arms {
+                let _ = writeln!(o, "{pad}  {v}: begin");
+                for s in body {
+                    stmt(o, s, indent + 4, clocked);
+                }
+                let _ = writeln!(o, "{pad}  end");
+            }
+            let _ = writeln!(o, "{pad}  default: begin");
+            if let Some(body) = default {
+                for s in body {
+                    stmt(o, s, indent + 4, clocked);
+                }
+            }
+            let _ = writeln!(o, "{pad}  end");
+            let _ = writeln!(o, "{pad}endcase");
+        }
+        Stmt::Comment(c) => {
+            let _ = writeln!(o, "{pad}// {c}");
+        }
+        Stmt::Null => {
+            let _ = writeln!(o, "{pad};");
+        }
+    }
+}
+
+fn range_of(width: u32) -> String {
+    if width == 1 {
+        "".into()
+    } else {
+        format!("[{}:0] ", width - 1)
+    }
+}
+
+fn lit_str(value: u64, width: u32) -> String {
+    format!("{width}'h{value:x}")
+}
+
+fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Sig(n) => n.clone(),
+        Expr::Lit { value, width } => lit_str(*value, *width),
+        Expr::Bin { op, lhs, rhs } => {
+            let (l, r) = (expr(lhs), expr(rhs));
+            let sym = match op {
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+                BinOp::Lt => "<",
+                BinOp::Ge => ">=",
+            };
+            format!("({l} {sym} {r})")
+        }
+        Expr::Not(inner) => format!("!({})", expr(inner)),
+        Expr::Slice { base, hi, lo } => {
+            if hi == lo {
+                format!("{}[{lo}]", expr(base))
+            } else {
+                format!("{}[{hi}:{lo}]", expr(base))
+            }
+        }
+        Expr::Concat(parts) => {
+            let rendered: Vec<String> = parts.iter().map(expr).collect();
+            format!("{{{}}}", rendered.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_shape() {
+        let mut m = Module::new("func_demo");
+        m.header.push("Generated by Splice".into());
+        m.ports.push(Port::input("CLK", 1));
+        m.ports.push(Port::input("DATA_IN", 32));
+        m.ports.push(Port::output("DATA_OUT", 32));
+        m.decls.push(Decl::Signal { name: "state".into(), width: 2, init: Some(0) });
+        m.decls.push(Decl::Constant { name: "MY_FUNC_ID".into(), width: 4, value: 3 });
+        m.items.push(Item::Process(Process {
+            label: "icob".into(),
+            clocked: true,
+            body: vec![Stmt::if_then(
+                Expr::sig("state").eq(Expr::lit(0, 2)),
+                vec![Stmt::assign("DATA_OUT", Expr::sig("DATA_IN"))],
+            )],
+        }));
+        let v = emit(&m);
+        assert!(v.contains("module func_demo ("), "{v}");
+        assert!(v.contains("input  CLK,"), "{v}");
+        assert!(v.contains("output reg [31:0] DATA_OUT"), "{v}");
+        assert!(v.contains("localparam [3:0] MY_FUNC_ID = 4'h3;"), "{v}");
+        assert!(v.contains("always @(posedge CLK) begin"), "{v}");
+        assert!(v.contains("DATA_OUT <= DATA_IN;"), "{v}");
+        assert!(v.contains("endmodule"), "{v}");
+    }
+
+    #[test]
+    fn clocked_uses_nonblocking_combinational_blocking() {
+        let mut m = Module::new("x");
+        m.decls.push(Decl::Signal { name: "a".into(), width: 1, init: None });
+        m.items.push(Item::Process(Process {
+            label: "c".into(),
+            clocked: false,
+            body: vec![Stmt::assign("a", Expr::lit(1, 1))],
+        }));
+        m.items.push(Item::Process(Process {
+            label: "s".into(),
+            clocked: true,
+            body: vec![Stmt::assign("a", Expr::lit(0, 1))],
+        }));
+        let v = emit(&m);
+        assert!(v.contains("a = 1'h1;"), "{v}");
+        assert!(v.contains("a <= 1'h0;"), "{v}");
+    }
+
+    #[test]
+    fn case_and_concat() {
+        let mut m = Module::new("x");
+        m.decls.push(Decl::Signal { name: "cmd".into(), width: 3, init: None });
+        m.items.push(Item::Process(Process {
+            label: "p".into(),
+            clocked: true,
+            body: vec![Stmt::Case {
+                expr: Expr::sig("cmd"),
+                arms: vec![(1, vec![Stmt::assign("cmd", Expr::Concat(vec![
+                    Expr::lit(0, 1),
+                    Expr::sig("cmd"),
+                ]))])],
+                default: Some(vec![Stmt::Null]),
+            }],
+        }));
+        let v = emit(&m);
+        assert!(v.contains("case (cmd)"), "{v}");
+        assert!(v.contains("1: begin"), "{v}");
+        assert!(v.contains("{1'h0, cmd}"), "{v}");
+        assert!(v.contains("default: begin"), "{v}");
+        assert!(v.contains("endcase"), "{v}");
+    }
+
+    #[test]
+    fn instance_port_map() {
+        let mut m = Module::new("top");
+        m.items.push(Item::Instance(Instance {
+            label: "u0".into(),
+            module: "child".into(),
+            connections: vec![("A".into(), "x".into()), ("B".into(), "y".into())],
+        }));
+        let v = emit(&m);
+        assert!(v.contains("child u0 ("), "{v}");
+        assert!(v.contains(".A(x),"), "{v}");
+        assert!(v.contains(".B(y)"), "{v}");
+    }
+}

@@ -1,0 +1,361 @@
+//! VHDL backend: renders the structural IR as VHDL-93 with the
+//! `ieee.std_logic_1164` / `ieee.numeric_std` idiom the thesis's generated
+//! files use.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Emit a complete VHDL source file (entity + architecture) for `module`.
+pub fn emit(m: &Module) -> String {
+    let mut o = String::new();
+    for line in &m.header {
+        let _ = writeln!(o, "-- {line}");
+    }
+    o.push_str("library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n");
+
+    // Entity.
+    let _ = writeln!(o, "entity {} is", m.name);
+    if !m.ports.is_empty() {
+        o.push_str("  port (\n");
+        for (i, p) in m.ports.iter().enumerate() {
+            let dir = match p.dir {
+                Dir::In => "in ",
+                Dir::Out => "out",
+            };
+            let ty = type_of(p.width);
+            let sep = if i + 1 == m.ports.len() { "" } else { ";" };
+            let _ = writeln!(o, "    {:<18} : {} {}{}", p.name, dir, ty, sep);
+        }
+        o.push_str("  );\n");
+    }
+    let _ = writeln!(o, "end entity {};\n", m.name);
+
+    // Architecture.
+    let _ = writeln!(o, "architecture rtl of {} is", m.name);
+    for d in &m.decls {
+        match d {
+            Decl::Signal { name, width, init } => {
+                let ty = type_of(*width);
+                match init {
+                    Some(v) => {
+                        let _ = writeln!(o, "  signal {name} : {ty} := {};", lit_str(*v, *width));
+                    }
+                    None => {
+                        let init = if *width == 1 { " := '0'" } else { " := (others => '0')" };
+                        let _ = writeln!(o, "  signal {name} : {ty}{init};");
+                    }
+                }
+            }
+            Decl::Constant { name, width, value } => {
+                let ty = type_of(*width);
+                let _ = writeln!(o, "  constant {name} : {ty} := {};", lit_str(*value, *width));
+            }
+            Decl::Comment(c) => {
+                let _ = writeln!(o, "  -- {c}");
+            }
+        }
+    }
+    o.push_str("begin\n");
+    for item in &m.items {
+        match item {
+            Item::Comment(c) => {
+                let _ = writeln!(o, "  -- {c}");
+            }
+            Item::Assign { lhs, rhs } => {
+                let _ = writeln!(o, "  {lhs} <= {};", expr(rhs));
+            }
+            Item::Process(p) => emit_process(&mut o, p),
+            Item::Instance(inst) => {
+                let _ = writeln!(o, "  {}: entity work.{}", inst.label, inst.module);
+                o.push_str("    port map (\n");
+                for (i, (formal, actual)) in inst.connections.iter().enumerate() {
+                    let sep = if i + 1 == inst.connections.len() { "" } else { "," };
+                    let _ = writeln!(o, "      {formal} => {actual}{sep}");
+                }
+                o.push_str("    );\n");
+            }
+        }
+    }
+    let _ = writeln!(o, "end architecture rtl;");
+    o
+}
+
+fn emit_process(o: &mut String, p: &Process) {
+    if p.clocked {
+        let _ = writeln!(o, "  {}: process (CLK)", p.label);
+        o.push_str("  begin\n    if (CLK = '1' and CLK'EVENT) then\n");
+        for s in &p.body {
+            stmt(o, s, 6);
+        }
+        o.push_str("    end if;\n  end process;\n");
+    } else {
+        let _ = writeln!(o, "  {}: process (all)", p.label);
+        o.push_str("  begin\n");
+        for s in &p.body {
+            stmt(o, s, 4);
+        }
+        o.push_str("  end process;\n");
+    }
+}
+
+fn stmt(o: &mut String, s: &Stmt, indent: usize) {
+    let pad = " ".repeat(indent);
+    match s {
+        Stmt::Assign { lhs, rhs } => {
+            let _ = writeln!(o, "{pad}{lhs} <= {};", expr(rhs));
+        }
+        Stmt::If { cond, then, elifs, els } => {
+            let _ = writeln!(o, "{pad}if ({}) then", cond_expr(cond));
+            for s in then {
+                stmt(o, s, indent + 2);
+            }
+            for (c, body) in elifs {
+                let _ = writeln!(o, "{pad}elsif ({}) then", cond_expr(c));
+                for s in body {
+                    stmt(o, s, indent + 2);
+                }
+            }
+            if let Some(body) = els {
+                let _ = writeln!(o, "{pad}else");
+                for s in body {
+                    stmt(o, s, indent + 2);
+                }
+            }
+            let _ = writeln!(o, "{pad}end if;");
+        }
+        Stmt::Case { expr: e, arms, default } => {
+            let _ = writeln!(o, "{pad}case ({}) is", expr(e));
+            for (v, body) in arms {
+                let _ = writeln!(o, "{pad}  when {} =>", lit_for_case(*v, e));
+                for s in body {
+                    stmt(o, s, indent + 4);
+                }
+            }
+            let _ = writeln!(o, "{pad}  when others =>");
+            match default {
+                Some(body) if !body.is_empty() => {
+                    for s in body {
+                        stmt(o, s, indent + 4);
+                    }
+                }
+                _ => {
+                    let _ = writeln!(o, "{}NULL;", " ".repeat(indent + 4));
+                }
+            }
+            let _ = writeln!(o, "{pad}end case;");
+        }
+        Stmt::Comment(c) => {
+            let _ = writeln!(o, "{pad}-- {c}");
+        }
+        Stmt::Null => {
+            let _ = writeln!(o, "{pad}NULL;");
+        }
+    }
+}
+
+fn type_of(width: u32) -> String {
+    if width == 1 {
+        "std_logic".into()
+    } else {
+        format!("std_logic_vector({} downto 0)", width - 1)
+    }
+}
+
+fn lit_str(value: u64, width: u32) -> String {
+    if width == 1 {
+        format!("'{value}'")
+    } else {
+        format!("\"{:0width$b}\"", value, width = width as usize)
+    }
+}
+
+/// Literal rendering inside a case arm: match the selector's width if known.
+fn lit_for_case(v: u64, selector: &Expr) -> String {
+    match selector_width(selector) {
+        Some(w) => lit_str(v, w),
+        None => format!("{v}"),
+    }
+}
+
+fn selector_width(e: &Expr) -> Option<u32> {
+    match e {
+        Expr::Lit { width, .. } => Some(*width),
+        Expr::Slice { hi, lo, .. } => Some(hi - lo + 1),
+        _ => None,
+    }
+}
+
+/// Render an expression in value position.
+pub(crate) fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Sig(n) => n.clone(),
+        Expr::Lit { value, width } => lit_str(*value, *width),
+        Expr::Bin { op, lhs, rhs } => {
+            let (l, r) = (expr(lhs), expr(rhs));
+            match op {
+                // Arithmetic goes through unsigned() casts in the VHDL idiom.
+                BinOp::Add => format!("std_logic_vector(unsigned({l}) + unsigned({r}))"),
+                BinOp::Sub => format!("std_logic_vector(unsigned({l}) - unsigned({r}))"),
+                BinOp::And => format!("({l} and {r})"),
+                BinOp::Or => format!("({l} or {r})"),
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Ge => {
+                    // Comparisons are boolean in VHDL; in value position wrap
+                    // to std_logic via a when/else idiom.
+                    format!("'1' when {} else '0'", cond_bin(*op, &l, &r))
+                }
+            }
+        }
+        Expr::Not(inner) => format!("not {}", expr(inner)),
+        Expr::Slice { base, hi, lo } => {
+            if hi == lo {
+                format!("{}({lo})", expr(base))
+            } else {
+                format!("{}({hi} downto {lo})", expr(base))
+            }
+        }
+        Expr::Concat(parts) => {
+            let rendered: Vec<String> = parts.iter().map(expr).collect();
+            rendered.join(" & ")
+        }
+    }
+}
+
+/// Render an expression in condition position (inside `if (...)`).
+fn cond_expr(e: &Expr) -> String {
+    match e {
+        Expr::Bin { op, lhs, rhs }
+            if matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Ge) =>
+        {
+            cond_bin(*op, &expr(lhs), &expr(rhs))
+        }
+        Expr::Bin { op: BinOp::And, lhs, rhs } => {
+            format!("{} and {}", cond_expr(lhs), cond_expr(rhs))
+        }
+        Expr::Bin { op: BinOp::Or, lhs, rhs } => {
+            format!("({} or {})", cond_expr(lhs), cond_expr(rhs))
+        }
+        Expr::Not(inner) => format!("not ({})", cond_expr(inner)),
+        // A bare 1-bit signal in condition position compares against '1'.
+        Expr::Sig(n) => format!("{n} = '1'"),
+        other => format!("{} = '1'", expr(other)),
+    }
+}
+
+fn cond_bin(op: BinOp, l: &str, r: &str) -> String {
+    match op {
+        BinOp::Eq => format!("{l} = {r}"),
+        BinOp::Ne => format!("{l} /= {r}"),
+        BinOp::Lt => format!("unsigned({l}) < unsigned({r})"),
+        BinOp::Ge => format!("unsigned({l}) >= unsigned({r})"),
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_module() -> Module {
+        let mut m = Module::new("func_demo");
+        m.header.push("Generated by Splice for device `demo`".into());
+        m.ports.push(Port::input("CLK", 1));
+        m.ports.push(Port::input("RST", 1));
+        m.ports.push(Port::input("DATA_IN", 32));
+        m.ports.push(Port::output("DATA_OUT", 32));
+        m.decls.push(Decl::Constant { name: "MY_FUNC_ID".into(), width: 4, value: 2 });
+        m.decls.push(Decl::Signal { name: "cur_state".into(), width: 2, init: Some(0) });
+        m.items.push(Item::Process(Process {
+            label: "icob".into(),
+            clocked: true,
+            body: vec![
+                Stmt::if_else(
+                    Expr::sig("RST"),
+                    vec![Stmt::assign("cur_state", Expr::lit(0, 2))],
+                    vec![Stmt::Case {
+                        expr: Expr::Slice {
+                            base: Box::new(Expr::sig("cur_state")),
+                            hi: 1,
+                            lo: 0,
+                        },
+                        arms: vec![(0, vec![Stmt::assign("DATA_OUT", Expr::sig("DATA_IN"))])],
+                        default: None,
+                    }],
+                ),
+            ],
+        }));
+        m.items.push(Item::Assign { lhs: "DATA_OUT".into(), rhs: Expr::sig("DATA_IN") });
+        m
+    }
+
+    #[test]
+    fn entity_and_architecture_emitted() {
+        let m = demo_module();
+        let v = emit(&m);
+        assert!(v.contains("entity func_demo is"), "{v}");
+        assert!(v.contains("architecture rtl of func_demo is"), "{v}");
+        assert!(v.contains("DATA_IN"), "{v}");
+        assert!(v.contains("std_logic_vector(31 downto 0)"), "{v}");
+        assert!(v.contains("constant MY_FUNC_ID : std_logic_vector(3 downto 0) := \"0010\";"), "{v}");
+        assert!(v.contains("if (CLK = '1' and CLK'EVENT) then"), "{v}");
+        assert!(v.contains("-- Generated by Splice"), "{v}");
+        assert!(v.contains("when others =>"), "{v}");
+        assert!(v.contains("NULL;"), "{v}");
+    }
+
+    #[test]
+    fn one_bit_signals_are_std_logic() {
+        let m = demo_module();
+        let v = emit(&m);
+        assert!(v.contains("CLK                : in  std_logic"), "{v}");
+    }
+
+    #[test]
+    fn condition_rendering() {
+        let c = cond_expr(&Expr::sig("RST"));
+        assert_eq!(c, "RST = '1'");
+        let c = cond_expr(&Expr::sig("A").eq(Expr::sig("B")).and(Expr::sig("V")));
+        assert_eq!(c, "A = B and V = '1'");
+        let c = cond_expr(&Expr::sig("V").not());
+        assert_eq!(c, "not (V = '1')");
+    }
+
+    #[test]
+    fn literals_render_binary() {
+        assert_eq!(lit_str(5, 4), "\"0101\"");
+        assert_eq!(lit_str(1, 1), "'1'");
+        assert_eq!(lit_str(0, 8), "\"00000000\"");
+    }
+
+    #[test]
+    fn arithmetic_uses_numeric_std() {
+        let e = Expr::sig("count").add(Expr::lit(1, 8));
+        assert_eq!(
+            expr(&e),
+            "std_logic_vector(unsigned(count) + unsigned(\"00000001\"))"
+        );
+    }
+
+    #[test]
+    fn instances_use_entity_work() {
+        let mut m = Module::new("top");
+        m.items.push(Item::Instance(Instance {
+            label: "u_func".into(),
+            module: "func_enable".into(),
+            connections: vec![("CLK".into(), "CLK".into()), ("D".into(), "d_sig".into())],
+        }));
+        let v = emit(&m);
+        assert!(v.contains("u_func: entity work.func_enable"), "{v}");
+        assert!(v.contains("CLK => CLK,"), "{v}");
+        assert!(v.contains("D => d_sig"), "{v}");
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let e = Expr::Concat(vec![Expr::sig("hi"), Expr::sig("lo")]);
+        assert_eq!(expr(&e), "hi & lo");
+        let e = Expr::Slice { base: Box::new(Expr::sig("v")), hi: 7, lo: 0 };
+        assert_eq!(expr(&e), "v(7 downto 0)");
+        let e = Expr::Slice { base: Box::new(Expr::sig("v")), hi: 3, lo: 3 };
+        assert_eq!(expr(&e), "v(3)");
+    }
+}

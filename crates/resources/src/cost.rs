@@ -1,0 +1,116 @@
+//! The resource-cost arithmetic type.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// An FPGA resource bill: 4-input LUTs and flip-flops, with slices derived
+/// by the Virtex-4 packing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resources {
+    /// 4-input look-up tables.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+}
+
+impl Resources {
+    /// A cost of nothing.
+    pub const ZERO: Resources = Resources { luts: 0, ffs: 0 };
+
+    /// Construct from LUT and FF counts.
+    pub fn new(luts: u32, ffs: u32) -> Self {
+        Resources { luts, ffs }
+    }
+
+    /// Occupied slices: each Virtex-4 slice packs two 4-LUTs and two
+    /// flip-flops; occupation is driven by whichever resource dominates.
+    pub fn slices(&self) -> u32 {
+        (self.luts.div_ceil(2)).max(self.ffs.div_ceil(2))
+    }
+
+    /// Percentage difference of `self` relative to `baseline` in slices
+    /// (positive = larger than baseline).
+    pub fn pct_vs(&self, baseline: &Resources) -> f64 {
+        let a = self.slices() as f64;
+        let b = baseline.slices() as f64;
+        if b == 0.0 {
+            0.0
+        } else {
+            (a - b) / b * 100.0
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources { luts: self.luts + rhs.luts, ffs: self.ffs + rhs.ffs }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        self.luts += rhs.luts;
+        self.ffs += rhs.ffs;
+    }
+}
+
+impl Mul<u32> for Resources {
+    type Output = Resources;
+    fn mul(self, n: u32) -> Resources {
+        Resources { luts: self.luts * n, ffs: self.ffs * n }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} LUTs / {} FFs / {} slices", self.luts, self.ffs, self.slices())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_packing() {
+        assert_eq!(Resources::new(0, 0).slices(), 0);
+        assert_eq!(Resources::new(2, 2).slices(), 1);
+        assert_eq!(Resources::new(3, 1).slices(), 2);
+        assert_eq!(Resources::new(1, 5).slices(), 3);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources::new(10, 20);
+        let b = Resources::new(5, 1);
+        assert_eq!(a + b, Resources::new(15, 21));
+        assert_eq!(a * 3, Resources::new(30, 60));
+        let total: Resources = [a, b, b].into_iter().sum();
+        assert_eq!(total, Resources::new(20, 22));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Resources::new(15, 21));
+    }
+
+    #[test]
+    fn pct_vs() {
+        let big = Resources::new(200, 200);
+        let small = Resources::new(100, 100);
+        assert!((big.pct_vs(&small) - 100.0).abs() < 1e-9);
+        assert!((small.pct_vs(&big) + 50.0).abs() < 1e-9);
+        assert_eq!(small.pct_vs(&Resources::ZERO), 0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Resources::new(3, 4).to_string(), "3 LUTs / 4 FFs / 2 slices");
+    }
+}

@@ -1,0 +1,81 @@
+//! The component trait and per-tick context.
+
+use crate::signal::{mask, SignalId, Word};
+
+/// Per-tick view of the signal store handed to each component.
+///
+/// Reads return the value the signal held *before* this clock edge; writes
+/// schedule the value it will hold *after* it. A component may write each of
+/// its output signals at most once per tick (double writes by different
+/// components are a wiring error and abort the simulation).
+pub struct TickCtx<'a> {
+    pub(crate) cur: &'a [Word],
+    pub(crate) next: &'a mut [Word],
+    pub(crate) widths: &'a [u32],
+    pub(crate) written_by: &'a mut [u32],
+    pub(crate) component: u32,
+    pub(crate) cycle: u64,
+    pub(crate) conflict: &'a mut Option<(SignalId, u32, u32)>,
+}
+
+impl<'a> TickCtx<'a> {
+    /// Pre-edge value of `sig`.
+    #[inline]
+    pub fn get(&self, sig: SignalId) -> Word {
+        self.cur[sig.index()]
+    }
+
+    /// Pre-edge value of `sig` interpreted as a boolean (non-zero = high).
+    #[inline]
+    pub fn get_bool(&self, sig: SignalId) -> bool {
+        self.cur[sig.index()] != 0
+    }
+
+    /// Schedule `val` onto `sig` for after this edge. Values are masked to
+    /// the signal's declared width.
+    #[inline]
+    pub fn set(&mut self, sig: SignalId, val: Word) {
+        let i = sig.index();
+        let prev = self.written_by[i];
+        if prev != u32::MAX && prev != self.component && self.conflict.is_none() {
+            *self.conflict = Some((sig, prev, self.component));
+        }
+        self.written_by[i] = self.component;
+        self.next[i] = val & mask(self.widths[i]);
+    }
+
+    /// Schedule a boolean level.
+    #[inline]
+    pub fn set_bool(&mut self, sig: SignalId, val: bool) {
+        self.set(sig, val as Word);
+    }
+
+    /// The number of completed clock cycles before this tick (i.e. the
+    /// current cycle index, starting at 0).
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+/// A clocked hardware component.
+///
+/// `tick` is called exactly once per clock edge. Implementations must read
+/// inputs through [`TickCtx::get`] and drive outputs through
+/// [`TickCtx::set`]; internal state lives in `self`.
+pub trait Component {
+    /// Advance one clock edge.
+    fn tick(&mut self, ctx: &mut TickCtx<'_>);
+
+    /// Human-readable instance name for diagnostics.
+    fn name(&self) -> &str {
+        "component"
+    }
+
+    /// Downcast support so harnesses can inspect component state after (or
+    /// between) simulation runs.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}

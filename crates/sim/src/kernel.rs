@@ -1,0 +1,428 @@
+//! The simulator: signal store, component scheduling, cycle stepping.
+
+use crate::component::{Component, TickCtx};
+use crate::signal::{SignalDecl, SignalId, Word};
+use crate::trace::Trace;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised while building or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Two signals declared with the same name.
+    DuplicateSignal(String),
+    /// Two components drove one signal in the same cycle.
+    MultipleDrivers { signal: String, first: String, second: String, cycle: u64 },
+    /// `run_until` hit its cycle budget without the predicate firing.
+    Timeout { after: u64, what: String },
+    /// Signal name lookup failed.
+    NoSuchSignal(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DuplicateSignal(n) => write!(f, "signal `{n}` declared twice"),
+            SimError::MultipleDrivers { signal, first, second, cycle } => write!(
+                f,
+                "signal `{signal}` driven by both `{first}` and `{second}` in cycle {cycle}"
+            ),
+            SimError::Timeout { after, what } => {
+                write!(f, "simulation timed out after {after} cycles waiting for {what}")
+            }
+            SimError::NoSuchSignal(n) => write!(f, "no signal named `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Builder for a [`Simulator`]: declare signals, then add components.
+#[derive(Default)]
+pub struct SimulatorBuilder {
+    decls: Vec<SignalDecl>,
+    by_name: HashMap<String, SignalId>,
+    components: Vec<Box<dyn Component>>,
+}
+
+impl SimulatorBuilder {
+    /// Start an empty simulation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a signal; returns its handle.
+    ///
+    /// # Panics
+    /// Panics on duplicate names — signal wiring is a construction-time
+    /// decision and a duplicate is always a harness bug.
+    pub fn signal(&mut self, decl: SignalDecl) -> SignalId {
+        assert!(
+            !self.by_name.contains_key(&decl.name),
+            "signal `{}` declared twice",
+            decl.name
+        );
+        let id = SignalId(self.decls.len() as u32);
+        self.by_name.insert(decl.name.clone(), id);
+        self.decls.push(decl);
+        id
+    }
+
+    /// Convenience: declare `name` with `width` bits and reset value 0.
+    pub fn sig(&mut self, name: impl Into<String>, width: u32) -> SignalId {
+        self.signal(SignalDecl::new(name, width))
+    }
+
+    /// Add a component; returns its index for later downcasting.
+    pub fn component(&mut self, c: Box<dyn Component>) -> usize {
+        self.components.push(c);
+        self.components.len() - 1
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Simulator {
+        let n = self.decls.len();
+        let cur: Vec<Word> = self.decls.iter().map(|d| d.reset & d.mask()).collect();
+        Simulator {
+            next: cur.clone(),
+            cur,
+            widths: self.decls.iter().map(|d| d.width).collect(),
+            decls: self.decls,
+            by_name: self.by_name,
+            components: self.components,
+            written_by: vec![u32::MAX; n],
+            cycle: 0,
+            traces: Vec::new(),
+        }
+    }
+}
+
+/// A running simulation.
+pub struct Simulator {
+    decls: Vec<SignalDecl>,
+    by_name: HashMap<String, SignalId>,
+    widths: Vec<u32>,
+    cur: Vec<Word>,
+    next: Vec<Word>,
+    components: Vec<Box<dyn Component>>,
+    written_by: Vec<u32>,
+    cycle: u64,
+    traces: Vec<Trace>,
+}
+
+impl Simulator {
+    /// Look up a signal by name.
+    pub fn signal_id(&self, name: &str) -> Result<SignalId, SimError> {
+        self.by_name.get(name).copied().ok_or_else(|| SimError::NoSuchSignal(name.into()))
+    }
+
+    /// Current (post-most-recent-edge) value of a signal.
+    pub fn value(&self, sig: SignalId) -> Word {
+        self.cur[sig.index()]
+    }
+
+    /// Current value by name.
+    pub fn value_of(&self, name: &str) -> Result<Word, SimError> {
+        Ok(self.value(self.signal_id(name)?))
+    }
+
+    /// Number of completed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Attach a trace capturing the named signals each cycle.
+    pub fn attach_trace(&mut self, signals: &[SignalId]) -> usize {
+        let named: Vec<(String, u32, SignalId)> = signals
+            .iter()
+            .map(|&s| (self.decls[s.index()].name.clone(), self.widths[s.index()], s))
+            .collect();
+        self.traces.push(Trace::new(named));
+        self.traces.len() - 1
+    }
+
+    /// Access a previously attached trace.
+    pub fn trace(&self, idx: usize) -> &Trace {
+        &self.traces[idx]
+    }
+
+    /// Downcast a component to its concrete type.
+    pub fn component<T: 'static>(&self, idx: usize) -> Option<&T> {
+        self.components[idx].as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable downcast.
+    pub fn component_mut<T: 'static>(&mut self, idx: usize) -> Option<&mut T> {
+        self.components[idx].as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Advance one clock edge.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        // Capture pre-step values into traces (so cycle 0 shows reset state).
+        for t in &mut self.traces {
+            t.sample(self.cycle, &self.cur);
+        }
+
+        self.written_by.fill(u32::MAX);
+        self.next.copy_from_slice(&self.cur);
+        let mut conflict: Option<(SignalId, u32, u32)> = None;
+        for (i, comp) in self.components.iter_mut().enumerate() {
+            let mut ctx = TickCtx {
+                cur: &self.cur,
+                next: &mut self.next,
+                widths: &self.widths,
+                written_by: &mut self.written_by,
+                component: i as u32,
+                cycle: self.cycle,
+                conflict: &mut conflict,
+            };
+            comp.tick(&mut ctx);
+        }
+        if let Some((sig, a, b)) = conflict {
+            return Err(SimError::MultipleDrivers {
+                signal: self.decls[sig.index()].name.clone(),
+                first: self.components[a as usize].name().to_owned(),
+                second: self.components[b as usize].name().to_owned(),
+                cycle: self.cycle,
+            });
+        }
+        std::mem::swap(&mut self.cur, &mut self.next);
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Advance `n` clock edges.
+    pub fn run(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Step until `pred` returns true (checked after each edge), up to
+    /// `max_cycles` edges. Returns the number of edges stepped.
+    pub fn run_until(
+        &mut self,
+        what: &str,
+        max_cycles: u64,
+        mut pred: impl FnMut(&Simulator) -> bool,
+    ) -> Result<u64, SimError> {
+        for stepped in 1..=max_cycles {
+            self.step()?;
+            if pred(self) {
+                return Ok(stepped);
+            }
+        }
+        Err(SimError::Timeout { after: max_cycles, what: what.into() })
+    }
+
+    /// All declared signals (id, decl) in declaration order.
+    pub fn signals(&self) -> impl Iterator<Item = (SignalId, &SignalDecl)> {
+        self.decls.iter().enumerate().map(|(i, d)| (SignalId(i as u32), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A register that copies its input to its output each cycle.
+    struct Reg {
+        input: SignalId,
+        output: SignalId,
+    }
+
+    impl Component for Reg {
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            let v = ctx.get(self.input);
+            ctx.set(self.output, v);
+        }
+        fn name(&self) -> &str {
+            "reg"
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// A free-running counter.
+    struct Counter {
+        out: SignalId,
+    }
+
+    impl Component for Counter {
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            let v = ctx.get(self.out);
+            ctx.set(self.out, v + 1);
+        }
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut b = SimulatorBuilder::new();
+        let out = b.sig("count", 8);
+        b.component(Box::new(Counter { out }));
+        let mut sim = b.build();
+        sim.run(5).unwrap();
+        assert_eq!(sim.value(out), 5);
+        assert_eq!(sim.cycle(), 5);
+    }
+
+    #[test]
+    fn counter_wraps_at_width() {
+        let mut b = SimulatorBuilder::new();
+        let out = b.sig("count", 4);
+        b.component(Box::new(Counter { out }));
+        let mut sim = b.build();
+        sim.run(20).unwrap();
+        assert_eq!(sim.value(out), 4); // 20 mod 16
+    }
+
+    #[test]
+    fn pipeline_delays_one_cycle_per_register() {
+        // counter -> reg1 -> reg2: reg2 lags the counter by 2 cycles.
+        let mut b = SimulatorBuilder::new();
+        let c = b.sig("count", 16);
+        let r1 = b.sig("r1", 16);
+        let r2 = b.sig("r2", 16);
+        b.component(Box::new(Counter { out: c }));
+        b.component(Box::new(Reg { input: c, output: r1 }));
+        b.component(Box::new(Reg { input: r1, output: r2 }));
+        let mut sim = b.build();
+        sim.run(10).unwrap();
+        assert_eq!(sim.value(c), 10);
+        assert_eq!(sim.value(r1), 9);
+        assert_eq!(sim.value(r2), 8);
+    }
+
+    #[test]
+    fn component_order_does_not_matter() {
+        // Same circuit, reversed registration order — identical results.
+        let build = |reversed: bool| {
+            let mut b = SimulatorBuilder::new();
+            let c = b.sig("count", 16);
+            let r1 = b.sig("r1", 16);
+            let counter: Box<dyn Component> = Box::new(Counter { out: c });
+            let reg: Box<dyn Component> = Box::new(Reg { input: c, output: r1 });
+            if reversed {
+                b.component(reg);
+                b.component(counter);
+            } else {
+                b.component(counter);
+                b.component(reg);
+            }
+            let mut sim = b.build();
+            sim.run(7).unwrap();
+            (sim.value_of("count").unwrap(), sim.value_of("r1").unwrap())
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let mut b = SimulatorBuilder::new();
+        let s = b.sig("shared", 8);
+        b.component(Box::new(Counter { out: s }));
+        b.component(Box::new(Counter { out: s }));
+        let mut sim = b.build();
+        let err = sim.step().unwrap_err();
+        assert!(matches!(err, SimError::MultipleDrivers { cycle: 0, .. }));
+    }
+
+    #[test]
+    fn same_component_may_rewrite_its_own_signal() {
+        struct TwoWrites {
+            out: SignalId,
+        }
+        impl Component for TwoWrites {
+            fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+                ctx.set(self.out, 1);
+                ctx.set(self.out, 2);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut b = SimulatorBuilder::new();
+        let s = b.sig("s", 8);
+        b.component(Box::new(TwoWrites { out: s }));
+        let mut sim = b.build();
+        sim.step().unwrap();
+        assert_eq!(sim.value(s), 2);
+    }
+
+    #[test]
+    fn undriven_signals_hold_value() {
+        let mut b = SimulatorBuilder::new();
+        let s = b.signal(SignalDecl::with_reset("hold", 8, 0xAB));
+        let mut sim = b.build();
+        sim.run(3).unwrap();
+        assert_eq!(sim.value(s), 0xAB);
+    }
+
+    #[test]
+    fn run_until_reports_cycles_and_timeouts() {
+        let mut b = SimulatorBuilder::new();
+        let c = b.sig("count", 16);
+        b.component(Box::new(Counter { out: c }));
+        let mut sim = b.build();
+        let n = sim.run_until("count==4", 100, |s| s.value(c) == 4).unwrap();
+        assert_eq!(n, 4);
+        let err = sim.run_until("count==3", 10, |s| s.value(c) == 3).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { after: 10, .. }));
+    }
+
+    #[test]
+    fn signal_lookup_by_name() {
+        let mut b = SimulatorBuilder::new();
+        let s = b.sig("abc", 8);
+        let sim = b.build();
+        assert_eq!(sim.signal_id("abc").unwrap(), s);
+        assert!(matches!(sim.signal_id("zzz"), Err(SimError::NoSuchSignal(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_signal_panics() {
+        let mut b = SimulatorBuilder::new();
+        b.sig("x", 1);
+        b.sig("x", 1);
+    }
+
+    #[test]
+    fn component_downcast() {
+        let mut b = SimulatorBuilder::new();
+        let c = b.sig("count", 16);
+        let idx = b.component(Box::new(Counter { out: c }));
+        let sim = b.build();
+        assert!(sim.component::<Counter>(idx).is_some());
+        assert!(sim.component::<Reg>(idx).is_none());
+    }
+
+    #[test]
+    fn traces_sample_pre_edge_values() {
+        let mut b = SimulatorBuilder::new();
+        let c = b.sig("count", 16);
+        b.component(Box::new(Counter { out: c }));
+        let mut sim = b.build();
+        let t = sim.attach_trace(&[c]);
+        sim.run(3).unwrap();
+        let trace = sim.trace(t);
+        assert_eq!(trace.values("count").unwrap(), &[0, 1, 2]);
+    }
+}

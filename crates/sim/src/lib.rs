@@ -1,0 +1,33 @@
+//! # splice-sim — cycle-accurate synchronous simulation kernel
+//!
+//! Every protocol in the Splice thesis (SIS, PLB, OPB, FCB, APB) is a
+//! registered, single-clock handshake: components sample their inputs on the
+//! rising clock edge and present new outputs after it. This kernel models
+//! exactly that with **double-buffered signals**:
+//!
+//! * during a tick, every component reads the *current* (pre-edge) value of
+//!   any signal and schedules *next* values for the signals it drives;
+//! * after all components have ticked, the buffers swap — one bus-clock
+//!   cycle has elapsed.
+//!
+//! Because reads always see pre-edge values, component evaluation order can
+//! never change simulation results (this is checked by a property test), and
+//! the kernel is deterministic by construction.
+//!
+//! Multi-driver errors — two components scheduling the same signal in one
+//! cycle — are detected at runtime and reported with both signal and cycle.
+//!
+//! The kernel also provides [`trace::Trace`] capture for selected signals
+//! (used to regenerate the thesis's timing diagrams) and a VCD writer for
+//! offline waveform inspection.
+
+pub mod component;
+pub mod kernel;
+pub mod signal;
+pub mod trace;
+pub mod vcd;
+
+pub use component::{Component, TickCtx};
+pub use kernel::{SimError, Simulator, SimulatorBuilder};
+pub use signal::{SignalDecl, SignalId, Word};
+pub use trace::Trace;

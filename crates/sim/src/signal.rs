@@ -1,0 +1,84 @@
+//! Signal identities and declarations.
+
+use std::fmt;
+
+/// The value carried by a signal: up to 64 bits (wide enough for the 64-bit
+/// PLB configuration and every SIS data path).
+pub type Word = u64;
+
+/// Handle to a declared signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// The dense index of this signal.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig#{}", self.0)
+    }
+}
+
+/// Metadata for one declared signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalDecl {
+    /// Display name (unique within a simulator).
+    pub name: String,
+    /// Bit width (1..=64).
+    pub width: u32,
+    /// Reset/initial value.
+    pub reset: Word,
+}
+
+impl SignalDecl {
+    /// Declare a signal.
+    pub fn new(name: impl Into<String>, width: u32) -> Self {
+        SignalDecl { name: name.into(), width, reset: 0 }
+    }
+
+    /// Declare a signal with a non-zero reset value.
+    pub fn with_reset(name: impl Into<String>, width: u32, reset: Word) -> Self {
+        SignalDecl { name: name.into(), width, reset }
+    }
+
+    /// Mask covering this signal's width.
+    pub fn mask(&self) -> Word {
+        mask(self.width)
+    }
+}
+
+/// All-ones mask for a `width`-bit value.
+pub fn mask(width: u32) -> Word {
+    debug_assert!((1..=64).contains(&width), "signal width must be 1..=64, got {width}");
+    if width >= 64 {
+        Word::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xFF);
+        assert_eq!(mask(32), 0xFFFF_FFFF);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn decl_mask_matches_width() {
+        let d = SignalDecl::new("x", 12);
+        assert_eq!(d.mask(), 0xFFF);
+        assert_eq!(d.reset, 0);
+        let d = SignalDecl::with_reset("y", 4, 0xF);
+        assert_eq!(d.reset, 0xF);
+    }
+}

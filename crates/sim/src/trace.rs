@@ -1,0 +1,133 @@
+//! Per-cycle value capture for selected signals.
+//!
+//! Traces feed two consumers: the ASCII timing-diagram renderer in
+//! `splice-sis` (regenerating the thesis's Figs 4.3–4.8) and the VCD writer.
+
+use crate::signal::{SignalId, Word};
+
+/// A recording of selected signals, one sample per clock cycle.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// (name, width, id) per traced signal.
+    signals: Vec<(String, u32, SignalId)>,
+    /// `samples[cycle][signal_idx]`.
+    samples: Vec<Vec<Word>>,
+    /// Cycle number of the first sample.
+    first_cycle: u64,
+}
+
+impl Trace {
+    pub(crate) fn new(signals: Vec<(String, u32, SignalId)>) -> Self {
+        Trace { signals, samples: Vec::new(), first_cycle: 0 }
+    }
+
+    pub(crate) fn sample(&mut self, cycle: u64, values: &[Word]) {
+        if self.samples.is_empty() {
+            self.first_cycle = cycle;
+        }
+        self.samples.push(self.signals.iter().map(|&(_, _, id)| values[id.index()]).collect());
+    }
+
+    /// Number of recorded cycles.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Cycle number of the first sample.
+    pub fn first_cycle(&self) -> u64 {
+        self.first_cycle
+    }
+
+    /// Names of the traced signals, in trace order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.signals.iter().map(|(n, _, _)| n.as_str())
+    }
+
+    /// Bit width of the named signal.
+    pub fn width(&self, name: &str) -> Option<u32> {
+        self.signals.iter().find(|(n, _, _)| n == name).map(|&(_, w, _)| w)
+    }
+
+    /// The full sample series for one signal.
+    pub fn values(&self, name: &str) -> Option<Vec<Word>> {
+        let idx = self.signals.iter().position(|(n, _, _)| n == name)?;
+        Some(self.samples.iter().map(|row| row[idx]).collect())
+    }
+
+    /// Value of `name` at `cycle` (absolute cycle number).
+    pub fn at(&self, name: &str, cycle: u64) -> Option<Word> {
+        let idx = self.signals.iter().position(|(n, _, _)| n == name)?;
+        let row = cycle.checked_sub(self.first_cycle)? as usize;
+        self.samples.get(row).map(|r| r[idx])
+    }
+
+    /// Cycles (absolute) in which `name` was non-zero.
+    pub fn high_cycles(&self, name: &str) -> Vec<u64> {
+        match self.values(name) {
+            Some(vals) => vals
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0)
+                .map(|(i, _)| self.first_cycle + i as u64)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// First cycle (absolute) at which `name` becomes non-zero, if any.
+    pub fn first_rise(&self, name: &str) -> Option<u64> {
+        self.high_cycles(name).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_trace() -> Trace {
+        let mut t = Trace::new(vec![
+            ("a".into(), 1, SignalId(0)),
+            ("d".into(), 8, SignalId(1)),
+        ]);
+        t.sample(10, &[0, 0x00]);
+        t.sample(11, &[1, 0x55]);
+        t.sample(12, &[0, 0x55]);
+        t.sample(13, &[1, 0xAA]);
+        t
+    }
+
+    #[test]
+    fn values_and_at() {
+        let t = toy_trace();
+        assert_eq!(t.values("a").unwrap(), vec![0, 1, 0, 1]);
+        assert_eq!(t.at("d", 11), Some(0x55));
+        assert_eq!(t.at("d", 13), Some(0xAA));
+        assert_eq!(t.at("d", 9), None);
+        assert_eq!(t.at("d", 14), None);
+        assert_eq!(t.at("nope", 11), None);
+    }
+
+    #[test]
+    fn high_cycles_and_first_rise() {
+        let t = toy_trace();
+        assert_eq!(t.high_cycles("a"), vec![11, 13]);
+        assert_eq!(t.first_rise("a"), Some(11));
+        assert_eq!(t.first_rise("d"), Some(11));
+        assert_eq!(t.high_cycles("none"), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn metadata() {
+        let t = toy_trace();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.first_cycle(), 10);
+        assert_eq!(t.width("d"), Some(8));
+        assert_eq!(t.names().collect::<Vec<_>>(), vec!["a", "d"]);
+    }
+}

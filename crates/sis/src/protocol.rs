@@ -1,0 +1,599 @@
+//! The SIS transfer protocols (§4.2) and a scripted SIS master.
+//!
+//! ## Cycle conventions
+//!
+//! The simulation kernel is fully registered: a value driven at clock edge
+//! *T* is observed by other components at edge *T+1*. Under that convention
+//! the pseudo-asynchronous protocol costs **two bus cycles per beat**
+//! (assert → acknowledge), matching the "2 Cycle Write / 2 Cycle Read"
+//! transactions of Fig 4.3; combinational same-cycle acknowledges (the
+//! figure's "1 Cycle Write") are not modelled, which only adds a constant
+//! factor shared by every implementation we compare.
+//!
+//! ## Pseudo asynchronous (§4.2.1)
+//!
+//! * **Write**: the master drives DATA_IN, DATA_IN_VALID and FUNC_ID, and
+//!   strobes IO_ENABLE for one cycle; all lines stay static until the
+//!   addressed function raises IO_DONE for one cycle.
+//! * **Read**: the master drives FUNC_ID and strobes IO_ENABLE (with
+//!   DATA_IN_VALID low); the function answers with DATA_OUT plus one cycle
+//!   of DATA_OUT_VALID and IO_DONE.
+//!
+//! ## Strictly synchronous (§4.2.2)
+//!
+//! Writes complete in the cycle they are presented (IO_DONE is unused);
+//! reads are preceded by software polling of the CALC_DONE status vector
+//! through reserved FUNC_ID 0.
+
+use crate::signals::{SisBus, STATUS_FUNC_ID};
+use splice_sim::{Component, SignalId, TickCtx, Word};
+
+/// Which SIS protocol variant is in effect (a property of the native bus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SisMode {
+    /// Handshaked transfers (PLB, OPB, FCB, AHB, ...).
+    PseudoAsync,
+    /// Single-cycle transfers with status polling (APB).
+    StrictSync,
+}
+
+/// One scripted SIS operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SisOp {
+    /// Write one beat of data to `func_id`.
+    Write { func_id: u32, data: Word },
+    /// Read one beat from `func_id`; the value is appended to
+    /// [`SisMaster::reads`].
+    Read { func_id: u32 },
+    /// Poll the CALC_DONE status vector until `func_id`'s bit rises.
+    /// A no-op in pseudo-asynchronous mode, where IO_DONE handshakes order
+    /// reads ("these tests are unnecessary", §6.1.1).
+    PollStatus { func_id: u32 },
+    /// Sit idle for the given number of cycles.
+    Idle(u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MState {
+    Fetch,
+    WriteWait,
+    ReadWait { waited: bool },
+    PollWait { func_id: u32 },
+    Idle(u32),
+    Done,
+}
+
+/// A scripted SIS master: executes a list of [`SisOp`]s against a
+/// [`SisBus`], recording read data and the completion cycle.
+///
+/// This component stands in for a native bus adapter in unit tests of user
+/// logic, and doubles as the reference implementation of the master side of
+/// both protocol variants.
+pub struct SisMaster {
+    bus: SisBus,
+    mode: SisMode,
+    script: Vec<SisOp>,
+    pc: usize,
+    state: MState,
+    /// Data captured by `Read` ops, in script order.
+    pub reads: Vec<Word>,
+    /// Cycle at which each script op completed.
+    pub op_done_cycles: Vec<u64>,
+    /// Cycle at which the whole script finished (None while running).
+    pub finished_cycle: Option<u64>,
+}
+
+impl SisMaster {
+    /// Create a master that will run `script` in `mode` against `bus`.
+    pub fn new(bus: SisBus, mode: SisMode, script: Vec<SisOp>) -> Self {
+        SisMaster {
+            bus,
+            mode,
+            script,
+            pc: 0,
+            state: MState::Fetch,
+            reads: Vec::new(),
+            op_done_cycles: Vec::new(),
+            finished_cycle: None,
+        }
+    }
+
+    /// True once every op has completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished_cycle.is_some()
+    }
+
+    fn complete_op(&mut self, cycle: u64) {
+        self.op_done_cycles.push(cycle);
+        self.pc += 1;
+        if self.pc >= self.script.len() {
+            self.finished_cycle = Some(cycle);
+            self.state = MState::Done;
+        } else {
+            self.state = MState::Fetch;
+        }
+    }
+
+    fn idle_lines(&self, ctx: &mut TickCtx<'_>) {
+        ctx.set_bool(self.bus.data_in_valid, false);
+        ctx.set_bool(self.bus.io_enable, false);
+        ctx.set(self.bus.func_id, 0);
+    }
+}
+
+impl Component for SisMaster {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        let cycle = ctx.cycle();
+        match self.state {
+            MState::Fetch => {
+                let Some(op) = self.script.get(self.pc).copied() else {
+                    self.idle_lines(ctx);
+                    if self.finished_cycle.is_none() {
+                        self.finished_cycle = Some(cycle);
+                    }
+                    self.state = MState::Done;
+                    return;
+                };
+                match op {
+                    SisOp::Write { func_id, data } => {
+                        ctx.set(self.bus.data_in, data);
+                        ctx.set_bool(self.bus.data_in_valid, true);
+                        ctx.set(self.bus.func_id, func_id as Word);
+                        ctx.set_bool(self.bus.io_enable, true);
+                        self.state = MState::WriteWait;
+                    }
+                    SisOp::Read { func_id } => {
+                        ctx.set_bool(self.bus.data_in_valid, false);
+                        ctx.set(self.bus.func_id, func_id as Word);
+                        ctx.set_bool(self.bus.io_enable, true);
+                        self.state = MState::ReadWait { waited: false };
+                    }
+                    SisOp::PollStatus { func_id } => match self.mode {
+                        SisMode::PseudoAsync => {
+                            // IO_DONE handshakes already order transactions.
+                            self.idle_lines(ctx);
+                            self.complete_op(cycle);
+                        }
+                        SisMode::StrictSync => {
+                            ctx.set_bool(self.bus.data_in_valid, false);
+                            ctx.set(self.bus.func_id, STATUS_FUNC_ID as Word);
+                            ctx.set_bool(self.bus.io_enable, true);
+                            self.state = MState::PollWait { func_id };
+                        }
+                    },
+                    SisOp::Idle(n) => {
+                        self.idle_lines(ctx);
+                        if n == 0 {
+                            self.complete_op(cycle);
+                        } else {
+                            self.state = MState::Idle(n);
+                        }
+                    }
+                }
+            }
+            MState::WriteWait => {
+                // IO_ENABLE is a one-cycle strobe; data/valid/func stay.
+                ctx.set_bool(self.bus.io_enable, false);
+                let done = match self.mode {
+                    SisMode::PseudoAsync => ctx.get_bool(self.bus.io_done),
+                    // Strictly synchronous writes complete in the cycle
+                    // they are enacted (§4.2.2).
+                    SisMode::StrictSync => true,
+                };
+                if done {
+                    ctx.set_bool(self.bus.data_in_valid, false);
+                    ctx.set(self.bus.func_id, 0);
+                    self.complete_op(cycle);
+                }
+            }
+            MState::ReadWait { waited } => {
+                ctx.set_bool(self.bus.io_enable, false);
+                let ready = match self.mode {
+                    SisMode::PseudoAsync => {
+                        ctx.get_bool(self.bus.data_out_valid) && ctx.get_bool(self.bus.io_done)
+                    }
+                    // A strictly synchronous slave answers on the edge after
+                    // it samples the request: capture on the second wait
+                    // tick (the registered-kernel equivalent of the APB's
+                    // same-cycle combinational response).
+                    SisMode::StrictSync => {
+                        if !waited {
+                            self.state = MState::ReadWait { waited: true };
+                            false
+                        } else {
+                            true
+                        }
+                    }
+                };
+                if ready {
+                    self.reads.push(ctx.get(self.bus.data_out));
+                    ctx.set(self.bus.func_id, 0);
+                    self.complete_op(cycle);
+                }
+            }
+            MState::PollWait { func_id } => {
+                ctx.set_bool(self.bus.io_enable, false);
+                // The status vector arrives one edge after the request.
+                let status = ctx.get(self.bus.calc_done);
+                if (status >> func_id) & 1 == 1 {
+                    ctx.set(self.bus.func_id, 0);
+                    self.complete_op(cycle);
+                } else {
+                    // Re-issue the status read.
+                    ctx.set(self.bus.func_id, STATUS_FUNC_ID as Word);
+                    ctx.set_bool(self.bus.io_enable, true);
+                }
+            }
+            MState::Idle(n) => {
+                if n <= 1 {
+                    self.complete_op(cycle);
+                } else {
+                    self.state = MState::Idle(n - 1);
+                }
+            }
+            MState::Done => {
+                self.idle_lines(ctx);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "sis-master"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A minimal SIS-compliant user-logic function for tests: accepts
+/// `n_inputs` written words, spends `calc_cycles` computing, then offers
+/// `f(inputs)` as a single output word.
+///
+/// Implements both protocol variants: the pseudo-asynchronous handshakes
+/// *and* the CALC_DONE behaviour required by strictly synchronous adapters —
+/// exactly the dual-protocol stub structure §5.3.1 describes ("the logic
+/// required to handle strictly synchronous handshakes [is instantiated]
+/// regardless of the type of interconnect").
+pub struct EchoFunction {
+    /// This function's id on the SIS.
+    pub func_id: u32,
+    bus: SisBus,
+    /// Per-function return lines.
+    data_out: SignalId,
+    data_out_valid: SignalId,
+    io_done: SignalId,
+    calc_done: SignalId,
+    n_inputs: usize,
+    calc_cycles: u32,
+    compute: fn(&[Word]) -> Word,
+    /// Bit position driven within the `calc_done` signal: 0 when the signal
+    /// is this function's private line (the arbiter concatenates), or the
+    /// function id when wired straight onto a shared status vector in
+    /// single-function test harnesses.
+    calc_done_bit: u32,
+    // state
+    inputs: Vec<Word>,
+    phase: EchoPhase,
+    /// Number of complete input→calc→output rounds served.
+    pub rounds: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EchoPhase {
+    Input,
+    Calc(u32),
+    Output,
+    Ack,
+}
+
+impl EchoFunction {
+    /// Build an echo function wired to `bus` with dedicated return lines.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        func_id: u32,
+        bus: SisBus,
+        data_out: SignalId,
+        data_out_valid: SignalId,
+        io_done: SignalId,
+        calc_done: SignalId,
+        n_inputs: usize,
+        calc_cycles: u32,
+        compute: fn(&[Word]) -> Word,
+    ) -> Self {
+        EchoFunction {
+            func_id,
+            bus,
+            data_out,
+            data_out_valid,
+            io_done,
+            calc_done,
+            n_inputs,
+            calc_cycles,
+            compute,
+            calc_done_bit: 0,
+            inputs: Vec::new(),
+            phase: EchoPhase::Input,
+            rounds: 0,
+        }
+    }
+
+    /// Drive CALC_DONE at `bit` instead of bit 0 (for harnesses that wire
+    /// the function's CALC_DONE straight onto a shared status vector).
+    pub fn with_calc_done_bit(mut self, bit: u32) -> Self {
+        self.calc_done_bit = bit;
+        self
+    }
+
+    fn addressed(&self, ctx: &TickCtx<'_>) -> bool {
+        ctx.get(self.bus.func_id) == self.func_id as Word
+    }
+}
+
+impl Component for EchoFunction {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        // Reset dominates everything.
+        if ctx.get_bool(self.bus.rst) {
+            self.inputs.clear();
+            self.phase = EchoPhase::Input;
+            ctx.set_bool(self.io_done, false);
+            ctx.set_bool(self.data_out_valid, false);
+            ctx.set(self.calc_done, 0);
+            return;
+        }
+        // Default: lower the one-cycle strobes.
+        ctx.set_bool(self.io_done, false);
+        ctx.set_bool(self.data_out_valid, false);
+
+        match self.phase {
+            EchoPhase::Input => {
+                ctx.set(self.calc_done, 0);
+                if ctx.get_bool(self.bus.data_in_valid) && self.addressed(ctx) {
+                    self.inputs.push(ctx.get(self.bus.data_in));
+                    ctx.set_bool(self.io_done, true);
+                    if self.inputs.len() == self.n_inputs {
+                        self.phase = if self.calc_cycles == 0 {
+                            EchoPhase::Output
+                        } else {
+                            EchoPhase::Calc(self.calc_cycles)
+                        };
+                    } else {
+                        // Wait for the next beat; stay in Input via Ack so a
+                        // still-asserted DATA_IN_VALID is not double-counted.
+                        self.phase = EchoPhase::Ack;
+                    }
+                }
+            }
+            EchoPhase::Ack => {
+                // One dead cycle: the master needs an edge to observe
+                // IO_DONE and present the next beat.
+                self.phase = EchoPhase::Input;
+            }
+            EchoPhase::Calc(n) => {
+                if n <= 1 {
+                    self.phase = EchoPhase::Output;
+                } else {
+                    self.phase = EchoPhase::Calc(n - 1);
+                }
+            }
+            EchoPhase::Output => {
+                // Calculation complete: raise CALC_DONE and hold it until
+                // the result is read (§5.3.1).
+                ctx.set(self.calc_done, 1 << self.calc_done_bit);
+                let read_req = ctx.get_bool(self.bus.io_enable)
+                    && !ctx.get_bool(self.bus.data_in_valid)
+                    && self.addressed(ctx);
+                if read_req {
+                    let result = (self.compute)(&self.inputs);
+                    ctx.set(self.data_out, result);
+                    ctx.set_bool(self.data_out_valid, true);
+                    ctx.set_bool(self.io_done, true);
+                    ctx.set(self.calc_done, 0);
+                    self.inputs.clear();
+                    self.rounds += 1;
+                    self.phase = EchoPhase::Input;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "echo-function"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signals::SisFuncPort;
+    use splice_sim::{Simulator, SimulatorBuilder};
+
+    /// Wire one master + one echo function directly (no arbiter: the
+    /// function's return lines *are* the bus return lines).
+    fn harness(
+        mode: SisMode,
+        script: Vec<SisOp>,
+        n_inputs: usize,
+        calc_cycles: u32,
+        compute: fn(&[Word]) -> Word,
+    ) -> (Simulator, usize) {
+        let mut b = SimulatorBuilder::new();
+        let bus = SisBus::declare(&mut b, "", 32, 8);
+        let func = EchoFunction::new(
+            1,
+            bus,
+            bus.data_out,
+            bus.data_out_valid,
+            bus.io_done,
+            bus.calc_done,
+            n_inputs,
+            calc_cycles,
+            compute,
+        )
+        .with_calc_done_bit(1);
+        let midx = b.component(Box::new(SisMaster::new(bus, mode, script)));
+        b.component(Box::new(func));
+        (b.build(), midx)
+    }
+
+    fn run_to_finish(sim: &mut Simulator, midx: usize) -> u64 {
+        sim.run_until("master finished", 10_000, |s| {
+            s.component::<SisMaster>(midx).unwrap().is_finished()
+        })
+        .unwrap();
+        sim.component::<SisMaster>(midx).unwrap().finished_cycle.unwrap()
+    }
+
+    fn sum(xs: &[Word]) -> Word {
+        xs.iter().sum()
+    }
+
+    #[test]
+    fn pseudo_async_write_read_roundtrip() {
+        let script = vec![
+            SisOp::Write { func_id: 1, data: 40 },
+            SisOp::Write { func_id: 1, data: 2 },
+            SisOp::PollStatus { func_id: 1 }, // no-op in pseudo-async
+            SisOp::Read { func_id: 1 },
+        ];
+        let (mut sim, midx) = harness(SisMode::PseudoAsync, script, 2, 1, sum);
+        run_to_finish(&mut sim, midx);
+        let m = sim.component::<SisMaster>(midx).unwrap();
+        assert_eq!(m.reads, vec![42]);
+    }
+
+    #[test]
+    fn pseudo_async_write_costs_two_cycles_per_beat() {
+        // Single write to a 1-input function with no calc: assert at 0,
+        // slave acks at 1, master observes at 2.
+        let script = vec![SisOp::Write { func_id: 1, data: 7 }];
+        let (mut sim, midx) = harness(SisMode::PseudoAsync, script, 1, 0, sum);
+        let finished = run_to_finish(&mut sim, midx);
+        assert_eq!(finished, 2);
+    }
+
+    #[test]
+    fn strict_sync_polls_status_before_reading() {
+        let script = vec![
+            SisOp::Write { func_id: 1, data: 10 },
+            SisOp::Write { func_id: 1, data: 5 },
+            SisOp::PollStatus { func_id: 1 },
+            SisOp::Read { func_id: 1 },
+        ];
+        // Long calculation: polling must actually wait for it.
+        let (mut sim, midx) = harness(SisMode::StrictSync, script, 2, 20, sum);
+        // The echo function drives calc_done directly onto the shared
+        // vector's bit 1 here (single-function harness).
+        let finished = run_to_finish(&mut sim, midx);
+        let m = sim.component::<SisMaster>(midx).unwrap();
+        assert_eq!(m.reads, vec![15]);
+        assert!(finished > 20, "polling must have waited out the calculation");
+    }
+
+    #[test]
+    fn strict_sync_write_is_single_cycle_plus_issue() {
+        let script = vec![SisOp::Write { func_id: 1, data: 7 }];
+        let (mut sim, midx) = harness(SisMode::StrictSync, script, 1, 0, sum);
+        let finished = run_to_finish(&mut sim, midx);
+        // Assert at cycle 0; completes on the following edge.
+        assert_eq!(finished, 1);
+    }
+
+    #[test]
+    fn function_ignores_other_func_ids() {
+        let script = vec![
+            SisOp::Write { func_id: 2, data: 99 }, // someone else's data
+            SisOp::Idle(3),
+        ];
+        let (mut sim, midx) = harness(SisMode::StrictSync, script, 1, 0, sum);
+        run_to_finish(&mut sim, midx);
+        // The function must still be waiting for its first input: force a
+        // real write and check 99 never got in.
+        let f = sim
+            .component::<EchoFunction>(1)
+            .expect("component 1 is the echo function");
+        assert_eq!(f.rounds, 0);
+        assert!(f.inputs.is_empty());
+    }
+
+    #[test]
+    fn multiple_rounds_reuse_the_function() {
+        let mut script = Vec::new();
+        for i in 0..3 {
+            script.push(SisOp::Write { func_id: 1, data: i });
+            script.push(SisOp::Read { func_id: 1 });
+        }
+        let (mut sim, midx) = harness(SisMode::PseudoAsync, script, 1, 2, |x| x[0] * 2);
+        run_to_finish(&mut sim, midx);
+        let m = sim.component::<SisMaster>(midx).unwrap();
+        assert_eq!(m.reads, vec![0, 2, 4]);
+        let f = sim.component::<EchoFunction>(1).unwrap();
+        assert_eq!(f.rounds, 3);
+    }
+
+    #[test]
+    fn reset_clears_in_flight_state() {
+        let script = vec![SisOp::Write { func_id: 1, data: 1 }, SisOp::Idle(5)];
+        let (mut sim, midx) = harness(SisMode::PseudoAsync, script, 2, 0, sum);
+        run_to_finish(&mut sim, midx);
+        // One of two inputs received; now pulse RST via direct poke: the
+        // signal is undriven by any component so we drive it through a
+        // one-shot helper.
+        struct Reset {
+            rst: SignalId,
+            fired: bool,
+        }
+        impl Component for Reset {
+            fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+                ctx.set_bool(self.rst, !self.fired);
+                self.fired = true;
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        // Rebuild with a resetter active from cycle 0.
+        let mut b = SimulatorBuilder::new();
+        let bus = SisBus::declare(&mut b, "", 32, 8);
+        let port = SisFuncPort::declare(&mut b, "", "f", 32);
+        b.component(Box::new(Reset { rst: bus.rst, fired: false }));
+        b.component(Box::new(EchoFunction::new(
+            1, bus, port.data_out, port.data_out_valid, port.io_done, port.calc_done, 2, 0, sum,
+        )));
+        let mut sim2 = b.build();
+        sim2.run(4).unwrap();
+        let f = sim2.component::<EchoFunction>(1).unwrap();
+        assert!(f.inputs.is_empty());
+        let _ = (sim, midx);
+    }
+
+    #[test]
+    fn io_enable_is_a_one_cycle_strobe() {
+        let script = vec![SisOp::Write { func_id: 1, data: 5 }];
+        let mut b = SimulatorBuilder::new();
+        let bus = SisBus::declare(&mut b, "", 32, 8);
+        let midx = b.component(Box::new(SisMaster::new(bus, SisMode::PseudoAsync, script)));
+        b.component(Box::new(EchoFunction::new(
+            1, bus, bus.data_out, bus.data_out_valid, bus.io_done, bus.calc_done, 1, 0, sum,
+        )));
+        let mut sim = b.build();
+        let t = sim.attach_trace(&[bus.io_enable]);
+        sim.run(6).unwrap();
+        assert_eq!(sim.trace(t).high_cycles("IO_ENABLE"), vec![1], "{midx}");
+    }
+}

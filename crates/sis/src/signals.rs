@@ -1,0 +1,242 @@
+//! The SIS signal inventory (thesis Fig 4.2) and simulation wiring helpers.
+
+use splice_sim::{SignalDecl, SignalId, SimulatorBuilder};
+
+/// FUNC_ID 0 is reserved: reads addressed to it return the concatenated
+/// CALC_DONE vector ("the SIS standard dictates that function identifier
+/// zero be reserved for this purpose", §4.2.2).
+pub const STATUS_FUNC_ID: u32 = 0;
+
+/// The ten SIS signals, exactly as listed in Fig 4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SisSignal {
+    /// Global clock (implicit in the simulation kernel's step).
+    Clk,
+    /// Reset: terminate current operations, return user logic to a known
+    /// state.
+    Rst,
+    /// Input data from the processor for use by the user logic.
+    DataIn,
+    /// Input data is valid and waiting to be stored.
+    DataInValid,
+    /// Strobed for one cycle on each new data request (read or write) to
+    /// ensure proper timing of burst and DMA transactions.
+    IoEnable,
+    /// Targets a specific user-logic function.
+    FuncId,
+    /// Output data from the user logic (per-function, muxed by the arbiter).
+    DataOut,
+    /// Output data is valid and waiting to be read (per-function).
+    DataOutValid,
+    /// The previous load/store sent to this function has completed
+    /// (per-function).
+    IoDone,
+    /// All calculation operations of this function have completed
+    /// (per-function; concatenated into the status vector).
+    CalcDone,
+}
+
+impl SisSignal {
+    /// Canonical signal name as printed in the thesis.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SisSignal::Clk => "CLK",
+            SisSignal::Rst => "RST",
+            SisSignal::DataIn => "DATA_IN",
+            SisSignal::DataInValid => "DATA_IN_VALID",
+            SisSignal::IoEnable => "IO_ENABLE",
+            SisSignal::FuncId => "FUNC_ID",
+            SisSignal::DataOut => "DATA_OUT",
+            SisSignal::DataOutValid => "DATA_OUT_VALID",
+            SisSignal::IoDone => "IO_DONE",
+            SisSignal::CalcDone => "CALC_DONE",
+        }
+    }
+
+    /// Whether the signal is broadcast to all functions or produced
+    /// per-function (Fig 4.2's "Type" column).
+    pub fn is_broadcast(&self) -> bool {
+        matches!(
+            self,
+            SisSignal::Clk
+                | SisSignal::Rst
+                | SisSignal::DataIn
+                | SisSignal::DataInValid
+                | SisSignal::IoEnable
+                | SisSignal::FuncId
+        )
+    }
+
+    /// One-line purpose text (Fig 4.2's "Purpose" column).
+    pub fn purpose(&self) -> &'static str {
+        match self {
+            SisSignal::Clk => "Global clock signal used to coordinate all bus transactions.",
+            SisSignal::Rst => {
+                "Reset signal used to terminate current operations and return the user \
+                 logic to a known state."
+            }
+            SisSignal::DataIn => "Input data from the processor for use by the user logic.",
+            SisSignal::DataInValid => {
+                "Used to signal that input data is valid and is waiting to be stored in \
+                 the user logic."
+            }
+            SisSignal::IoEnable => {
+                "Used to signal the arrival of a new data request (read or write) in \
+                 order to ensure proper timing of burst and DMA transactions."
+            }
+            SisSignal::FuncId => {
+                "Used to target a specific user logic function in the system and direct \
+                 I/O requests across the SIS."
+            }
+            SisSignal::DataOut => "Output data from the user logic in response to a processor request.",
+            SisSignal::DataOutValid => {
+                "Used to signal that output data is valid and is waiting to be read via \
+                 the processor."
+            }
+            SisSignal::IoDone => {
+                "Used to signal the SIS that the previous load or store operation sent \
+                 to this function has completed."
+            }
+            SisSignal::CalcDone => {
+                "Used to signal that the calculation operations performed by this \
+                 function have all completed."
+            }
+        }
+    }
+
+    /// All ten signals in Fig 4.2 order.
+    pub fn all() -> [SisSignal; 10] {
+        [
+            SisSignal::Clk,
+            SisSignal::Rst,
+            SisSignal::DataIn,
+            SisSignal::DataInValid,
+            SisSignal::IoEnable,
+            SisSignal::FuncId,
+            SisSignal::DataOut,
+            SisSignal::DataOutValid,
+            SisSignal::IoDone,
+            SisSignal::CalcDone,
+        ]
+    }
+}
+
+/// The SIS as seen by a native bus adapter: the broadcast lines it drives
+/// plus the (already arbitrated) per-function return lines it samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SisBus {
+    /// Reset (broadcast).
+    pub rst: SignalId,
+    /// DATA_IN (broadcast, bus-width bits).
+    pub data_in: SignalId,
+    /// DATA_IN_VALID (broadcast).
+    pub data_in_valid: SignalId,
+    /// IO_ENABLE strobe (broadcast).
+    pub io_enable: SignalId,
+    /// FUNC_ID (broadcast, func-id-width bits).
+    pub func_id: SignalId,
+    /// Muxed DATA_OUT from the addressed function.
+    pub data_out: SignalId,
+    /// Muxed DATA_OUT_VALID.
+    pub data_out_valid: SignalId,
+    /// Muxed IO_DONE.
+    pub io_done: SignalId,
+    /// Concatenated CALC_DONE status vector (bit *i* = function id *i*).
+    pub calc_done: SignalId,
+}
+
+impl SisBus {
+    /// Declare a fresh SIS in `b`, prefixing every signal name with
+    /// `prefix` (so multiple SIS instances can share one simulation).
+    pub fn declare(b: &mut SimulatorBuilder, prefix: &str, data_width: u32, func_id_width: u32) -> Self {
+        let n = |s: &str| format!("{prefix}{s}");
+        SisBus {
+            rst: b.signal(SignalDecl::new(n("RST"), 1)),
+            data_in: b.signal(SignalDecl::new(n("DATA_IN"), data_width)),
+            data_in_valid: b.signal(SignalDecl::new(n("DATA_IN_VALID"), 1)),
+            io_enable: b.signal(SignalDecl::new(n("IO_ENABLE"), 1)),
+            func_id: b.signal(SignalDecl::new(n("FUNC_ID"), func_id_width)),
+            data_out: b.signal(SignalDecl::new(n("DATA_OUT"), data_width)),
+            data_out_valid: b.signal(SignalDecl::new(n("DATA_OUT_VALID"), 1)),
+            io_done: b.signal(SignalDecl::new(n("IO_DONE"), 1)),
+            calc_done: b.signal(SignalDecl::new(n("CALC_DONE"), 64)),
+        }
+    }
+}
+
+/// The per-function side of the SIS: the four lines one user-logic stub
+/// produces (Fig 4.2's "Per-Function" rows). The arbiter muxes these onto
+/// the [`SisBus`] return lines according to FUNC_ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SisFuncPort {
+    /// This function's DATA_OUT.
+    pub data_out: SignalId,
+    /// This function's DATA_OUT_VALID.
+    pub data_out_valid: SignalId,
+    /// This function's IO_DONE.
+    pub io_done: SignalId,
+    /// This function's CALC_DONE.
+    pub calc_done: SignalId,
+}
+
+impl SisFuncPort {
+    /// Declare the per-function return lines for function `func_name`.
+    pub fn declare(b: &mut SimulatorBuilder, prefix: &str, func_name: &str, data_width: u32) -> Self {
+        let n = |s: &str| format!("{prefix}{func_name}.{s}");
+        SisFuncPort {
+            data_out: b.signal(SignalDecl::new(n("DATA_OUT"), data_width)),
+            data_out_valid: b.signal(SignalDecl::new(n("DATA_OUT_VALID"), 1)),
+            io_done: b.signal(SignalDecl::new(n("IO_DONE"), 1)),
+            calc_done: b.signal(SignalDecl::new(n("CALC_DONE"), 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_sim::SimulatorBuilder;
+
+    #[test]
+    fn ten_signals_with_fig_4_2_split() {
+        let all = SisSignal::all();
+        assert_eq!(all.len(), 10);
+        let broadcast: Vec<_> = all.iter().filter(|s| s.is_broadcast()).collect();
+        assert_eq!(broadcast.len(), 6);
+        // The four per-function signals.
+        assert!(!SisSignal::DataOut.is_broadcast());
+        assert!(!SisSignal::DataOutValid.is_broadcast());
+        assert!(!SisSignal::IoDone.is_broadcast());
+        assert!(!SisSignal::CalcDone.is_broadcast());
+    }
+
+    #[test]
+    fn purposes_are_nonempty_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for s in SisSignal::all() {
+            assert!(!s.purpose().is_empty());
+            assert!(seen.insert(s.purpose()));
+        }
+    }
+
+    #[test]
+    fn declare_wires_all_signals() {
+        let mut b = SimulatorBuilder::new();
+        let bus = SisBus::declare(&mut b, "sis.", 32, 4);
+        let port = SisFuncPort::declare(&mut b, "sis.", "f", 32);
+        let sim = b.build();
+        assert_eq!(sim.signal_id("sis.DATA_IN").unwrap(), bus.data_in);
+        assert_eq!(sim.signal_id("sis.f.IO_DONE").unwrap(), port.io_done);
+        assert_eq!(sim.signals().count(), 13);
+    }
+
+    #[test]
+    fn two_sis_instances_coexist() {
+        let mut b = SimulatorBuilder::new();
+        let _a = SisBus::declare(&mut b, "a.", 32, 4);
+        let _b2 = SisBus::declare(&mut b, "b.", 64, 5);
+        let sim = b.build();
+        assert!(sim.signal_id("a.DATA_IN").is_ok());
+        assert!(sim.signal_id("b.DATA_IN").is_ok());
+    }
+}

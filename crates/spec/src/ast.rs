@@ -1,0 +1,251 @@
+//! Abstract syntax tree for Splice specifications.
+//!
+//! A [`Spec`] is the parsed form of one input file: a list of target
+//! directives (chapter 3.2) and a list of interface declarations
+//! (chapter 3.1), in source order.
+
+use crate::span::Span;
+use crate::types::CType;
+use std::fmt;
+
+/// How many elements a pointer transfer moves (§3.1.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PtrBound {
+    /// `*:5` — exactly N elements each call.
+    Explicit(u64),
+    /// `*:x` — the element count is the runtime value of parameter `x`
+    /// (which must be transmitted earlier in the declaration, §3.3).
+    Implicit(String),
+}
+
+impl fmt::Display for PtrBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtrBound::Explicit(n) => write!(f, "{n}"),
+            PtrBound::Implicit(v) => f.write_str(v),
+        }
+    }
+}
+
+/// The syntax extensions attached to one parameter or return value
+/// (§3.1.2–§3.1.5, combined per §3.1.8).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Extensions {
+    /// `*` — pointer transfer.
+    pub pointer: bool,
+    /// `:N` or `:var` bound (only meaningful with `pointer`).
+    pub bound: Option<PtrBound>,
+    /// `+` — packed transfer.
+    pub packed: bool,
+    /// `^` — DMA transfer.
+    pub dma: bool,
+}
+
+impl Extensions {
+    /// No extensions: a plain scalar transfer.
+    pub fn none() -> Self {
+        Extensions::default()
+    }
+
+    /// Render back to the concrete extension syntax (`*:8^+`).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        if self.pointer {
+            s.push('*');
+        }
+        if let Some(b) = &self.bound {
+            s.push(':');
+            s.push_str(&b.to_string());
+        }
+        if self.dma {
+            s.push('^');
+        }
+        if self.packed {
+            s.push('+');
+        }
+        s
+    }
+}
+
+/// One parameter of an interface declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Element type.
+    pub ty: CType,
+    /// Extensions (`*`, `:N`, `+`, `^`).
+    pub ext: Extensions,
+    /// The unique alphanumeric tag (§3.1.1).
+    pub name: String,
+    /// Source location of the whole parameter.
+    pub span: Span,
+}
+
+/// The return side of a declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReturnKind {
+    /// `void f(...)`: blocking, no value — the driver still waits for the
+    /// pseudo output state (§5.3.1).
+    Void,
+    /// `nowait f(...)`: non-blocking, control returns immediately (§3.1.7).
+    Nowait,
+    /// A valued return, possibly with pointer extensions (§3.3 notes all
+    /// pointer returns are pass-by-value copies out of hardware).
+    Value { ty: CType, ext: Extensions },
+}
+
+impl ReturnKind {
+    /// The element type carried back, if any.
+    pub fn value_type(&self) -> Option<&CType> {
+        match self {
+            ReturnKind::Value { ty, .. } => Some(ty),
+            _ => None,
+        }
+    }
+
+    /// True for `nowait`.
+    pub fn is_nowait(&self) -> bool {
+        matches!(self, ReturnKind::Nowait)
+    }
+}
+
+/// One interface declaration — the functional description of a single set of
+/// calculation logic (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceDecl {
+    /// The unique interface name.
+    pub name: String,
+    /// Return behaviour.
+    pub ret: ReturnKind,
+    /// Inputs in transmission order.
+    pub params: Vec<Param>,
+    /// `):N` multi-instance count; 1 when absent (§3.1.6).
+    pub instances: u64,
+    /// Source location of the whole declaration.
+    pub span: Span,
+}
+
+/// A parsed target-specification directive (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `%bus_type <name>`
+    BusType { name: String, span: Span },
+    /// `%bus_width <bits>`
+    BusWidth { bits: u32, span: Span },
+    /// `%base_address 0x...`
+    BaseAddress { addr: u64, span: Span },
+    /// `%burst_support true|false`
+    BurstSupport { enabled: bool, span: Span },
+    /// `%dma_support true|false`
+    DmaSupport { enabled: bool, span: Span },
+    /// `%packing_support true|false`
+    PackingSupport { enabled: bool, span: Span },
+    /// `%irq_support true|false` — interrupt lines on completion (thesis
+    /// future work §10.2, implemented here).
+    IrqSupport { enabled: bool, span: Span },
+    /// `%device_name <ident>` (also accepted as `%name`, per Fig 8.2)
+    DeviceName { name: String, span: Span },
+    /// `%target_hdl vhdl|verilog` (also accepted as `%hdl_type`, Fig 8.2)
+    TargetHdl { hdl: String, span: Span },
+    /// `%user_type <name>, <c definition words...>, <bits>`
+    UserType { name: String, definition: String, bits: u32, span: Span },
+}
+
+impl Directive {
+    /// The directive keyword (without `%`).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Directive::BusType { .. } => "bus_type",
+            Directive::BusWidth { .. } => "bus_width",
+            Directive::BaseAddress { .. } => "base_address",
+            Directive::BurstSupport { .. } => "burst_support",
+            Directive::DmaSupport { .. } => "dma_support",
+            Directive::PackingSupport { .. } => "packing_support",
+            Directive::IrqSupport { .. } => "irq_support",
+            Directive::DeviceName { .. } => "device_name",
+            Directive::TargetHdl { .. } => "target_hdl",
+            Directive::UserType { .. } => "user_type",
+        }
+    }
+
+    /// The directive's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Directive::BusType { span, .. }
+            | Directive::BusWidth { span, .. }
+            | Directive::BaseAddress { span, .. }
+            | Directive::BurstSupport { span, .. }
+            | Directive::DmaSupport { span, .. }
+            | Directive::PackingSupport { span, .. }
+            | Directive::IrqSupport { span, .. }
+            | Directive::DeviceName { span, .. }
+            | Directive::TargetHdl { span, .. }
+            | Directive::UserType { span, .. } => *span,
+        }
+    }
+}
+
+/// A complete parsed specification file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Spec {
+    /// All directives, in source order.
+    pub directives: Vec<Directive>,
+    /// All interface declarations, in source order (this order fixes
+    /// FUNC_ID assignment downstream).
+    pub decls: Vec<InterfaceDecl>,
+}
+
+impl Spec {
+    /// Find the first directive of a given keyword.
+    pub fn directive(&self, keyword: &str) -> Option<&Directive> {
+        self.directives.iter().find(|d| d.keyword() == keyword)
+    }
+
+    /// All `%user_type` directives in order.
+    pub fn user_types(&self) -> impl Iterator<Item = &Directive> {
+        self.directives.iter().filter(|d| matches!(d, Directive::UserType { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extensions_render_roundtrip_shape() {
+        let e = Extensions {
+            pointer: true,
+            bound: Some(PtrBound::Explicit(16)),
+            packed: true,
+            dma: true,
+        };
+        assert_eq!(e.render(), "*:16^+");
+        let e2 = Extensions {
+            pointer: true,
+            bound: Some(PtrBound::Implicit("x".into())),
+            ..Default::default()
+        };
+        assert_eq!(e2.render(), "*:x");
+        assert_eq!(Extensions::none().render(), "");
+    }
+
+    #[test]
+    fn return_kind_helpers() {
+        assert!(ReturnKind::Nowait.is_nowait());
+        assert!(ReturnKind::Void.value_type().is_none());
+        let r = ReturnKind::Value {
+            ty: crate::types::CType::int("int", 32, true),
+            ext: Extensions::none(),
+        };
+        assert_eq!(r.value_type().unwrap().bits, 32);
+    }
+
+    #[test]
+    fn spec_directive_lookup() {
+        let spec = Spec {
+            directives: vec![Directive::BusWidth { bits: 32, span: Span::default() }],
+            decls: vec![],
+        };
+        assert!(spec.directive("bus_width").is_some());
+        assert!(spec.directive("bus_type").is_none());
+    }
+}

@@ -1,0 +1,283 @@
+//! Lexer for the Splice specification language.
+//!
+//! The grammar is line-sensitive only for directives (`% ...` runs to end of
+//! line), so the lexer emits [`TokenKind::Newline`] tokens and lets the
+//! parser decide whether to skip them. Comments follow C conventions: `//`
+//! to end of line and `/* ... */` blocks (the thesis's example specs use
+//! `//`, see Fig 8.2).
+
+use crate::error::{SpecError, SpecErrorKind};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenize `source` completely.
+///
+/// Returns every token including [`TokenKind::Newline`] markers, terminated
+/// with a single [`TokenKind::Eof`]. Lexical errors abort tokenization (one
+/// error is returned; the parser surface collects further errors per-decl).
+pub fn lex(source: &str) -> Result<Vec<Token>, SpecError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer { src: source.as_bytes(), pos: 0, tokens: Vec::new() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, SpecError> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let b = self.src[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Newline, start);
+                }
+                b'/' => self.comment_or_error(start)?,
+                b'%' => self.single(TokenKind::Percent),
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'{' => self.single(TokenKind::LBrace),
+                b'}' => self.single(TokenKind::RBrace),
+                b',' => self.single(TokenKind::Comma),
+                b';' => self.single(TokenKind::Semi),
+                b'*' => self.single(TokenKind::Star),
+                b':' => self.single(TokenKind::Colon),
+                b'+' => self.single(TokenKind::Plus),
+                b'^' => self.single(TokenKind::Caret),
+                b'0'..=b'9' => self.number(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                other => {
+                    return Err(SpecError::new(
+                        SpecErrorKind::UnexpectedChar(other as char),
+                        Span::new(start, start + 1),
+                    ));
+                }
+            }
+        }
+        let end = self.src.len();
+        self.tokens.push(Token { kind: TokenKind::Eof, span: Span::point(end) });
+        Ok(self.tokens)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token { kind, span: Span::new(start, self.pos) });
+    }
+
+    fn single(&mut self, kind: TokenKind) {
+        let start = self.pos;
+        self.pos += 1;
+        self.push(kind, start);
+    }
+
+    fn comment_or_error(&mut self, start: usize) -> Result<(), SpecError> {
+        match self.src.get(self.pos + 1) {
+            Some(b'/') => {
+                // Line comment: skip to (but not past) the newline so the
+                // Newline token is still emitted for directive termination.
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                Ok(())
+            }
+            Some(b'*') => {
+                self.pos += 2;
+                loop {
+                    if self.pos + 1 >= self.src.len() {
+                        return Err(SpecError::new(
+                            SpecErrorKind::UnterminatedComment,
+                            Span::new(start, self.src.len()),
+                        ));
+                    }
+                    if self.src[self.pos] == b'*' && self.src[self.pos + 1] == b'/' {
+                        self.pos += 2;
+                        return Ok(());
+                    }
+                    self.pos += 1;
+                }
+            }
+            _ => Err(SpecError::new(
+                SpecErrorKind::UnexpectedChar('/'),
+                Span::new(start, start + 1),
+            )),
+        }
+    }
+
+    fn number(&mut self, start: usize) -> Result<(), SpecError> {
+        let is_hex = self.src[self.pos] == b'0'
+            && matches!(self.src.get(self.pos + 1), Some(b'x') | Some(b'X'));
+        if is_hex {
+            self.pos += 2;
+            let digits_start = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_hexdigit() {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[digits_start..self.pos]).unwrap();
+            if text.is_empty() {
+                return Err(SpecError::new(
+                    SpecErrorKind::BadNumber("0x".into()),
+                    Span::new(start, self.pos),
+                ));
+            }
+            let value = u64::from_str_radix(text, 16).map_err(|_| {
+                SpecError::new(
+                    SpecErrorKind::BadNumber(format!("0x{text}")),
+                    Span::new(start, self.pos),
+                )
+            })?;
+            self.push(TokenKind::HexInt(value), start);
+        } else {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            let value: u64 = text.parse().map_err(|_| {
+                SpecError::new(SpecErrorKind::BadNumber(text.into()), Span::new(start, self.pos))
+            })?;
+            self.push(TokenKind::Int(value), start);
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self, start: usize) {
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_owned();
+        self.push(TokenKind::Ident(text), start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_prototype() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("long get_status();"),
+            vec![
+                Ident("long".into()),
+                Ident("get_status".into()),
+                LParen,
+                RParen,
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_extensions() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("int*:8^+ x"),
+            vec![
+                Ident("int".into()),
+                Star,
+                Colon,
+                Int(8),
+                Caret,
+                Plus,
+                Ident("x".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_directive_line() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("%base_address 0x80000000\n"),
+            vec![
+                Percent,
+                Ident("base_address".into()),
+                HexInt(0x8000_0000),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_preserve_newline() {
+        use TokenKind::*;
+        assert_eq!(kinds("// hello\nx"), vec![Newline, Ident("x".into()), Eof]);
+    }
+
+    #[test]
+    fn block_comments_skipped() {
+        use TokenKind::*;
+        assert_eq!(kinds("a /* b\n c */ d"), vec![Ident("a".into()), Ident("d".into()), Eof]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let err = lex("/* nope").unwrap_err();
+        assert_eq!(err.kind, SpecErrorKind::UnterminatedComment);
+    }
+
+    #[test]
+    fn bare_slash_is_error() {
+        let err = lex("a / b").unwrap_err();
+        assert_eq!(err.kind, SpecErrorKind::UnexpectedChar('/'));
+    }
+
+    #[test]
+    fn unexpected_char() {
+        let err = lex("int $x;").unwrap_err();
+        assert_eq!(err.kind, SpecErrorKind::UnexpectedChar('$'));
+    }
+
+    #[test]
+    fn bad_hex() {
+        let err = lex("0x").unwrap_err();
+        assert!(matches!(err.kind, SpecErrorKind::BadNumber(_)));
+    }
+
+    #[test]
+    fn huge_decimal_overflows() {
+        let err = lex("99999999999999999999999999").unwrap_err();
+        assert!(matches!(err.kind, SpecErrorKind::BadNumber(_)));
+    }
+
+    #[test]
+    fn hex_case_insensitive_prefix() {
+        use TokenKind::*;
+        assert_eq!(kinds("0XFF"), vec![HexInt(255), Eof]);
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+        assert_eq!(toks[2].span, Span::point(5));
+    }
+
+    #[test]
+    fn braces_lex() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("void f{};"),
+            vec![Ident("void".into()), Ident("f".into()), LBrace, RBrace, Semi, Eof]
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! # splice-spec — the Splice interface-declaration language
+//!
+//! This crate implements the front end of Splice (Thiel, WUCSE-2007-22,
+//! chapter 3): a lexer and recursive-descent parser for the ANSI-C-flavoured
+//! *interface declaration* syntax and the `%`-prefixed *target specification*
+//! directives, together with the semantic validation rules the thesis
+//! specifies in §3.2–§3.3.
+//!
+//! The pipeline is:
+//!
+//! ```text
+//! source text ──lex──▶ tokens ──parse──▶ Spec (AST) ──validate──▶ ValidatedSpec
+//! ```
+//!
+//! A [`validate::ValidatedSpec`] is the input to the
+//! generation engine in `splice-core`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use splice_spec::parse_and_validate;
+//!
+//! let src = r#"
+//!     %device_name demo
+//!     %target_hdl vhdl
+//!     %bus_type plb
+//!     %bus_width 32
+//!     %base_address 0x80000000
+//!
+//!     long get_status();
+//!     void push(int*:4 samples);
+//! "#;
+//! let spec = parse_and_validate(src).expect("valid spec");
+//! assert_eq!(spec.module.functions.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod bus;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod render;
+pub mod span;
+pub mod token;
+pub mod types;
+pub mod validate;
+
+pub use ast::{Directive, Extensions, InterfaceDecl, Param, PtrBound, Spec};
+pub use bus::{BusCaps, BusKind, SyncClass};
+pub use error::{SpecError, SpecErrorKind};
+pub use span::Span;
+pub use types::{CType, TypeTable};
+pub use validate::{ValidatedFunction, ValidatedIo, ValidatedSpec};
+
+/// Parse a full Splice specification (directives + interface declarations)
+/// and run semantic validation against the built-in bus registry.
+///
+/// This is the convenience entry point used by the CLI and the examples; the
+/// individual phases are exposed in [`parser`] and [`validate`] for callers
+/// that need custom bus registries.
+pub fn parse_and_validate(source: &str) -> Result<validate::ValidatedSpec, Vec<SpecError>> {
+    let spec = parser::parse(source)?;
+    validate::validate(&spec, &bus::BusRegistry::builtin()).map_err(|e| vec![e])
+}
+
+/// Parse a specification without validating it.
+pub fn parse(source: &str) -> Result<Spec, Vec<SpecError>> {
+    parser::parse(source)
+}

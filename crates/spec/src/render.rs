@@ -1,0 +1,124 @@
+//! Render a parsed [`Spec`] back to canonical Splice source text.
+//!
+//! Useful for tooling (formatting, spec round-tripping) and load-bearing
+//! for testing: `parse(render(parse(s)))` must equal `parse(s)` for every
+//! valid input, which pins the concrete syntax the parser accepts.
+
+use crate::ast::{Directive, InterfaceDecl, Param, ReturnKind, Spec};
+use std::fmt::Write as _;
+
+/// Render a whole specification in canonical form: directives first (in
+/// source order), then declarations.
+pub fn render(spec: &Spec) -> String {
+    let mut out = String::new();
+    for d in &spec.directives {
+        out.push_str(&render_directive(d));
+        out.push('\n');
+    }
+    if !spec.directives.is_empty() && !spec.decls.is_empty() {
+        out.push('\n');
+    }
+    for decl in &spec.decls {
+        out.push_str(&render_decl(decl));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one directive.
+pub fn render_directive(d: &Directive) -> String {
+    match d {
+        Directive::BusType { name, .. } => format!("%bus_type {name}"),
+        Directive::BusWidth { bits, .. } => format!("%bus_width {bits}"),
+        Directive::BaseAddress { addr, .. } => format!("%base_address 0x{addr:08X}"),
+        Directive::BurstSupport { enabled, .. } => format!("%burst_support {enabled}"),
+        Directive::DmaSupport { enabled, .. } => format!("%dma_support {enabled}"),
+        Directive::PackingSupport { enabled, .. } => format!("%packing_support {enabled}"),
+        Directive::IrqSupport { enabled, .. } => format!("%irq_support {enabled}"),
+        Directive::DeviceName { name, .. } => format!("%device_name {name}"),
+        Directive::TargetHdl { hdl, .. } => format!("%target_hdl {hdl}"),
+        Directive::UserType { name, definition, bits, .. } => {
+            format!("%user_type {name}, {definition}, {bits}")
+        }
+    }
+}
+
+/// Render one interface declaration in the canonical `(`-parenthesised,
+/// extension-normalised form of Fig 3.8.
+pub fn render_decl(decl: &InterfaceDecl) -> String {
+    let mut out = String::new();
+    match &decl.ret {
+        ReturnKind::Void => out.push_str("void"),
+        ReturnKind::Nowait => out.push_str("nowait"),
+        ReturnKind::Value { ty, ext } => {
+            out.push_str(&ty.name);
+            out.push_str(&ext.render());
+        }
+    }
+    let _ = write!(out, " {}(", decl.name);
+    let params: Vec<String> = decl.params.iter().map(render_param).collect();
+    out.push_str(&params.join(", "));
+    out.push(')');
+    if decl.instances > 1 {
+        let _ = write!(out, ":{}", decl.instances);
+    }
+    out.push(';');
+    out
+}
+
+fn render_param(p: &Param) -> String {
+    format!("{}{} {}", p.ty.name, p.ext.render(), p.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let first = parse(src).expect("original parses");
+        let rendered = render(&first);
+        let second = parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered text fails to parse: {e:?}\n{rendered}"));
+        // Spans differ; compare structure by re-rendering.
+        assert_eq!(rendered, render(&second), "unstable rendering:\n{rendered}");
+        assert_eq!(first.decls.len(), second.decls.len());
+        assert_eq!(first.directives.len(), second.directives.len());
+    }
+
+    #[test]
+    fn directives_roundtrip() {
+        roundtrip(
+            "%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x8000401C\n\
+             %burst_support true\n%dma_support false\n%packing_support true\n\
+             %irq_support true\n%target_hdl vhdl\n%user_type llong, unsigned long long, 64\n",
+        );
+    }
+
+    #[test]
+    fn declarations_roundtrip() {
+        roundtrip("long f(int a, char*:8+ b, int n, short*:n c):4;");
+        roundtrip("nowait fire(int x);");
+        roundtrip("void ping();");
+        roundtrip("int*:4 quad();");
+    }
+
+    #[test]
+    fn brace_form_normalises_to_parens() {
+        let spec = parse("void set_threshold{llong t};\n%user_type llong, unsigned long long, 64\n")
+            .unwrap();
+        let r = render(&spec);
+        assert!(r.contains("void set_threshold(llong t);"), "{r}");
+    }
+
+    #[test]
+    fn dma_and_packed_render_canonically() {
+        let spec = parse(
+            "%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n\
+             %dma_support true\nvoid f(char*:16+^ x);",
+        )
+        .unwrap();
+        let r = render(&spec);
+        assert!(r.contains("void f(char*:16^+ x);"), "{r}");
+    }
+}

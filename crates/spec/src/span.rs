@@ -1,0 +1,124 @@
+//! Source spans: byte ranges with line/column resolution for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the original source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos` (used for end-of-input diagnostics).
+    pub fn point(pos: usize) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Slice `source` by this span, clamping to the source length.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        let start = self.start.min(source.len());
+        let end = self.end.min(source.len());
+        &source[start..end]
+    }
+}
+
+/// A 1-based line/column position resolved from a byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (in bytes, which equals characters for ASCII specs).
+    pub col: usize,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Resolve a byte offset to a [`LineCol`] within `source`.
+pub fn line_col(source: &str, offset: usize) -> LineCol {
+    let offset = offset.min(source.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, b) in source.bytes().enumerate() {
+        if i == offset {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    LineCol { line, col }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(b.merge(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn point_is_empty() {
+        assert!(Span::point(4).is_empty());
+        assert_eq!(Span::point(4).len(), 0);
+    }
+
+    #[test]
+    fn slice_clamps() {
+        let s = Span::new(2, 100);
+        assert_eq!(s.slice("hello"), "llo");
+    }
+
+    #[test]
+    fn line_col_basic() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 1), LineCol { line: 1, col: 2 });
+        assert_eq!(line_col(src, 3), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 7), LineCol { line: 3, col: 2 });
+    }
+
+    #[test]
+    fn line_col_past_end() {
+        let src = "x";
+        assert_eq!(line_col(src, 50), LineCol { line: 1, col: 2 });
+    }
+}

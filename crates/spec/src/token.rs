@@ -1,0 +1,100 @@
+//! Token kinds produced by the Splice lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is (with its payload, if any).
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+/// The kinds of token the Splice language uses.
+///
+/// Keywords are *not* lexed specially: C type names (`int`, `unsigned`, ...)
+/// and `nowait` arrive as [`TokenKind::Ident`] and are classified by the
+/// parser against the [`crate::types::TypeTable`], because `%user_type` can
+/// introduce new type names at parse time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier: `alpha (alphanumeric | '_')*` per Fig 3.1.
+    Ident(String),
+    /// An unsigned decimal integer literal.
+    Int(u64),
+    /// A hexadecimal literal written `0x...` (kept distinct because
+    /// `%base_address` requires the `0x` form per Fig 3.11).
+    HexInt(u64),
+    /// `%` — starts a target-specification directive.
+    Percent,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{` — Fig 8.2 shows declarations written with braces; Splice accepts
+    /// both `(`/`)` and `{`/`}` around the parameter list.
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `*` — pointer extension.
+    Star,
+    /// `:` — bound / multi-instance extension.
+    Colon,
+    /// `+` — packed-transfer extension.
+    Plus,
+    /// `^` — DMA extension.
+    Caret,
+    /// End of a line (directives are line-oriented; declarations ignore it).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in "expected X, found Y"
+    /// diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::HexInt(n) => format!("hex literal `{n:#x}`"),
+            TokenKind::Percent => "`%`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Caret => "`^`".into(),
+            TokenKind::Newline => "end of line".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_is_readable() {
+        assert_eq!(TokenKind::Ident("foo".into()).describe(), "identifier `foo`");
+        assert_eq!(TokenKind::HexInt(0x10).describe(), "hex literal `0x10`");
+        assert_eq!(TokenKind::Caret.describe(), "`^`");
+    }
+}

@@ -1,0 +1,226 @@
+//! The Splice C-flavoured type system.
+//!
+//! Interface declarations are written against ANSI-C data types (Fig 3.1
+//! lists `int|short|char|bool|double|single|unsigned|void|float`; multi-word
+//! spellings such as `unsigned long long` are used throughout chapter 8).
+//! Splice needs only two facts about a type: its **bit width** (to plan bus
+//! transfers, packing and splitting) and its **signedness** (to emit correct
+//! C driver prototypes). `%user_type` typedefs add new names with an explicit
+//! width, because the tool "implements only a rudimentary parser and thus
+//! cannot directly infer the size of the type solely from its definition"
+//! (§3.2.3).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A resolved Splice data type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CType {
+    /// Canonical display name (`unsigned long long`, `llong`, `float`, ...).
+    pub name: String,
+    /// Bit width of one element of this type.
+    pub bits: u32,
+    /// Whether C treats the type as signed (drives driver prototypes only;
+    /// the hardware sees raw bits).
+    pub signed: bool,
+    /// Whether this is a floating-point type (`float`/`double`/`single`).
+    pub float: bool,
+    /// True for `void` — usable only as a return type.
+    pub is_void: bool,
+}
+
+impl CType {
+    /// The `void` pseudo-type.
+    pub fn void() -> Self {
+        CType { name: "void".into(), bits: 0, signed: false, float: false, is_void: true }
+    }
+
+    /// Construct a simple integer type.
+    pub fn int(name: &str, bits: u32, signed: bool) -> Self {
+        CType { name: name.into(), bits, signed, float: false, is_void: false }
+    }
+
+    /// Construct a floating-point type.
+    pub fn floating(name: &str, bits: u32) -> Self {
+        CType { name: name.into(), bits, signed: true, float: true, is_void: false }
+    }
+
+    /// Bytes occupied by one element, rounded up.
+    pub fn bytes(&self) -> u32 {
+        self.bits.div_ceil(8)
+    }
+}
+
+impl fmt::Display for CType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The table of known type names: builtins plus `%user_type` definitions.
+#[derive(Debug, Clone)]
+pub struct TypeTable {
+    by_name: HashMap<String, CType>,
+    user_order: Vec<String>,
+}
+
+impl Default for TypeTable {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl TypeTable {
+    /// The builtin ANSI-C types Splice understands out of the box.
+    ///
+    /// Widths follow the ILP32 embedded ABI of the thesis's targets
+    /// (PPC405 / LEON2 / Microblaze are all 32-bit): `int` = `long` = 32,
+    /// `long long` = 64. `single` is the thesis's Fig 3.1 alias for `float`.
+    pub fn builtin() -> Self {
+        let mut t = TypeTable { by_name: HashMap::new(), user_order: Vec::new() };
+        let builtins = [
+            CType::void(),
+            CType::int("bool", 1, false),
+            CType::int("char", 8, true),
+            CType::int("unsigned char", 8, false),
+            CType::int("short", 16, true),
+            CType::int("unsigned short", 16, false),
+            CType::int("int", 32, true),
+            CType::int("unsigned", 32, false),
+            CType::int("unsigned int", 32, false),
+            CType::int("long", 32, true),
+            CType::int("unsigned long", 32, false),
+            CType::int("long long", 64, true),
+            CType::int("unsigned long long", 64, false),
+            CType::floating("float", 32),
+            CType::floating("single", 32),
+            CType::floating("double", 64),
+        ];
+        for ty in builtins {
+            t.by_name.insert(ty.name.clone(), ty);
+        }
+        t
+    }
+
+    /// Words that can *start* a builtin type name; used by the parser to
+    /// greedily assemble multi-word spellings.
+    pub fn is_type_start(&self, word: &str) -> bool {
+        matches!(
+            word,
+            "void"
+                | "bool"
+                | "char"
+                | "short"
+                | "int"
+                | "unsigned"
+                | "signed"
+                | "long"
+                | "float"
+                | "single"
+                | "double"
+        ) || self.by_name.contains_key(word)
+    }
+
+    /// Resolve a (possibly multi-word) type name. `signed` prefixes collapse
+    /// onto the signed builtin of the same width.
+    pub fn lookup(&self, name: &str) -> Option<&CType> {
+        if let Some(t) = self.by_name.get(name) {
+            return Some(t);
+        }
+        // Normalise a few equivalent C spellings.
+        let normalized = match name {
+            "signed" | "signed int" => "int",
+            "signed char" => "char",
+            "signed short" | "short int" | "signed short int" => "short",
+            "unsigned short int" => "unsigned short",
+            "signed long" | "long int" | "signed long int" => "long",
+            "unsigned long int" => "unsigned long",
+            "signed long long" | "long long int" | "signed long long int" => "long long",
+            "unsigned long long int" => "unsigned long long",
+            "long double" => "double",
+            _ => return None,
+        };
+        self.by_name.get(normalized)
+    }
+
+    /// Add a `%user_type NAME, C-DEFINITION, BITS` definition (Fig 3.17).
+    ///
+    /// Returns `false` if the name already exists (builtin or user).
+    pub fn define_user(&mut self, name: &str, definition: &str, bits: u32, signed: bool) -> bool {
+        if self.by_name.contains_key(name) {
+            return false;
+        }
+        let _ = definition; // retained by the AST; the table needs only width/sign
+        self.by_name.insert(name.to_owned(), CType::int(name, bits, signed));
+        self.user_order.push(name.to_owned());
+        true
+    }
+
+    /// Names of user types in definition order (drives driver `typedef`
+    /// emission).
+    pub fn user_types(&self) -> impl Iterator<Item = &CType> {
+        self.user_order.iter().map(move |n| &self.by_name[n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_widths_match_thesis_abi() {
+        let t = TypeTable::builtin();
+        assert_eq!(t.lookup("char").unwrap().bits, 8);
+        assert_eq!(t.lookup("short").unwrap().bits, 16);
+        assert_eq!(t.lookup("int").unwrap().bits, 32);
+        assert_eq!(t.lookup("long").unwrap().bits, 32);
+        assert_eq!(t.lookup("unsigned long").unwrap().bits, 32);
+        assert_eq!(t.lookup("unsigned long long").unwrap().bits, 64);
+        assert_eq!(t.lookup("double").unwrap().bits, 64);
+        assert_eq!(t.lookup("single").unwrap().bits, 32);
+    }
+
+    #[test]
+    fn normalised_spellings() {
+        let t = TypeTable::builtin();
+        assert_eq!(t.lookup("long long int").unwrap().name, "long long");
+        assert_eq!(t.lookup("signed").unwrap().name, "int");
+        assert_eq!(t.lookup("short int").unwrap().name, "short");
+    }
+
+    #[test]
+    fn user_types_register_once() {
+        let mut t = TypeTable::builtin();
+        assert!(t.define_user("llong", "unsigned long long", 64, false));
+        assert!(!t.define_user("llong", "unsigned long long", 64, false));
+        assert!(!t.define_user("int", "int", 32, true));
+        assert_eq!(t.lookup("llong").unwrap().bits, 64);
+        let names: Vec<_> = t.user_types().map(|c| c.name.clone()).collect();
+        assert_eq!(names, vec!["llong"]);
+    }
+
+    #[test]
+    fn void_is_zero_width() {
+        let t = TypeTable::builtin();
+        let v = t.lookup("void").unwrap();
+        assert!(v.is_void);
+        assert_eq!(v.bits, 0);
+        assert_eq!(v.bytes(), 0);
+    }
+
+    #[test]
+    fn bytes_round_up() {
+        assert_eq!(CType::int("bool", 1, false).bytes(), 1);
+        assert_eq!(CType::int("x", 9, false).bytes(), 2);
+    }
+
+    #[test]
+    fn type_start_includes_user_types() {
+        let mut t = TypeTable::builtin();
+        assert!(!t.is_type_start("llong"));
+        t.define_user("llong", "unsigned long long", 64, false);
+        assert!(t.is_type_start("llong"));
+        assert!(t.is_type_start("unsigned"));
+        assert!(!t.is_type_start("banana"));
+    }
+}

@@ -1,0 +1,43 @@
+//! A multi-channel FIR filter peripheral built with Splice: shared
+//! coefficient state, packed 16-bit sample streams, and two hardware
+//! channels (`:2` multi-instance).
+//!
+//! Run with: `cargo run --example fir_filter`
+
+use splice_devices::fir::{fir_reference, FirDevice, FIR_SPEC};
+
+fn main() {
+    println!("---- the FIR specification ----");
+    println!("{FIR_SPEC}");
+
+    let mut fir = FirDevice::build();
+
+    // A 5-tap moving-average-ish kernel.
+    let taps = [1, 2, 4, 2, 1];
+    fir.set_taps(&taps);
+    println!("loaded {} taps; device reports {}", taps.len(), fir.tap_count());
+
+    // Channel 0: a ramp. Channel 1: alternating samples.
+    let ramp: Vec<i64> = (1..=12).collect();
+    let alt: Vec<i64> = (0..12).map(|i| if i % 2 == 0 { 100 } else { -100 }).collect();
+
+    let (y0, c0) = fir.filter(0, &ramp);
+    let (y1, c1) = fir.filter(1, &alt);
+    println!("channel 0: ramp       -> {y0:>10}  ({c0} bus cycles, packed shorts)");
+    println!("channel 1: alternator -> {y1:>10}  ({c1} bus cycles)");
+
+    assert_eq!(y0, fir_reference(&taps, &ramp));
+    assert_eq!(y1, fir_reference(&taps, &alt));
+
+    // Impulse response sanity: feeding a unit impulse reproduces the taps.
+    print!("impulse response: ");
+    for k in 0..taps.len() {
+        let mut signal = vec![0i64; k + 1];
+        signal[0] = 1;
+        let (y, _) = fir.filter(0, &signal);
+        print!("{y} ");
+    }
+    println!("(= the loaded taps)");
+
+    println!("\nok: both channels agree with the reference convolution.");
+}

@@ -1,0 +1,84 @@
+//! Portability — the thesis's core pitch: "a single implementation of a
+//! peripheral can be linked into a variety of hardware platforms by simply
+//! changing the set of parameters that are passed to Splice at runtime"
+//! (§10.1).
+//!
+//! The same interface declarations and the same user calculation logic run
+//! here against five different interconnects. Only the `%bus_type`
+//! directive changes; the results are identical and the cycle counts show
+//! each bus's character (co-processor coupling, bridge hops, strictly
+//! synchronous polling).
+//!
+//! Run with: `cargo run --example port_between_buses`
+
+use splice::prelude::*;
+
+/// One set of declarations: a checksum device.
+fn spec_for(bus: &str) -> String {
+    let base = if bus == "fcb" { "" } else { "%base_address 0x80000000\n" };
+    format!(
+        "%device_name checksum\n%bus_type {bus}\n%bus_width 32\n{base}\
+         long fletcher(int n, int*:n data);\n\
+         void reset_seed(int seed);\n"
+    )
+}
+
+/// The user calculation logic — written once, deployed everywhere.
+struct Fletcher {
+    seed: u64,
+}
+
+impl CalcLogic for Fletcher {
+    fn run(&mut self, inputs: &FuncInputs) -> CalcResult {
+        let data = inputs.array(1);
+        let (mut a, mut b) = (self.seed & 0xFFFF, 0u64);
+        for &w in data {
+            a = (a + w) % 65535;
+            b = (b + a) % 65535;
+        }
+        CalcResult { cycles: 2 + data.len() as u32, output: vec![(b << 16) | a] }
+    }
+}
+
+struct ResetSeed;
+impl CalcLogic for ResetSeed {
+    fn run(&mut self, _inputs: &FuncInputs) -> CalcResult {
+        CalcResult { cycles: 1, output: vec![] }
+    }
+}
+
+fn main() {
+    let payload: Vec<u64> = (1..=12).map(|i| i * 31).collect();
+    let args = CallArgs::new(vec![
+        CallValue::Scalar(payload.len() as u64),
+        CallValue::Array(payload.clone()),
+    ]);
+
+    println!(
+        "{:10} {:>12} {:>12}   notes",
+        "bus", "result", "bus cycles"
+    );
+    let mut reference: Option<u64> = None;
+    for bus in ["plb", "opb", "fcb", "apb", "ahb", "wishbone", "avalon"] {
+        let module = splice::parse_and_validate(&spec_for(bus)).expect("valid").module;
+        let mut system = SplicedSystem::build(&module, |func, _| match func {
+            "fletcher" => Box::new(Fletcher { seed: 1 }) as Box<dyn CalcLogic>,
+            _ => Box::new(ResetSeed),
+        });
+        let out = system.call("fletcher", &args).expect("call");
+        let note = match bus {
+            "fcb" => "co-processor coupled, no address decode",
+            "opb" => "pays the PLB->OPB bridge hop",
+            "apb" => "strictly synchronous: CALC_DONE polling",
+            "plb" => "the reference pseudo-asynchronous path",
+            _ => "future-work bus of thesis ch. 10, implemented here",
+        };
+        println!("{bus:10} {:>#12x} {:>12}   {note}", out.result[0], out.bus_cycles);
+
+        match reference {
+            None => reference = Some(out.result[0]),
+            Some(r) => assert_eq!(r, out.result[0], "{bus} must compute the same checksum"),
+        }
+    }
+    println!("\nok: identical results everywhere — the peripheral logic never changed.");
+}

@@ -1,0 +1,94 @@
+//! Quickstart: the whole Splice pipeline on a tiny device.
+//!
+//! Parses an interface specification, prints the generated VHDL and C
+//! driver sources, then brings the design to life on a simulated PLB and
+//! calls it through its generated driver.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use splice::prelude::*;
+use splice_buses::library_for;
+use splice_core::api::BusLibrary;
+use splice_core::hdlgen::generate_hardware;
+use splice_driver::cgen::{driver_header, driver_source};
+use splice_spec::bus::BusKind;
+
+const SPEC: &str = "
+    // A multiply-accumulate peripheral: ac = sum(a[i] * b[i]) over n pairs.
+    %device_name mac
+    %target_hdl vhdl
+    %bus_type plb
+    %bus_width 32
+    %base_address 0x80000000
+
+    long mac(int n, int*:n a, int*:n b);
+    long scale(int x, int k);
+";
+
+struct Mac;
+impl CalcLogic for Mac {
+    fn run(&mut self, inputs: &FuncInputs) -> CalcResult {
+        let (a, b) = (inputs.array(1), inputs.array(2));
+        let acc: u64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        CalcResult { cycles: 4, output: vec![acc & 0xFFFF_FFFF] }
+    }
+}
+
+struct Scale;
+impl CalcLogic for Scale {
+    fn run(&mut self, inputs: &FuncInputs) -> CalcResult {
+        CalcResult { cycles: 1, output: vec![inputs.scalar(0) * inputs.scalar(1)] }
+    }
+}
+
+fn main() {
+    // ---- 1. front end -------------------------------------------------
+    let module = splice::parse_and_validate(SPEC).expect("spec is valid").module;
+    println!("device `{}` on the {}:", module.params.device_name, module.params.bus.kind);
+    for f in &module.functions {
+        println!("  FUNC_ID {}: {}", f.first_func_id, f.name);
+    }
+
+    // ---- 2. hardware + driver generation -------------------------------
+    let ir = elaborate(&module);
+    let lib = library_for(BusKind::Plb);
+    let files = generate_hardware(&ir, &lib.interface_template(&ir), &lib.markers(&ir), "today")
+        .expect("generation succeeds");
+    println!("\ngenerated hardware files:");
+    for f in &files {
+        println!("  {} ({} lines)", f.name, f.text.lines().count());
+    }
+    println!("\n---- func_mac.vhd (excerpt) ----");
+    let stub = files.iter().find(|f| f.name == "func_mac.vhd").unwrap();
+    for line in stub.text.lines().take(24) {
+        println!("{line}");
+    }
+    println!("  ...\n");
+    println!("---- mac_driver.c (excerpt) ----");
+    for line in driver_source(&module).lines().take(28) {
+        println!("{line}");
+    }
+    println!("  ...");
+    let _ = driver_header(&module);
+
+    // ---- 3. run it ------------------------------------------------------
+    let mut system = SplicedSystem::build(&module, |func, _| match func {
+        "mac" => Box::new(Mac),
+        _ => Box::new(Scale),
+    });
+
+    let args = CallArgs::new(vec![
+        CallValue::Scalar(3),
+        CallValue::Array(vec![1, 2, 3]),
+        CallValue::Array(vec![10, 20, 30]),
+    ]);
+    let out = system.call("mac", &args).expect("mac call");
+    println!("\nmac(n=3, a=[1,2,3], b=[10,20,30]) = {} in {} bus cycles", out.result[0], out.bus_cycles);
+    assert_eq!(out.result, vec![140]);
+
+    let out = system.call("scale", &CallArgs::scalars(&[6, 7])).expect("scale call");
+    println!("scale(6, 7)                       = {} in {} bus cycles", out.result[0], out.bus_cycles);
+    assert_eq!(out.result, vec![42]);
+
+    println!("\nok: same spec would regenerate for opb/fcb/apb/... with no logic changes.");
+}

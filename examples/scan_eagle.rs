@@ -1,0 +1,71 @@
+//! The chapter 9 evaluation: the Scan-Eagle-style linear interpolator on
+//! all five interface implementations, reproducing the shape of Figs 9.2
+//! and 9.3.
+//!
+//! Run with: `cargo run --release --example scan_eagle`
+
+use splice_devices::eval::{fig_9_2, fig_9_3, speedup_pct, InterpImpl};
+use splice_devices::interp::Scenario;
+
+fn main() {
+    println!("== Fig 9.1: input parameters required for each scenario ==\n");
+    println!("{:>9} {:>6} {:>6} {:>6} {:>6}", "Scenario", "Set 1", "Set 2", "Set 3", "Total");
+    for s in Scenario::all() {
+        let (a, b, c) = s.set_sizes();
+        println!("{:>9} {:>6} {:>6} {:>6} {:>6}", s.number(), a, b, c, s.total_inputs());
+    }
+
+    println!("\n== Fig 9.2: clock cycles per run by each implementation ==\n");
+    let rows = fig_9_2();
+    println!("{:22} {:>6} {:>6} {:>6} {:>6}", "implementation", "S1", "S2", "S3", "S4");
+    for (imp, r) in &rows {
+        println!("{:22} {:>6} {:>6} {:>6} {:>6}", imp.label(), r[0], r[1], r[2], r[3]);
+    }
+
+    use InterpImpl::*;
+    println!("\nheadline comparisons (paper's §9.3.1 claims in parentheses):");
+    println!(
+        "  Splice PLB vs naive hand PLB : {:+5.1}%  (≈ +25%)",
+        speedup_pct(&rows, SplicePlbSimple, SimplePlbHand)
+    );
+    println!(
+        "  Splice FCB vs naive hand PLB : {:+5.1}%  (≈ +43%)",
+        speedup_pct(&rows, SpliceFcb, SimplePlbHand)
+    );
+    println!(
+        "  optimized FCB vs Splice FCB  : {:+5.1}%  (≈ +13%)",
+        speedup_pct(&rows, OptimizedFcbHand, SpliceFcb)
+    );
+    println!(
+        "  Splice PLB DMA vs simple     : {:+5.1}%  (+1..4%)",
+        speedup_pct(&rows, SplicePlbDma, SplicePlbSimple)
+    );
+
+    println!("\n== Fig 9.3: FPGA resources consumed by each implementation ==\n");
+    let res = fig_9_3();
+    println!("{:22} {:>6} {:>6} {:>7}", "implementation", "LUTs", "FFs", "slices");
+    for (imp, rep) in &res {
+        let t = rep.total();
+        println!("{:22} {:>6} {:>6} {:>7}", imp.label(), t.luts, t.ffs, t.slices());
+    }
+    let slices = |imp: InterpImpl| {
+        res.iter().find(|(i, _)| *i == imp).unwrap().1.total().slices() as f64
+    };
+    println!("\nheadline comparisons (paper's §9.3.2 claims in parentheses):");
+    println!(
+        "  Splice PLB vs naive hand PLB : {:+5.1}%  (≈ -23%)",
+        (slices(SplicePlbSimple) / slices(SimplePlbHand) - 1.0) * 100.0
+    );
+    println!(
+        "  Splice FCB vs naive hand PLB : {:+5.1}%  (≈ -28%)",
+        (slices(SpliceFcb) / slices(SimplePlbHand) - 1.0) * 100.0
+    );
+    println!(
+        "  Splice FCB vs optimized FCB  : {:+5.1}%  (≈ +2%)",
+        (slices(SpliceFcb) / slices(OptimizedFcbHand) - 1.0) * 100.0
+    );
+    println!(
+        "  DMA PLB vs simple Splice PLB : {:+5.1}%  (+57..69%)",
+        (slices(SplicePlbDma) / slices(SplicePlbSimple) - 1.0) * 100.0
+    );
+}

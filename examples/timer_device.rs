@@ -1,0 +1,50 @@
+//! The chapter 8 walk-through: the hardware timer, from the Fig 8.2 spec
+//! to the running Fig 8.8 test suite, over a simulated PLB.
+//!
+//! Run with: `cargo run --example timer_device`
+
+use splice_devices::timer::{TimerDevice, STATUS_ENABLED, STATUS_FIRED, TIMER_SPEC};
+
+fn main() {
+    println!("---- the Fig 8.2 specification ----");
+    println!("{TIMER_SPEC}");
+
+    let mut t = TimerDevice::build();
+
+    // The Fig 8.8 software test suite, scaled to simulation time
+    // (the thesis uses a 5-second threshold and sleep(6); we use bus
+    // cycles directly — the device semantics are identical).
+    println!("---- running the Fig 8.8 test suite ----");
+
+    t.disable(); // Disable the Timer to Start
+    let clock_rate = t.get_clock();
+    println!("Clock: {clock_rate} Hz");
+
+    let threshold = 500u64; // "5 seconds" worth of demo cycles
+    t.set_threshold(threshold);
+    t.enable();
+
+    let v = t.get_snapshot();
+    println!("Value: {v}   (should be close to 0)");
+
+    t.sleep(2 * threshold + threshold / 5); // sleep past the threshold
+    let status = t.get_status();
+    println!(
+        "Status: {status:#x}  (bit 0 = enabled: {}, bit 1 = fired: {})",
+        status & STATUS_ENABLED != 0,
+        status & STATUS_FIRED != 0
+    );
+    assert_eq!(status & STATUS_FIRED, STATUS_FIRED, "timer must have fired");
+
+    t.disable();
+    let got = t.get_threshold();
+    println!("Thold: {got}   (should equal {threshold})");
+    assert_eq!(got, threshold);
+
+    let status = t.get_status();
+    println!("Status: {status:#x}  (now disabled, fired bit cleared by previous read)");
+    assert_eq!(status & STATUS_ENABLED, 0);
+
+    println!("\nfires since reset: {}", t.core().fire_count);
+    println!("ok: the timer device behaves exactly as chapter 8 describes.");
+}

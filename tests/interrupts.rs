@@ -1,0 +1,140 @@
+//! End-to-end tests of completion interrupts (`%irq_support`) — the
+//! thesis's first-named future-work feature (§10.2: "preliminary testing
+//! with the use of interrupts in conjunction with Splice-based PLB
+//! interfaces is currently under way"), implemented here across the whole
+//! stack: directive → validation → generated HDL ports → simulated sticky
+//! interrupt vector → CPU wait-for-interrupt.
+
+use splice::prelude::*;
+use splice_buses::library_for;
+use splice_core::api::BusLibrary;
+use splice_core::elaborate::elaborate;
+use splice_core::hdlgen::generate_hardware;
+use splice_driver::macros::macro_header_with_irq;
+use splice_spec::bus::BusKind;
+
+struct Slow(u32);
+impl CalcLogic for Slow {
+    fn run(&mut self, inputs: &FuncInputs) -> CalcResult {
+        CalcResult { cycles: self.0, output: vec![inputs.scalar(0) * 2] }
+    }
+}
+
+const SPEC: &str = "%device_name irqdev\n%bus_type plb\n%bus_width 32\n\
+                    %base_address 0x80000000\n%irq_support true\n\
+                    nowait crunch(int x);\nlong read_back(int y);";
+
+#[test]
+fn irq_directive_parses_and_validates() {
+    let module = splice::parse_and_validate(SPEC).unwrap().module;
+    assert!(module.params.irq);
+    // And off by default.
+    let plain = splice::parse_and_validate(
+        "%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\nvoid f();",
+    )
+    .unwrap()
+    .module;
+    assert!(!plain.params.irq);
+}
+
+#[test]
+fn nowait_fire_then_wait_irq_observes_completion() {
+    let module = splice::parse_and_validate(SPEC).unwrap().module;
+    let mut sys = SplicedSystem::build(&module, |_, _| Box::new(Slow(300)));
+
+    // Fire-and-forget: returns long before the 300-cycle calculation ends.
+    let fire = sys.call("crunch", &CallArgs::scalars(&[5])).unwrap();
+    assert!(fire.bus_cycles < 50, "nowait returned in {} cycles", fire.bus_cycles);
+
+    // Park on the interrupt: must take roughly the remaining calc time.
+    let waited = sys.wait_irq("crunch", 0).unwrap();
+    assert!(
+        waited > 200 && waited < 400,
+        "interrupt should arrive after the calculation: waited {waited}"
+    );
+
+    // A second fire/wait round works too (the sticky vector was cleared by
+    // the acknowledge).
+    let t0 = sys.sim().cycle();
+    sys.call("crunch", &CallArgs::scalars(&[6])).unwrap();
+    let waited2 = sys.wait_irq("crunch", 0).unwrap();
+    assert!(waited2 > 200, "second round waited {waited2}");
+    assert!(sys.sim().cycle() > t0);
+}
+
+#[test]
+fn irq_already_latched_returns_immediately() {
+    let module = splice::parse_and_validate(SPEC).unwrap().module;
+    let mut sys = SplicedSystem::build(&module, |_, _| Box::new(Slow(20)));
+    sys.call("crunch", &CallArgs::scalars(&[1])).unwrap();
+    // Let the calculation finish while the CPU does other work.
+    sys.sim_mut().run(200).unwrap();
+    let waited = sys.wait_irq("crunch", 0).unwrap();
+    assert!(waited < 10, "latched interrupt should be immediate, waited {waited}");
+}
+
+#[test]
+fn generated_hdl_gains_irq_ports() {
+    let module = splice::parse_and_validate(SPEC).unwrap().module;
+    let ir = elaborate(&module);
+    let lib = library_for(BusKind::Plb);
+    let files =
+        generate_hardware(&ir, &lib.interface_template(&ir), &lib.markers(&ir), "t").unwrap();
+    let stub = files.iter().find(|f| f.name == "func_crunch.vhd").unwrap();
+    assert!(stub.text.contains("IRQ"), "{}", stub.text);
+    let arbiter = files.iter().find(|f| f.name == "user_irqdev.vhd").unwrap();
+    assert!(arbiter.text.contains("IRQ_VECTOR"), "{}", arbiter.text);
+    assert!(arbiter.text.contains("IRQ_ACK"), "{}", arbiter.text);
+
+    // Without the directive, no IRQ ports appear.
+    let plain =
+        splice::parse_and_validate(&SPEC.replace("%irq_support true\n", "")).unwrap().module;
+    let plain_ir = elaborate(&plain);
+    let plain_files =
+        generate_hardware(&plain_ir, &lib.interface_template(&plain_ir), &lib.markers(&plain_ir), "t")
+            .unwrap();
+    let stub = plain_files.iter().find(|f| f.name == "func_crunch.vhd").unwrap();
+    assert!(!stub.text.contains("IRQ"), "{}", stub.text);
+}
+
+#[test]
+fn macro_header_gains_wait_for_irq() {
+    let module = splice::parse_and_validate(SPEC).unwrap().module;
+    let with = macro_header_with_irq(&module.params.bus, 32, module.params.base_address, true);
+    assert!(with.contains("#define WAIT_FOR_IRQ(id)"));
+    assert!(with.contains("#define ACK_IRQ(id)"));
+    let without = macro_header_with_irq(&module.params.bus, 32, module.params.base_address, false);
+    assert!(!without.contains("WAIT_FOR_IRQ"));
+}
+
+#[test]
+fn multiple_instances_interrupt_on_their_own_bits() {
+    let spec = "%device_name multiirq\n%bus_type plb\n%bus_width 32\n\
+                %base_address 0x80000000\n%irq_support true\n\
+                nowait crunch(int x):3;";
+    let module = splice::parse_and_validate(spec).unwrap().module;
+    let mut sys = SplicedSystem::build(&module, |_, _| Box::new(Slow(100)));
+    // Fire all three instances, then await each completion.
+    for inst in 0..3 {
+        sys.call("crunch", &CallArgs::scalars(&[inst as u64]).with_instance(inst)).unwrap();
+    }
+    // All three run concurrently; total wait is ~one calc, not three.
+    let t0 = sys.sim().cycle();
+    for inst in 0..3 {
+        sys.wait_irq("crunch", inst).unwrap();
+    }
+    let total = sys.sim().cycle() - t0;
+    assert!(total < 220, "parallel completions should overlap: {total} cycles");
+}
+
+#[test]
+fn irq_works_on_the_apb_too() {
+    let spec = "%device_name apbirq\n%bus_type apb\n%bus_width 32\n\
+                %base_address 0x80000000\n%irq_support true\n\
+                nowait crunch(int x);";
+    let module = splice::parse_and_validate(spec).unwrap().module;
+    let mut sys = SplicedSystem::build(&module, |_, _| Box::new(Slow(150)));
+    sys.call("crunch", &CallArgs::scalars(&[2])).unwrap();
+    let waited = sys.wait_irq("crunch", 0).unwrap();
+    assert!(waited > 80, "APB interrupt waited {waited}");
+}
