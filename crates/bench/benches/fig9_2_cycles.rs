@@ -3,27 +3,17 @@
 //! takes to simulate. The *measured quantity* of the figure — bus cycles —
 //! is printed by `cargo run -p splice-bench --bin fig9_2`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splice_bench::time_case;
 use splice_devices::eval::{InterpImpl, InterpRunner};
 use splice_devices::interp::Scenario;
 use std::hint::black_box;
 
-fn bench_cells(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_2_cells");
+fn main() {
+    println!("fig9_2_cells");
     for imp in InterpImpl::all() {
         for s in [Scenario::S1, Scenario::S4] {
-            g.bench_with_input(
-                BenchmarkId::new(imp.label(), format!("S{}", s.number())),
-                &(imp, s),
-                |b, &(imp, s)| {
-                    let mut runner = InterpRunner::build(imp);
-                    b.iter(|| black_box(runner.run(s)))
-                },
-            );
+            let mut runner = InterpRunner::build(imp);
+            time_case(&format!("{}/S{}", imp.label(), s.number()), 20, || black_box(runner.run(s)));
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_cells);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! emission. The thesis notes "the tool can generate interconnects almost
 //! instantly" (§10.1); this bench quantifies that for this implementation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use splice_bench::time_case;
 use splice_buses::library_for;
 use splice_core::api::BusLibrary;
 use splice_core::elaborate::elaborate;
@@ -13,56 +13,44 @@ use splice_spec::bus::BusKind;
 use std::hint::black_box;
 
 fn big_spec(functions: usize) -> String {
-    let mut s = String::from(
-        "%device_name big\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n",
-    );
+    let mut s =
+        String::from("%device_name big\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n");
     for i in 0..functions {
         s.push_str(&format!("long f{i}(int n{i}, int*:n{i} xs{i}, char c{i});\n"));
     }
     s
 }
 
-fn bench_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("generation");
+fn main() {
+    println!("generation");
 
-    g.bench_function("parse_validate_timer", |b| {
-        b.iter(|| splice_spec::parse_and_validate(black_box(TIMER_SPEC)).unwrap())
+    time_case("parse_validate_timer", 2000, || {
+        splice_spec::parse_and_validate(black_box(TIMER_SPEC)).unwrap()
     });
 
     let module = splice_spec::parse_and_validate(TIMER_SPEC).unwrap().module;
-    g.bench_function("elaborate_timer", |b| b.iter(|| elaborate(black_box(&module))));
+    time_case("elaborate_timer", 2000, || elaborate(black_box(&module)));
 
     let ir = elaborate(&module);
     let lib = library_for(BusKind::Plb);
     let template = lib.interface_template(&ir);
     let markers = lib.markers(&ir);
-    g.bench_function("hdl_generation_timer", |b| {
-        b.iter(|| generate_hardware(black_box(&ir), &template, &markers, "bench").unwrap())
+    time_case("hdl_generation_timer", 500, || {
+        generate_hardware(black_box(&ir), &template, &markers, "bench").unwrap()
     });
 
-    g.bench_function("driver_generation_timer", |b| {
-        b.iter(|| (driver_source(black_box(&module)), driver_header(black_box(&module))))
+    time_case("driver_generation_timer", 2000, || {
+        (driver_source(black_box(&module)), driver_header(black_box(&module)))
     });
 
     // The full pipeline on a 40-function device.
     let spec40 = big_spec(40);
-    g.bench_function("full_pipeline_40_functions", |b| {
-        b.iter_batched(
-            || spec40.clone(),
-            |src| {
-                let m = splice_spec::parse_and_validate(&src).unwrap().module;
-                let ir = elaborate(&m);
-                let lib = library_for(BusKind::Plb);
-                let files =
-                    generate_hardware(&ir, &lib.interface_template(&ir), &lib.markers(&ir), "b")
-                        .unwrap();
-                (files.len(), driver_source(&m).len())
-            },
-            BatchSize::SmallInput,
-        )
+    time_case("full_pipeline_40_functions", 50, || {
+        let m = splice_spec::parse_and_validate(&spec40).unwrap().module;
+        let ir = elaborate(&m);
+        let lib = library_for(BusKind::Plb);
+        let files =
+            generate_hardware(&ir, &lib.interface_template(&ir), &lib.markers(&ir), "b").unwrap();
+        (files.len(), driver_source(&m).len())
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_generation);
-criterion_main!(benches);

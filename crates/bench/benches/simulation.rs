@@ -1,7 +1,7 @@
 //! Simulation-kernel throughput: cycles per second of the full system
 //! (CPU master + PLB + adapter + generated stubs), and raw kernel stepping.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use splice_bench::time_case;
 use splice_buses::system::SplicedSystem;
 use splice_core::simbuild::{CalcLogic, CalcResult, FuncInputs};
 use splice_driver::program::{CallArgs, CallValue};
@@ -14,8 +14,8 @@ impl CalcLogic for Sum {
     }
 }
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulation");
+fn main() {
+    println!("simulation");
 
     // Raw kernel: a bare simulator stepping 10k cycles.
     {
@@ -35,18 +35,15 @@ fn bench_simulation(c: &mut Criterion) {
                 self
             }
         }
-        g.throughput(Throughput::Elements(10_000));
-        g.bench_function("kernel_10k_cycles_8_components", |b| {
-            b.iter(|| {
-                let mut sb = SimulatorBuilder::new();
-                for i in 0..8 {
-                    let s = sb.sig(format!("c{i}"), 32);
-                    sb.component(Box::new(Counter { out: s }));
-                }
-                let mut sim = sb.build();
-                sim.run(10_000).unwrap();
-                black_box(sim.cycle())
-            })
+        time_case("kernel_10k_cycles_8_components", 200, || {
+            let mut sb = SimulatorBuilder::new();
+            for i in 0..8 {
+                let s = sb.sig(format!("c{i}"), 32);
+                sb.component(Box::new(Counter { out: s }));
+            }
+            let mut sim = sb.build();
+            sim.run(10_000).unwrap();
+            black_box(sim.cycle())
         });
     }
 
@@ -54,23 +51,16 @@ fn bench_simulation(c: &mut Criterion) {
     let spec = "%device_name b\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n\
                 long f(int n, int*:n xs);";
     let module = splice_spec::parse_and_validate(spec).unwrap().module;
-    let args = CallArgs::new(vec![
-        CallValue::Scalar(16),
-        CallValue::Array((0..16).collect()),
-    ]);
-    g.bench_function("system_call_16_words", |b| {
+    let args = CallArgs::new(vec![CallValue::Scalar(16), CallValue::Array((0..16).collect())]);
+    {
         let mut sys = SplicedSystem::build(&module, |_, _| Box::new(Sum));
-        b.iter(|| black_box(sys.call("f", &args).unwrap().bus_cycles))
-    });
+        time_case("system_call_16_words", 200, || {
+            black_box(sys.call("f", &args).unwrap().bus_cycles)
+        });
+    }
 
-    g.bench_function("system_build", |b| {
-        b.iter(|| {
-            let sys = SplicedSystem::build(black_box(&module), |_, _| Box::new(Sum));
-            black_box(sys.module().functions.len())
-        })
+    time_case("system_build", 200, || {
+        let sys = SplicedSystem::build(black_box(&module), |_, _| Box::new(Sum));
+        black_box(sys.module().functions.len())
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_simulation);
-criterion_main!(benches);

@@ -40,7 +40,8 @@ fn cycles(spec: &str, func: &str, args: &CallArgs, calc: u32) -> u64 {
     build(spec, calc).call(func, args).expect("call").bus_cycles
 }
 
-const PLB_HEADER: &str = "%device_name ab\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n";
+const PLB_HEADER: &str =
+    "%device_name ab\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n";
 
 fn main() {
     packing();
@@ -56,18 +57,8 @@ fn packing() {
     println!("== ablation 1: data packing (§3.1.3) ==\n");
     let n = 16u64;
     let data = CallArgs::new(vec![CallValue::Array((0..n).collect())]);
-    let plain = cycles(
-        &format!("{PLB_HEADER}long f(char*:{n} x);"),
-        "f",
-        &data,
-        1,
-    );
-    let packed = cycles(
-        &format!("{PLB_HEADER}long f(char*:{n}+ x);"),
-        "f",
-        &data,
-        1,
-    );
+    let plain = cycles(&format!("{PLB_HEADER}long f(char*:{n} x);"), "f", &data, 1);
+    let packed = cycles(&format!("{PLB_HEADER}long f(char*:{n}+ x);"), "f", &data, 1);
     println!("  {n} chars over the 32-bit PLB: unpacked {plain} cycles, packed {packed} cycles");
     println!(
         "  packing removed {:.0}% of the transfer's bus cycles (thesis: 4 chars/beat ⇒ ~75% of the data beats)\n",
@@ -81,12 +72,8 @@ fn burst() {
     let n = 16u64;
     let data = CallArgs::new(vec![CallValue::Array((0..n).collect())]);
     let plain = cycles(&format!("{PLB_HEADER}long f(int*:{n} x);"), "f", &data, 1);
-    let burst = cycles(
-        &format!("{PLB_HEADER}%burst_support true\nlong f(int*:{n} x);"),
-        "f",
-        &data,
-        1,
-    );
+    let burst =
+        cycles(&format!("{PLB_HEADER}%burst_support true\nlong f(int*:{n} x);"), "f", &data, 1);
     println!("  {n} ints over the PLB: singles {plain} cycles, quad/double bursts {burst} cycles");
     println!("  bursting saved {:.0}%\n", (1.0 - burst as f64 / plain as f64) * 100.0);
     assert!(burst < plain);
@@ -99,12 +86,8 @@ fn dma_crossover() {
     for n in [2u64, 4, 6, 8, 12, 16, 24, 32, 48, 64] {
         let data = CallArgs::new(vec![CallValue::Array((0..n).collect())]);
         let pio = cycles(&format!("{PLB_HEADER}long f(int*:{n} x);"), "f", &data, 1);
-        let dma = cycles(
-            &format!("{PLB_HEADER}%dma_support true\nlong f(int*:{n}^ x);"),
-            "f",
-            &data,
-            1,
-        );
+        let dma =
+            cycles(&format!("{PLB_HEADER}%dma_support true\nlong f(int*:{n}^ x);"), "f", &data, 1);
         if crossover.is_none() && dma < pio {
             crossover = Some(n);
         }
@@ -134,7 +117,10 @@ fn bus_width() {
     let c32 = cycles(spec32, "f", &args, 1);
     let c64 = cycles(spec64, "f", &args, 1);
     println!("  two 64-bit inputs + 64-bit result: 32-bit PLB {c32} cycles (split transfers),");
-    println!("  64-bit PLB {c64} cycles (native) — {:.0}% saved; the 64-bit adapter costs", (1.0 - c64 as f64 / c32 as f64) * 100.0);
+    println!(
+        "  64-bit PLB {c64} cycles (native) — {:.0}% saved; the 64-bit adapter costs",
+        (1.0 - c64 as f64 / c32 as f64) * 100.0
+    );
     println!("  ~50% more slices (see `cargo run -p splice-cli -- --resources`).\n");
     assert!(c64 < c32);
 }
@@ -159,9 +145,7 @@ fn multi_instance() {
     let mut par_sys = build(&par_spec, CALC);
     let t0 = par_sys.sim().cycle();
     for k in 0..JOBS {
-        par_sys
-            .call("crunch", &CallArgs::scalars(&[k]).with_instance(k as u32))
-            .expect("fire");
+        par_sys.call("crunch", &CallArgs::scalars(&[k]).with_instance(k as u32)).expect("fire");
     }
     let stubs = par_sys.stub_components.clone();
     par_sys
@@ -183,7 +167,8 @@ fn multi_instance() {
 
 fn sync_polling() {
     println!("== ablation 6: strictly synchronous polling (§4.2.2) ==\n");
-    let apb = "%device_name ab\n%bus_type apb\n%bus_width 32\n%base_address 0x80000000\nlong f(int x);";
+    let apb =
+        "%device_name ab\n%bus_type apb\n%bus_width 32\n%base_address 0x80000000\nlong f(int x);";
     let plb = &format!("{PLB_HEADER}long f(int x);");
     let args = CallArgs::scalars(&[5]);
     let mut rows = Vec::new();
@@ -203,7 +188,10 @@ fn bridge_penalty() {
     let args = CallArgs::new(vec![CallValue::Array((0..8).collect())]);
     let o = cycles(opb, "f", &args, 1);
     let p = cycles(plb, "f", &args, 1);
-    println!("  8-word transfer: PLB {p} cycles, OPB {o} cycles ({:+.0}% penalty)", (o as f64 / p as f64 - 1.0) * 100.0);
+    println!(
+        "  8-word transfer: PLB {p} cycles, OPB {o} cycles ({:+.0}% penalty)",
+        (o as f64 / p as f64 - 1.0) * 100.0
+    );
     println!("  — the \"intrinsic latency penalties associated with the OPB\" the thesis\n  cites when steering DMA/burst users to the PLB.");
     assert!(o > p);
 }

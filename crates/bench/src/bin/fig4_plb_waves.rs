@@ -44,10 +44,8 @@ fn main() {
         "sis.DATA_OUT_VALID",
         "sis.IO_DONE",
     ];
-    let ids: Vec<_> = names
-        .iter()
-        .map(|n| system.sim().signal_id(n).expect("traced signal"))
-        .collect();
+    let ids: Vec<_> =
+        names.iter().map(|n| system.sim().signal_id(n).expect("traced signal")).collect();
     let t = system.sim_mut().attach_trace(&ids);
 
     let out = system.call("echo", &CallArgs::scalars(&[0xBEEF])).unwrap();

@@ -44,10 +44,8 @@ fn run(mode: SisMode, title: &str) {
         bus.io_done,
         bus.calc_done,
     ]);
-    sim.run_until("script", 10_000, |s| {
-        s.component::<SisMaster>(midx).unwrap().is_finished()
-    })
-    .unwrap();
+    sim.run_until("script", 10_000, |s| s.component::<SisMaster>(midx).unwrap().is_finished())
+        .unwrap();
     sim.run(2).unwrap();
     println!("== {title} ==\n");
     println!("{}", waves::render(sim.trace(t)));

@@ -34,7 +34,12 @@ fn main() {
         .collect();
     for (k, inst) in instances.iter().enumerate() {
         let tee = if k + 1 == instances.len() { "└──" } else { "├──" };
-        println!("        {tee} {} : {}  ({} ports)", inst.label, inst.module, inst.connections.len());
+        println!(
+            "        {tee} {} : {}  ({} ports)",
+            inst.label,
+            inst.module,
+            inst.connections.len()
+        );
     }
 
     println!("\nFig 5.2 — layout of a typical user-logic stub (func_set_threshold)\n");

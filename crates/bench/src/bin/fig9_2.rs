@@ -27,9 +27,21 @@ fn main() {
 
     use InterpImpl::*;
     println!("\ncomparisons (thesis §9.3.1 claims in parentheses):");
-    println!("  Splice PLB vs naive hand PLB : {:+6.1}%  (≈ +25%)", speedup_pct(&rows_data, SplicePlbSimple, SimplePlbHand));
-    println!("  Splice FCB vs naive hand PLB : {:+6.1}%  (≈ +43%)", speedup_pct(&rows_data, SpliceFcb, SimplePlbHand));
-    println!("  optimized FCB vs Splice FCB  : {:+6.1}%  (≈ +13%)", speedup_pct(&rows_data, OptimizedFcbHand, SpliceFcb));
-    println!("  Splice PLB DMA vs simple     : {:+6.1}%  (+1..4%)", speedup_pct(&rows_data, SplicePlbDma, SplicePlbSimple));
+    println!(
+        "  Splice PLB vs naive hand PLB : {:+6.1}%  (≈ +25%)",
+        speedup_pct(&rows_data, SplicePlbSimple, SimplePlbHand)
+    );
+    println!(
+        "  Splice FCB vs naive hand PLB : {:+6.1}%  (≈ +43%)",
+        speedup_pct(&rows_data, SpliceFcb, SimplePlbHand)
+    );
+    println!(
+        "  optimized FCB vs Splice FCB  : {:+6.1}%  (≈ +13%)",
+        speedup_pct(&rows_data, OptimizedFcbHand, SpliceFcb)
+    );
+    println!(
+        "  Splice PLB DMA vs simple     : {:+6.1}%  (+1..4%)",
+        speedup_pct(&rows_data, SplicePlbDma, SplicePlbSimple)
+    );
     maybe_dump("fig9_2", &headers, &rows);
 }

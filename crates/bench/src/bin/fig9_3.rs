@@ -13,26 +13,32 @@ fn main() {
         .iter()
         .map(|(imp, rep)| {
             let t = rep.total();
-            vec![
-                imp.label().into(),
-                t.luts.to_string(),
-                t.ffs.to_string(),
-                t.slices().to_string(),
-            ]
+            vec![imp.label().into(), t.luts.to_string(), t.ffs.to_string(), t.slices().to_string()]
         })
         .collect();
     println!("Fig 9.3 — FPGA resources consumed by each implementation\n");
     print!("{}", table(&headers, &rows));
 
-    let slices = |imp: InterpImpl| {
-        data.iter().find(|(i, _)| *i == imp).unwrap().1.total().slices() as f64
-    };
+    let slices =
+        |imp: InterpImpl| data.iter().find(|(i, _)| *i == imp).unwrap().1.total().slices() as f64;
     use InterpImpl::*;
     println!("\ncomparisons (thesis §9.3.2 claims in parentheses):");
-    println!("  Splice PLB vs naive hand PLB : {:+6.1}%  (≈ -23%)", (slices(SplicePlbSimple) / slices(SimplePlbHand) - 1.0) * 100.0);
-    println!("  Splice FCB vs naive hand PLB : {:+6.1}%  (≈ -28%)", (slices(SpliceFcb) / slices(SimplePlbHand) - 1.0) * 100.0);
-    println!("  Splice FCB vs optimized FCB  : {:+6.1}%  (≈  +2%)", (slices(SpliceFcb) / slices(OptimizedFcbHand) - 1.0) * 100.0);
-    println!("  DMA PLB vs simple Splice PLB : {:+6.1}%  (+57..69%)", (slices(SplicePlbDma) / slices(SplicePlbSimple) - 1.0) * 100.0);
+    println!(
+        "  Splice PLB vs naive hand PLB : {:+6.1}%  (≈ -23%)",
+        (slices(SplicePlbSimple) / slices(SimplePlbHand) - 1.0) * 100.0
+    );
+    println!(
+        "  Splice FCB vs naive hand PLB : {:+6.1}%  (≈ -28%)",
+        (slices(SpliceFcb) / slices(SimplePlbHand) - 1.0) * 100.0
+    );
+    println!(
+        "  Splice FCB vs optimized FCB  : {:+6.1}%  (≈  +2%)",
+        (slices(SpliceFcb) / slices(OptimizedFcbHand) - 1.0) * 100.0
+    );
+    println!(
+        "  DMA PLB vs simple Splice PLB : {:+6.1}%  (+57..69%)",
+        (slices(SplicePlbDma) / slices(SplicePlbSimple) - 1.0) * 100.0
+    );
 
     println!("\nper-file breakdown (Splice PLB simple):");
     let (_, rep) = data.iter().find(|(i, _)| *i == SplicePlbSimple).unwrap();

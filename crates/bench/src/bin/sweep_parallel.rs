@@ -3,16 +3,17 @@
 //! recorded. Each worker thread builds and owns its simulations (the
 //! simulator is deliberately single-threaded internally — determinism —
 //! so parallelism lives at the experiment level), with work distribution
-//! over a crossbeam channel.
+//! over a shared atomic work index and an mpsc result channel.
 //!
 //! Usage: `cargo run --release -p splice-bench --bin sweep_parallel`
 //! Set `SPLICE_RESULTS_DIR` to also dump the dataset as JSON.
 
-use crossbeam::channel;
 use splice_bench::{maybe_dump, table};
 use splice_buses::system::SplicedSystem;
 use splice_core::simbuild::{CalcLogic, CalcResult, FuncInputs};
 use splice_driver::program::{CallArgs, CallValue};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::thread;
 
 #[derive(Debug, Clone, Copy)]
@@ -54,9 +55,7 @@ fn measure(p: Point) -> u64 {
     let mut sys = SplicedSystem::build(&module.module, |_, _| Box::new(Sum));
     let mask = if p.packed { 0xFF } else { 0xFFFF_FFFF };
     let data: Vec<u64> = (0..p.words).map(|i| (i * 7 + 1) & mask).collect();
-    sys.call("f", &CallArgs::new(vec![CallValue::Array(data)]))
-        .expect("sweep call")
-        .bus_cycles
+    sys.call("f", &CallArgs::new(vec![CallValue::Array(data)])).expect("sweep call").bus_cycles
 }
 
 fn main() {
@@ -80,30 +79,25 @@ fn main() {
     let total = points.len();
 
     let workers = thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-    let (work_tx, work_rx) = channel::unbounded::<Point>();
-    let (result_tx, result_rx) = channel::unbounded::<Sample>();
-    for p in &points {
-        work_tx.send(*p).unwrap();
-    }
-    drop(work_tx);
+    let next = AtomicUsize::new(0);
+    let (result_tx, result_rx) = mpsc::channel::<Sample>();
 
     let start = std::time::Instant::now();
     thread::scope(|s| {
         for _ in 0..workers {
-            let rx = work_rx.clone();
             let tx = result_tx.clone();
-            s.spawn(move || {
-                while let Ok(point) = rx.recv() {
-                    let cycles = measure(point);
-                    tx.send(Sample { point, cycles }).unwrap();
-                }
+            let next = &next;
+            let points = &points;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(point) = points.get(i).copied() else { break };
+                let cycles = measure(point);
+                tx.send(Sample { point, cycles }).unwrap();
             });
         }
         drop(result_tx);
         let mut samples: Vec<Sample> = result_rx.iter().collect();
-        samples.sort_by_key(|s| {
-            (s.point.bus, s.point.words, s.point.packed, s.point.burst)
-        });
+        samples.sort_by_key(|s| (s.point.bus, s.point.words, s.point.packed, s.point.burst));
 
         let headers = ["bus", "words", "packed", "burst", "cycles"];
         let rows: Vec<Vec<String>> = samples

@@ -34,20 +34,60 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Escape a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Serialize rows as a JSON object for machine-readable experiment output.
 pub fn json_rows(name: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
-    let payload: Vec<serde_json::Value> = rows
-        .iter()
-        .map(|row| {
-            let obj: serde_json::Map<String, serde_json::Value> = headers
-                .iter()
-                .zip(row)
-                .map(|(h, c)| ((*h).to_owned(), serde_json::Value::String(c.clone())))
-                .collect();
-            serde_json::Value::Object(obj)
-        })
-        .collect();
-    serde_json::json!({ "experiment": name, "rows": payload }).to_string()
+    let mut out = String::new();
+    let _ = write!(out, "{{\"experiment\":\"{}\",\"rows\":[", json_escape(name));
+    for (r, row) in rows.iter().enumerate() {
+        if r > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        for (i, (h, c)) in headers.iter().zip(row).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", json_escape(h), json_escape(c));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Minimal wall-clock micro-benchmark: warm up, then time `iters`
+/// invocations and print mean ns/iter. Used by the `benches/` harnesses
+/// (`harness = false`) in place of an external benchmarking framework.
+pub fn time_case<R>(label: &str, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..iters.div_ceil(10) {
+        std::hint::black_box(f());
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed();
+    let per = total.as_nanos() / u128::from(iters.max(1));
+    println!("{label:<44} {per:>12} ns/iter   ({iters} iters, {total:.2?} total)");
 }
 
 /// Write the JSON record next to the binary's working directory when the

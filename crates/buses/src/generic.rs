@@ -54,17 +54,34 @@ impl ApbSignals {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum AmState {
     Fetch,
-    Issue { remaining: u32, op: Box<BusOp> },
+    Issue {
+        remaining: u32,
+        op: Box<BusOp>,
+    },
     /// Setup phase asserted; enable phase follows.
-    Enable { is_read: bool, remaining_reads: u32 },
+    Enable {
+        is_read: bool,
+        remaining_reads: u32,
+    },
     /// Enable phase held for its cycle; the transfer commits next edge.
-    Commit { is_read: bool, remaining_reads: u32 },
+    Commit {
+        is_read: bool,
+        remaining_reads: u32,
+    },
     /// Fixed read-return schedule: the registered-model stand-in for the
     /// APB's same-cycle combinational response.
-    AwaitData { remaining: u32, poll: Option<(u64, u32)> },
-    Busy { remaining: u32 },
+    AwaitData {
+        remaining: u32,
+        poll: Option<(u64, u32)>,
+    },
+    Busy {
+        remaining: u32,
+    },
     /// Sleeping until a completion interrupt.
-    WaitIrq { bit: u32, ack_pending: bool },
+    WaitIrq {
+        bit: u32,
+        ack_pending: bool,
+    },
     Done,
 }
 
@@ -86,6 +103,8 @@ pub struct ApbMaster {
     pub finished_cycle: Option<u64>,
     /// Native transfers issued.
     pub bus_txns: u64,
+    /// Cycle the outstanding transfer began (for latency histograms).
+    req_start: Option<u64>,
 }
 
 impl ApbMaster {
@@ -101,6 +120,7 @@ impl ApbMaster {
             reads: Vec::new(),
             finished_cycle: None,
             bus_txns: 0,
+            req_start: None,
         }
     }
 
@@ -122,6 +142,7 @@ impl ApbMaster {
         self.state = AmState::Fetch;
         self.reads.clear();
         self.finished_cycle = None;
+        self.req_start = None;
     }
 
     fn idle(&self, ctx: &mut TickCtx<'_>) {
@@ -151,6 +172,23 @@ impl ApbMaster {
             None => ctx.set_bool(self.sig.pwrite, false),
         }
         self.bus_txns += 1;
+        self.req_start = Some(ctx.cycle());
+        ctx.metric_add("apb.master.txns", 1);
+        if ctx.metrics_enabled() {
+            ctx.protocol_event(
+                "apb-master",
+                if write.is_some() { "setup_write" } else { "setup_read" },
+                format!("addr=0x{addr:x}"),
+            );
+        }
+    }
+
+    /// A transfer just committed (write) or returned data (read): record
+    /// its setup→completion latency.
+    fn observe_done(&mut self, ctx: &mut TickCtx<'_>) {
+        if let Some(start) = self.req_start.take() {
+            ctx.metric_observe("apb.master.req_ack_latency", ctx.cycle() - start);
+        }
     }
 
     /// Fixed read-return latency: request crosses the bridge, the SIS
@@ -207,6 +245,7 @@ impl Component for ApbMaster {
                     };
                 } else {
                     // Writes complete in the enable cycle: no wait states.
+                    self.observe_done(ctx);
                     self.idle(ctx);
                     self.next_op(cycle);
                 }
@@ -214,6 +253,7 @@ impl Component for ApbMaster {
             AmState::AwaitData { remaining, poll } => {
                 if remaining <= 1 {
                     let data = ctx.get(self.sig.prdata);
+                    self.observe_done(ctx);
                     self.idle(ctx);
                     match poll {
                         Some((addr, bit)) => {
@@ -221,6 +261,7 @@ impl Component for ApbMaster {
                                 self.next_op(cycle);
                             } else {
                                 // Poll again: a fresh APB read transfer.
+                                ctx.metric_add("apb.master.poll_reads", 1);
                                 self.setup(ctx, addr, None);
                                 self.state =
                                     AmState::Enable { is_read: true, remaining_reads: bit + 1 };
@@ -232,10 +273,12 @@ impl Component for ApbMaster {
                         }
                     }
                 } else {
+                    ctx.metric_add("apb.master.wait_cycles", 1);
                     self.state = AmState::AwaitData { remaining: remaining - 1, poll };
                 }
             }
             AmState::Busy { remaining } => {
+                ctx.metric_add("apb.master.busy_cycles", 1);
                 if remaining <= 1 {
                     self.next_op(cycle);
                 } else {
@@ -394,12 +437,14 @@ impl Component for ApbAdapter {
                 ctx.set_bool(self.sis.io_enable, true);
                 self.lower_enable = true;
                 self.sis_beats += 1;
+                ctx.metric_add("apb.adapter.sis_beats", 1);
             } else {
                 ctx.set_bool(self.sis.data_in_valid, false);
                 ctx.set(self.sis.func_id, func_id);
                 ctx.set_bool(self.sis.io_enable, true);
                 self.lower_enable = true;
                 self.sis_beats += 1;
+                ctx.metric_add("apb.adapter.sis_beats", 1);
             }
         }
     }
@@ -512,8 +557,7 @@ mod tests {
 
     fn module(bus: &str, decls: &str) -> ModuleSpec {
         let base = if bus == "fcb" { "" } else { "%base_address 0x80000000\n" };
-        let src =
-            format!("%device_name demo\n%bus_type {bus}\n%bus_width 32\n{base}{decls}");
+        let src = format!("%device_name demo\n%bus_type {bus}\n%bus_width 32\n{base}{decls}");
         parse_and_validate(&src).unwrap().module
     }
 
@@ -559,9 +603,7 @@ mod tests {
     fn apb_split_64_bit_transfer() {
         let m = module("apb", "%user_type llong, unsigned long long, 64\nllong echo(llong v);");
         let f = m.function("echo").unwrap();
-        let args = CallArgs::new(vec![splice_driver::program::CallValue::Scalar(
-            0xAB_1234_5678,
-        )]);
+        let args = CallArgs::new(vec![splice_driver::program::CallValue::Scalar(0xAB_1234_5678)]);
         let prog = lower_call(&m.params, f, &args).unwrap();
         let (reads, _) = run_apb_call(&m, "echo", args, 2);
         assert_eq!(prog.decode_result(&reads), vec![0xAB_1234_5678]);
@@ -571,9 +613,8 @@ mod tests {
     fn fcb_system_runs_via_direct_addressing() {
         let m = module("fcb", "long add2(int a, int b);");
         let ir = elaborate(&m);
-        let prog =
-            lower_call(&m.params, m.function("add2").unwrap(), &CallArgs::scalars(&[1, 2]))
-                .unwrap();
+        let prog = lower_call(&m.params, m.function("add2").unwrap(), &CallArgs::scalars(&[1, 2]))
+            .unwrap();
         let mut b = SimulatorBuilder::new();
         let handles = build_peripheral(&mut b, &ir, "sis.", |_, _| Box::new(SumCalc(2)));
         let sys = PseudoAsyncSystem::attach(&mut b, "fcb.", handles.bus, 32, 0, 0, true);
@@ -593,26 +634,15 @@ mod tests {
         let run = |bus: &str, stall: u32, timing: BusKind| {
             let m = module(bus, "long add2(int a, int b);");
             let ir = elaborate(&m);
-            let prog = lower_call(
-                &m.params,
-                m.function("add2").unwrap(),
-                &CallArgs::scalars(&[1, 2]),
-            )
-            .unwrap();
+            let prog =
+                lower_call(&m.params, m.function("add2").unwrap(), &CallArgs::scalars(&[1, 2]))
+                    .unwrap();
             let mut b = SimulatorBuilder::new();
             let handles = build_peripheral(&mut b, &ir, "sis.", |_, _| Box::new(SumCalc(2)));
-            let sys = PseudoAsyncSystem::attach(
-                &mut b,
-                "n.",
-                handles.bus,
-                32,
-                0x8000_0000,
-                stall,
-                false,
-            );
-            let midx = b.component(Box::new(
-                sys.master(BusTiming::for_bus(timing), prog.ops.clone()),
-            ));
+            let sys =
+                PseudoAsyncSystem::attach(&mut b, "n.", handles.bus, 32, 0x8000_0000, stall, false);
+            let midx =
+                b.component(Box::new(sys.master(BusTiming::for_bus(timing), prog.ops.clone())));
             let mut sim = b.build();
             sim.run_until("call", 100_000, |s| {
                 s.component::<PlbCpuMaster>(midx).unwrap().is_finished()

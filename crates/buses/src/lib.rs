@@ -16,9 +16,9 @@
 //! coupling for the FCB, burst depths, DMA limits).
 
 pub mod generic;
-pub mod system;
 pub mod libs;
 pub mod plb;
+pub mod system;
 pub mod timing;
 
 pub use libs::{builtin_libraries, library_for};

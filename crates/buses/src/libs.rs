@@ -95,10 +95,7 @@ impl BusLibrary for BuiltinBusLibrary {
             "STATUS_READ_NOTE",
             "function identifier zero is reserved for CALC_DONE status reads (SIS 4.2.2)",
         );
-        m.set(
-            "BASE_ADDR_HEX",
-            format!("{:08X}", ir.module.params.base_address),
-        );
+        m.set("BASE_ADDR_HEX", format!("{:08X}", ir.module.params.base_address));
         m
     }
 
@@ -208,7 +205,9 @@ fn native_ports(kind: BusKind, width: u32) -> String {
 
 fn protocol_note(kind: BusKind) -> &'static str {
     match kind {
-        BusKind::Plb => "pseudo asynchronous; RD/WR_REQ maps to IO_ENABLE, RD/WR_ACK to IO_DONE (Figs 4.7/4.8)",
+        BusKind::Plb => {
+            "pseudo asynchronous; RD/WR_REQ maps to IO_ENABLE, RD/WR_ACK to IO_DONE (Figs 4.7/4.8)"
+        }
         BusKind::Opb => "pseudo asynchronous behind the PLB bridge; simple reads/writes only",
         BusKind::Fcb => "opcode-coupled co-processor port; double/quad burst ops supported",
         BusKind::Apb => "strictly synchronous; no wait states, CALC_DONE polled via function id 0",
@@ -269,7 +268,8 @@ mod tests {
 
     fn design(bus: &str) -> DesignIr {
         let base = if bus == "fcb" { "" } else { "%base_address 0x80000000\n" };
-        let src = format!("%device_name demo\n%bus_type {bus}\n%bus_width 32\n{base}long f(int x);");
+        let src =
+            format!("%device_name demo\n%bus_type {bus}\n%bus_width 32\n{base}long f(int x);");
         elaborate(&parse_and_validate(&src).unwrap().module)
     }
 

@@ -111,21 +111,36 @@ pub const DMA_CTRL_ACK_DELAY: u32 = 5;
 enum MState {
     Fetch,
     /// Pay issue cycles before driving the request.
-    Issue { remaining: u32, op: Box<BusOp> },
+    Issue {
+        remaining: u32,
+        op: Box<BusOp>,
+    },
     /// Write request asserted, waiting for WR_ACK.
     WaitWrAck,
     /// Read request asserted, waiting for RD_ACK (burst reads collect
     /// `beats` from the channel on acknowledge).
-    WaitRdAck { beats: u32 },
+    WaitRdAck {
+        beats: u32,
+    },
     /// Polling loop: re-issue status reads until `bit` of the result rises.
-    PollWait { addr: u64, bit: u32 },
+    PollWait {
+        addr: u64,
+        bit: u32,
+    },
     /// DMA programmed; waiting for DMA_DONE.
-    WaitDma { is_read: bool },
+    WaitDma {
+        is_read: bool,
+    },
     /// Sleeping until a completion interrupt (the CPU's wait-for-interrupt
     /// state; no bus traffic).
-    WaitIrq { bit: u32, ack_pending: bool },
+    WaitIrq {
+        bit: u32,
+        ack_pending: bool,
+    },
     /// CPU-side compute (already converted to bus cycles).
-    Busy { remaining: u32 },
+    Busy {
+        remaining: u32,
+    },
     Done,
 }
 
@@ -149,6 +164,8 @@ pub struct PlbCpuMaster {
     pub finished_cycle: Option<u64>,
     /// Total native bus transactions issued (for diagnostics).
     pub bus_txns: u64,
+    /// Cycle the outstanding request was asserted (for latency histograms).
+    req_start: Option<u64>,
 }
 
 impl PlbCpuMaster {
@@ -167,6 +184,7 @@ impl PlbCpuMaster {
             reads: Vec::new(),
             finished_cycle: None,
             bus_txns: 0,
+            req_start: None,
         }
     }
 
@@ -192,6 +210,17 @@ impl PlbCpuMaster {
         self.pending_dma = None;
         self.reads.clear();
         self.finished_cycle = None;
+        self.req_start = None;
+    }
+
+    /// A native request just completed: record its request→ack latency.
+    fn observe_ack(&mut self, ctx: &mut TickCtx<'_>, which: &str) {
+        if let Some(start) = self.req_start.take() {
+            ctx.metric_observe("plb.master.req_ack_latency", ctx.cycle() - start);
+        }
+        if ctx.metrics_enabled() {
+            ctx.protocol_event("plb-cpu-master", which, "");
+        }
     }
 
     fn idle_lines(&self, ctx: &mut TickCtx<'_>) {
@@ -223,6 +252,16 @@ impl PlbCpuMaster {
         ctx.set_bool(self.sig.wr_req, true);
         ctx.set(self.sig.burst_len, beats as Word);
         self.bus_txns += 1;
+        self.req_start = Some(ctx.cycle());
+        ctx.metric_add("plb.master.txns", 1);
+        if ctx.metrics_enabled() {
+            ctx.metric_observe("plb.master.burst_beats", beats as u64);
+            ctx.protocol_event(
+                "plb-cpu-master",
+                "wr_req",
+                format!("addr=0x{addr:x} beats={beats}"),
+            );
+        }
         self.state = MState::WaitWrAck;
     }
 
@@ -234,6 +273,16 @@ impl PlbCpuMaster {
         ctx.set_bool(self.sig.rd_req, true);
         ctx.set(self.sig.burst_len, beats as Word);
         self.bus_txns += 1;
+        self.req_start = Some(ctx.cycle());
+        ctx.metric_add("plb.master.txns", 1);
+        if ctx.metrics_enabled() {
+            ctx.metric_observe("plb.master.burst_beats", beats as u64);
+            ctx.protocol_event(
+                "plb-cpu-master",
+                "rd_req",
+                format!("addr=0x{addr:x} beats={beats}"),
+            );
+        }
         self.state = MState::WaitRdAck { beats };
     }
 
@@ -283,10 +332,7 @@ impl PlbCpuMaster {
             }
             BusOp::WaitIrq { bit } => {
                 self.idle_lines(ctx);
-                assert!(
-                    self.irq.is_some(),
-                    "WaitIrq op on a system without %irq_support"
-                );
+                assert!(self.irq.is_some(), "WaitIrq op on a system without %irq_support");
                 self.state = MState::WaitIrq { bit, ack_pending: false };
             }
         }
@@ -333,6 +379,7 @@ impl Component for PlbCpuMaster {
             MState::WaitWrAck => {
                 ctx.set_bool(self.sig.wr_req, false);
                 if ctx.get_bool(self.sig.wr_ack) {
+                    self.observe_ack(ctx, "wr_ack");
                     ctx.set_bool(self.sig.wr_ce, false);
                     ctx.set(self.sig.be, 0);
                     // DMA setup sequence: more controller writes to go?
@@ -350,12 +397,14 @@ impl Component for PlbCpuMaster {
                         self.next_op(cycle);
                     }
                 } else {
+                    ctx.metric_add("plb.master.wait_cycles", 1);
                     self.state = MState::WaitWrAck;
                 }
             }
             MState::WaitRdAck { beats } => {
                 ctx.set_bool(self.sig.rd_req, false);
                 if ctx.get_bool(self.sig.rd_ack) {
+                    self.observe_ack(ctx, "rd_ack");
                     ctx.set_bool(self.sig.rd_ce, false);
                     ctx.set(self.sig.be, 0);
                     if beats == 1 {
@@ -371,27 +420,32 @@ impl Component for PlbCpuMaster {
                     }
                     self.next_op(cycle);
                 } else {
+                    ctx.metric_add("plb.master.wait_cycles", 1);
                     self.state = MState::WaitRdAck { beats };
                 }
             }
             MState::PollWait { addr, bit } => {
                 ctx.set_bool(self.sig.rd_req, false);
                 if ctx.get_bool(self.sig.rd_ack) {
+                    self.observe_ack(ctx, "rd_ack");
                     let status = ctx.get(self.sig.s_data);
                     ctx.set_bool(self.sig.rd_ce, false);
                     if (status >> bit) & 1 == 1 {
                         self.next_op(cycle);
                     } else {
                         // Poll again: a fresh read transaction.
+                        ctx.metric_add("plb.master.poll_reads", 1);
                         self.assert_read(ctx, addr, 1);
                         self.state = MState::PollWait { addr, bit };
                     }
                 } else {
+                    ctx.metric_add("plb.master.wait_cycles", 1);
                     self.state = MState::PollWait { addr, bit };
                 }
             }
             MState::WaitDma { is_read } => {
                 self.idle_lines(ctx);
+                ctx.metric_add("plb.master.dma_wait_cycles", 1);
                 if ctx.get_bool(self.sig.dma_done) {
                     if is_read {
                         let mut ch = self.chan.borrow_mut();
@@ -405,6 +459,7 @@ impl Component for PlbCpuMaster {
                 }
             }
             MState::Busy { remaining } => {
+                ctx.metric_add("plb.master.busy_cycles", 1);
                 if remaining <= 1 {
                     self.next_op(cycle);
                 } else {
@@ -452,17 +507,39 @@ enum AState {
     Idle,
     /// Extra response latency (0 for generated adapters; >0 models less
     /// optimised hand implementations).
-    Stall { remaining: u32, then_write: bool, beats: u32 },
+    Stall {
+        remaining: u32,
+        then_write: bool,
+        beats: u32,
+    },
     /// SIS write asserted, waiting for IO_DONE.
-    SisWriteWait { beats_left: u32 },
+    SisWriteWait {
+        beats_left: u32,
+    },
     /// SIS read asserted, waiting for DATA_OUT_VALID + IO_DONE.
-    SisReadWait { beats_left: u32, ack_deferred: bool },
+    SisReadWait {
+        beats_left: u32,
+        ack_deferred: bool,
+    },
     /// DMA engine streaming beats toward the peripheral.
-    DmaWritePump { beats_left: u32, func_addr: u64, asserted: bool },
+    DmaWritePump {
+        beats_left: u32,
+        func_addr: u64,
+        asserted: bool,
+    },
     /// DMA engine collecting beats from the peripheral.
-    DmaReadPump { beats_left: u32, func_addr: u64, asserted: bool },
+    DmaReadPump {
+        beats_left: u32,
+        func_addr: u64,
+        asserted: bool,
+    },
     /// Inter-beat pacing gap of the DMA engine.
-    DmaGap { remaining: u32, is_write: bool, beats_left: u32, func_addr: u64 },
+    DmaGap {
+        remaining: u32,
+        is_write: bool,
+        beats_left: u32,
+        func_addr: u64,
+    },
 }
 
 /// The generated PLB→SIS native interface adapter (§4.3.2), with the
@@ -619,6 +696,13 @@ impl Component for PlbSisAdapter {
                 let armed = self.chan.borrow_mut().dma_pending.take();
                 if let Some((is_write, beats, faddr)) = armed {
                     let func_addr = self.func_id_of(faddr);
+                    if ctx.metrics_enabled() {
+                        ctx.protocol_event(
+                            "plb-sis-adapter",
+                            "dma_start",
+                            format!("{} beats={beats}", if is_write { "write" } else { "read" }),
+                        );
+                    }
                     self.state = if is_write {
                         AState::DmaWritePump { beats_left: beats, func_addr, asserted: false }
                     } else {
@@ -643,11 +727,8 @@ impl Component for PlbSisAdapter {
                     }
                     let beats = ctx.get(self.sig.burst_len).max(1) as u32;
                     if self.stall_cycles > 0 {
-                        self.state = AState::Stall {
-                            remaining: self.stall_cycles,
-                            then_write: true,
-                            beats,
-                        };
+                        self.state =
+                            AState::Stall { remaining: self.stall_cycles, then_write: true, beats };
                     } else {
                         self.begin_write(ctx, beats);
                     }
@@ -665,6 +746,7 @@ impl Component for PlbSisAdapter {
                 }
             }
             AState::Stall { remaining, then_write, beats } => {
+                ctx.metric_add("plb.adapter.wait_state_cycles", 1);
                 if remaining <= 1 {
                     if beats == 0 {
                         // DMA-controller register ack (no SIS traffic).
@@ -683,6 +765,7 @@ impl Component for PlbSisAdapter {
             AState::SisWriteWait { beats_left } => {
                 if ctx.get_bool(self.sis.io_done) {
                     self.sis_beats += 1;
+                    ctx.metric_add("plb.adapter.sis_beats", 1);
                     if beats_left <= 1 {
                         ctx.set_bool(self.sis.data_in_valid, false);
                         ctx.set_bool(self.sig.wr_ack, true);
@@ -690,12 +773,7 @@ impl Component for PlbSisAdapter {
                         self.state = AState::Idle;
                     } else {
                         // Burst pump: next beat straight from the channel.
-                        let next = self
-                            .chan
-                            .borrow_mut()
-                            .to_slave
-                            .pop_front()
-                            .unwrap_or(0);
+                        let next = self.chan.borrow_mut().to_slave.pop_front().unwrap_or(0);
                         let func_id = ctx.get(self.sis.func_id);
                         self.sis_write_beat(ctx, func_id, next);
                         self.state = AState::SisWriteWait { beats_left: beats_left - 1 };
@@ -705,6 +783,7 @@ impl Component for PlbSisAdapter {
             AState::SisReadWait { beats_left, ack_deferred } => {
                 if ctx.get_bool(self.sis.data_out_valid) && ctx.get_bool(self.sis.io_done) {
                     self.sis_beats += 1;
+                    ctx.metric_add("plb.adapter.sis_beats", 1);
                     let data = ctx.get(self.sis.data_out);
                     if beats_left <= 1 {
                         ctx.set(self.sig.s_data, data);
@@ -720,10 +799,8 @@ impl Component for PlbSisAdapter {
                         self.chan.borrow_mut().from_slave.push_back(data);
                         let func_id = ctx.get(self.sis.func_id);
                         self.sis_read_req(ctx, func_id);
-                        self.state = AState::SisReadWait {
-                            beats_left: beats_left - 1,
-                            ack_deferred: true,
-                        };
+                        self.state =
+                            AState::SisReadWait { beats_left: beats_left - 1, ack_deferred: true };
                     }
                 }
             }
@@ -734,10 +811,15 @@ impl Component for PlbSisAdapter {
                     self.state = AState::DmaWritePump { beats_left, func_addr, asserted: true };
                 } else if ctx.get_bool(self.sis.io_done) {
                     self.sis_beats += 1;
+                    ctx.metric_add("plb.adapter.sis_beats", 1);
+                    ctx.metric_add("plb.adapter.dma_beats", 1);
                     if beats_left <= 1 {
                         ctx.set_bool(self.sis.data_in_valid, false);
                         ctx.set_bool(self.sig.dma_done, true);
                         self.lower.dma_done = true;
+                        if ctx.metrics_enabled() {
+                            ctx.protocol_event("plb-sis-adapter", "dma_done", "write stream");
+                        }
                         self.state = AState::Idle;
                     } else if self.dma_beat_gap > 0 {
                         ctx.set_bool(self.sis.data_in_valid, false);
@@ -764,11 +846,16 @@ impl Component for PlbSisAdapter {
                     self.state = AState::DmaReadPump { beats_left, func_addr, asserted: true };
                 } else if ctx.get_bool(self.sis.data_out_valid) && ctx.get_bool(self.sis.io_done) {
                     self.sis_beats += 1;
+                    ctx.metric_add("plb.adapter.sis_beats", 1);
+                    ctx.metric_add("plb.adapter.dma_beats", 1);
                     self.chan.borrow_mut().from_slave.push_back(ctx.get(self.sis.data_out));
                     if beats_left <= 1 {
                         ctx.set_bool(self.sig.dma_done, true);
                         self.lower.dma_done = true;
                         ctx.set(self.sis.func_id, 0);
+                        if ctx.metrics_enabled() {
+                            ctx.protocol_event("plb-sis-adapter", "dma_done", "read stream");
+                        }
                         self.state = AState::Idle;
                     } else if self.dma_beat_gap > 0 {
                         self.state = AState::DmaGap {
@@ -788,6 +875,7 @@ impl Component for PlbSisAdapter {
                 }
             }
             AState::DmaGap { remaining, is_write, beats_left, func_addr } => {
+                ctx.metric_add("plb.adapter.dma_gap_cycles", 1);
                 if remaining <= 1 {
                     self.state = if is_write {
                         AState::DmaWritePump { beats_left, func_addr, asserted: false }
@@ -867,12 +955,7 @@ mod tests {
     }
 
     /// Full system: CPU master → PLB → adapter → SIS → generated stubs.
-    fn run_call(
-        m: &ModuleSpec,
-        func: &str,
-        args: CallArgs,
-        stall: u32,
-    ) -> (Vec<Word>, u64) {
+    fn run_call(m: &ModuleSpec, func: &str, args: CallArgs, stall: u32) -> (Vec<Word>, u64) {
         let ir = elaborate(m);
         let f = m.function(func).unwrap();
         let prog = lower_call(&m.params, f, &args).unwrap();
@@ -917,10 +1000,8 @@ mod tests {
     #[test]
     fn end_to_end_array_call() {
         let m = module("long sum(int n, int*:n xs);", "");
-        let args = CallArgs::new(vec![
-            CallValue::Scalar(4),
-            CallValue::Array(vec![10, 20, 30, 40]),
-        ]);
+        let args =
+            CallArgs::new(vec![CallValue::Scalar(4), CallValue::Array(vec![10, 20, 30, 40])]);
         let (reads, _) = run_call(&m, "sum", args, 0);
         assert_eq!(reads, vec![104]); // 4 + 100
     }
@@ -943,18 +1024,12 @@ mod tests {
         let args = CallArgs::new(vec![CallValue::Array((0..8).collect())]);
         let (_, plain) = run_call(&m_plain, "f", args.clone(), 0);
         let (_, burst) = run_call(&m_burst, "f", args, 0);
-        assert!(
-            burst < plain,
-            "bursting must reduce cycles: burst={burst} plain={plain}"
-        );
+        assert!(burst < plain, "bursting must reduce cycles: burst={burst} plain={plain}");
     }
 
     #[test]
     fn split_64_bit_values_roundtrip() {
-        let m = module(
-            "llong echo(llong v);",
-            "%user_type llong, unsigned long long, 64",
-        );
+        let m = module("llong echo(llong v);", "%user_type llong, unsigned long long, 64");
         let f = m.function("echo").unwrap();
         let args = CallArgs::new(vec![CallValue::Scalar(0xAAAA_BBBB_1234_5678)]);
         let prog = lower_call(&m.params, f, &args).unwrap();
@@ -972,12 +1047,9 @@ mod tests {
         // plus the completion read, not 16 data stores.
         let ir = elaborate(&m);
         let f = m.function("f").unwrap();
-        let prog = lower_call(
-            &m.params,
-            f,
-            &CallArgs::new(vec![CallValue::Array((0..16).collect())]),
-        )
-        .unwrap();
+        let prog =
+            lower_call(&m.params, f, &CallArgs::new(vec![CallValue::Array((0..16).collect())]))
+                .unwrap();
         let mut b = SimulatorBuilder::new();
         let handles = build_peripheral(&mut b, &ir, "sis.", |_, _| Box::new(SumCalc));
         let sig = PlbSignals::declare(&mut b, "", 32);

@@ -299,10 +299,8 @@ impl SplicedSystem {
     /// `inst_index`) arrives — the application-side pairing for `nowait`
     /// calls on `%irq_support` designs. Returns the bus cycles waited.
     pub fn wait_irq(&mut self, func: &str, inst_index: u32) -> Result<u64, SystemError> {
-        let f = self
-            .module
-            .function(func)
-            .ok_or_else(|| SystemError::NoSuchFunction(func.into()))?;
+        let f =
+            self.module.function(func).ok_or_else(|| SystemError::NoSuchFunction(func.into()))?;
         let bit = f.first_func_id + inst_index.min(f.instances.saturating_sub(1));
         self.run_ops(vec![BusOp::WaitIrq { bit }]).map(|(cycles, _)| cycles)
     }
@@ -339,8 +337,7 @@ mod tests {
 
     fn module(bus: &str, decls: &str) -> ModuleSpec {
         let base = if bus == "fcb" { "" } else { "%base_address 0x80000000\n" };
-        let src =
-            format!("%device_name demo\n%bus_type {bus}\n%bus_width 32\n{base}{decls}");
+        let src = format!("%device_name demo\n%bus_type {bus}\n%bus_width 32\n{base}{decls}");
         parse_and_validate(&src).unwrap().module
     }
 
@@ -410,9 +407,6 @@ mod tests {
     fn unknown_function_is_reported() {
         let m = module("plb", "long add(int a, int b);");
         let mut sys = SplicedSystem::build(&m, |_, _| Box::new(Sum(1)));
-        assert!(matches!(
-            sys.call("nope", &CallArgs::none()),
-            Err(SystemError::NoSuchFunction(_))
-        ));
+        assert!(matches!(sys.call("nope", &CallArgs::none()), Err(SystemError::NoSuchFunction(_))));
     }
 }

@@ -149,11 +149,7 @@ mod tests {
     #[test]
     fn apb_is_the_only_strict_sync_builtin() {
         for k in BusKind::all() {
-            assert_eq!(
-                BusTiming::for_bus(k).strict_sync,
-                k == BusKind::Apb,
-                "{k}"
-            );
+            assert_eq!(BusTiming::for_bus(k).strict_sync, k == BusKind::Apb, "{k}");
         }
     }
 

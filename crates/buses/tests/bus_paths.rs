@@ -39,7 +39,11 @@ fn dma_read_streams_results_back() {
         &CallArgs::scalars(&[16]),
     )
     .unwrap();
-    assert!(prog.ops.iter().any(|o| matches!(o, BusOp::DmaRead { beats: 16, .. })), "{:?}", prog.ops);
+    assert!(
+        prog.ops.iter().any(|o| matches!(o, BusOp::DmaRead { beats: 16, .. })),
+        "{:?}",
+        prog.ops
+    );
 }
 
 #[test]
@@ -106,12 +110,8 @@ fn interleaved_functions_never_corrupt_each_other() {
     for round in 0..5u64 {
         let xa = vec![round, round + 1, round + 2];
         let xb = vec![round * 10, round * 10 + 1];
-        let ra = sys
-            .call("a", &CallArgs::new(vec![CallValue::Array(xa.clone())]))
-            .unwrap();
-        let rb = sys
-            .call("b", &CallArgs::new(vec![CallValue::Array(xb.clone())]))
-            .unwrap();
+        let ra = sys.call("a", &CallArgs::new(vec![CallValue::Array(xa.clone())])).unwrap();
+        let rb = sys.call("b", &CallArgs::new(vec![CallValue::Array(xb.clone())])).unwrap();
         assert_eq!(ra.result, vec![xa.iter().sum::<u64>()], "round {round}");
         assert_eq!(rb.result, vec![xb.iter().sum::<u64>()], "round {round}");
     }

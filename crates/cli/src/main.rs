@@ -37,6 +37,7 @@ struct Options {
     dry_run: bool,
     resources: bool,
     linux: bool,
+    metrics: Option<PathBuf>,
 }
 
 const USAGE: &str = "\
@@ -51,6 +52,7 @@ OPTIONS:
   -n, --dry-run       print what would be generated without writing files
       --resources     print the estimated FPGA resource bill
       --linux         also emit splice_lib_linux.h (mmap-based user-space driver)
+      --metrics <f>   write generation-pipeline metrics to <f> as JSON
       --list-buses    list the registered bus libraries and exit
   -h, --help          show this help
 ";
@@ -73,6 +75,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut dry_run = false;
     let mut resources = false;
     let mut linux = false;
+    let mut metrics = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -96,6 +99,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "-n" | "--dry-run" => dry_run = true,
             "--resources" => resources = true,
             "--linux" => linux = true,
+            "--metrics" => {
+                let file = it.next().ok_or("--metrics needs a file argument")?;
+                metrics = Some(PathBuf::from(file));
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n{USAGE}"));
             }
@@ -107,7 +114,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         }
     }
     let spec_file = spec_file.ok_or_else(|| format!("no spec file given\n{USAGE}"))?;
-    Ok(Some(Options { spec_file, out_dir, force, dry_run, resources, linux }))
+    Ok(Some(Options { spec_file, out_dir, force, dry_run, resources, linux, metrics }))
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -135,9 +142,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
     // Bus library parameter check (§7.1.2).
     let bus_name = module.params.bus.kind.name().to_owned();
-    let lib = libs
-        .get(&bus_name)
-        .ok_or_else(|| format!("no interface library for bus `{bus_name}`"))?;
+    let lib =
+        libs.get(&bus_name).ok_or_else(|| format!("no interface library for bus `{bus_name}`"))?;
     lib.check_params(&module).map_err(|e| format!("bus library rejected the design: {e}"))?;
 
     // Elaborate and generate.
@@ -172,6 +178,29 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
     for note in &ir.notes {
         println!("note: {note}");
+    }
+
+    // Generation-pipeline metrics: the same registry the simulator uses,
+    // here tallying what the front/back end just produced.
+    if let Some(path) = &opts.metrics {
+        let mut reg = splice_sim::MetricsRegistry::new();
+        reg.enable();
+        reg.gauge_set("gen.functions", module.functions.len() as u64);
+        reg.gauge_set("gen.instances", ir.total_instances() as u64);
+        reg.gauge_set("gen.notes", ir.notes.len() as u64);
+        reg.gauge_set("gen.hw_files", hw.len() as u64);
+        reg.gauge_set("gen.sw_files", sw.len() as u64);
+        reg.gauge_set("gen.resource_slices", design_cost(&ir).total().slices() as u64);
+        for f in &hw {
+            reg.counter_add("gen.hw_bytes", f.text.len() as u64);
+            reg.observe("gen.file_bytes", f.text.len() as u64);
+        }
+        for (_, text) in &sw {
+            reg.counter_add("gen.sw_bytes", text.len() as u64);
+            reg.observe("gen.file_bytes", text.len() as u64);
+        }
+        write_file(path, &reg.to_json())?;
+        println!("generation metrics written to {}", path.display());
     }
 
     if opts.resources {

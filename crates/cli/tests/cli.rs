@@ -37,13 +37,8 @@ fn generates_the_fig_8_3_and_8_7_files() {
     let spec = dir.join("timer.splice");
     std::fs::write(&spec, TIMER_SPEC).unwrap();
 
-    let out = splice_bin()
-        .arg("-o")
-        .arg(&dir)
-        .arg("--force")
-        .arg(&spec)
-        .output()
-        .expect("binary runs");
+    let out =
+        splice_bin().arg("-o").arg(&dir).arg("--force").arg(&spec).output().expect("binary runs");
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
 
     let device = dir.join("hw_timer");
@@ -86,12 +81,7 @@ fn resources_flag_prints_the_bill() {
     let dir = tmp_dir("res");
     let spec = dir.join("t.splice");
     std::fs::write(&spec, TIMER_SPEC).unwrap();
-    let out = splice_bin()
-        .args(["--resources", "-n", "-o"])
-        .arg(&dir)
-        .arg(&spec)
-        .output()
-        .unwrap();
+    let out = splice_bin().args(["--resources", "-n", "-o"]).arg(&dir).arg(&spec).output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("estimated FPGA resources"), "{stdout}");
     assert!(stdout.contains("plb_interface"), "{stdout}");
@@ -190,7 +180,8 @@ fn linux_flag_emits_the_mmap_header() {
     let dir = tmp_dir("linux");
     let spec = dir.join("t.splice");
     std::fs::write(&spec, TIMER_SPEC).unwrap();
-    let out = splice_bin().args(["--linux", "--force", "-o"]).arg(&dir).arg(&spec).output().unwrap();
+    let out =
+        splice_bin().args(["--linux", "--force", "-o"]).arg(&dir).arg(&spec).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let h = std::fs::read_to_string(dir.join("hw_timer/splice_lib_linux.h")).unwrap();
     assert!(h.contains("/dev/mem"), "{h}");

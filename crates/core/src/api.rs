@@ -181,7 +181,8 @@ mod tests {
     #[test]
     fn parameter_checker_rejects() {
         let lib = ToyLib;
-        let src = "%device_name d\n%bus_type wishbone\n%bus_width 8\n%base_address 0x80000000\nvoid f();";
+        let src =
+            "%device_name d\n%bus_type wishbone\n%bus_width 8\n%base_address 0x80000000\nvoid f();";
         let m = splice_spec::parse_and_validate(src).unwrap().module;
         assert!(lib.check_params(&m).is_err());
     }

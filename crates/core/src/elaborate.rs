@@ -13,11 +13,8 @@ use splice_spec::validate::{IoBound, ModuleSpec, ValidatedFunction, ValidatedIo}
 /// Elaborate a validated module into the design IR.
 pub fn elaborate(module: &ModuleSpec) -> DesignIr {
     let mut notes = Vec::new();
-    let stubs = module
-        .functions
-        .iter()
-        .map(|f| elaborate_function(module, f, &mut notes))
-        .collect();
+    let stubs =
+        module.functions.iter().map(|f| elaborate_function(module, f, &mut notes)).collect();
     DesignIr {
         module: module.clone(),
         sis_mode: sis_mode_for(module.params.bus.sync),
@@ -76,10 +73,9 @@ fn beat_count(f: &ValidatedFunction, io: &ValidatedIo, bus_width: u32) -> BeatCo
     match io.bound {
         IoBound::Scalar => BeatCount::Static(beats_for(io, bus_width, 1)),
         IoBound::Explicit(n) => BeatCount::Static(beats_for(io, bus_width, n)),
-        IoBound::Implicit { index_param, .. } => BeatCount::Dynamic {
-            index_input: index_param,
-            shape: transfer_shape(io, bus_width),
-        },
+        IoBound::Implicit { index_param, .. } => {
+            BeatCount::Dynamic { index_input: index_param, shape: transfer_shape(io, bus_width) }
+        }
     }
     .normalize(f)
 }
@@ -147,9 +143,7 @@ fn tail_bits(io: &ValidatedIo, bus_width: u32, notes: &mut Vec<String>, func: &s
                 (per_beat as u64 - rem) as u32 * io.ty.bits
             }
         }
-        (TransferShape::Split { beats_per_elem }, _) => {
-            beats_per_elem * bus_width - io.ty.bits
-        }
+        (TransferShape::Split { beats_per_elem }, _) => beats_per_elem * bus_width - io.ty.bits,
         _ => 0,
     };
     if tail > 0 {
@@ -223,10 +217,7 @@ mod tests {
 
     #[test]
     fn split_scalar_counts_two_beats() {
-        let d = design(
-            "void set_threshold(llong t);",
-            "%user_type llong, unsigned long long, 64",
-        );
+        let d = design("void set_threshold(llong t);", "%user_type llong, unsigned long long, 64");
         let s = d.stub("set_threshold").unwrap();
         assert!(matches!(
             s.states[0],
@@ -296,10 +287,7 @@ mod tests {
         assert_eq!(d.stubs.len(), 7);
         // set_threshold: one 2-beat input.
         let st = d.stub("set_threshold").unwrap();
-        assert!(matches!(
-            st.states[0],
-            StubState::Input { beats: BeatCount::Static(2), .. }
-        ));
+        assert!(matches!(st.states[0], StubState::Input { beats: BeatCount::Static(2), .. }));
         // get_threshold: 2-beat output.
         let gt = d.stub("get_threshold").unwrap();
         assert!(matches!(

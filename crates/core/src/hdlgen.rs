@@ -66,7 +66,8 @@ pub fn generate_hardware(
     // 3. One stub per declaration.
     for stub in &ir.stubs {
         let m = stub_module(ir, stub, gen_date);
-        files.push(GeneratedFile { name: format!("func_{}.{ext}", stub.name), text: emit(&m, hdl) });
+        files
+            .push(GeneratedFile { name: format!("func_{}.{ext}", stub.name), text: emit(&m, hdl) });
     }
     Ok(files)
 }
@@ -239,7 +240,9 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
                 let mut b = vec![Stmt::Comment(format!(
                     "Handling input `{name}`{}",
                     if *ignore_tail_bits > 0 {
-                        format!(" — the final beat carries {ignore_tail_bits} ignorable padding bit(s)")
+                        format!(
+                            " — the final beat carries {ignore_tail_bits} ignorable padding bit(s)"
+                        )
                     } else {
                         String::new()
                     }
@@ -282,9 +285,7 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
                             .map(|t| t.counter_bits)
                             .unwrap_or(32);
                         on_accept.push(Stmt::if_else(
-                            Expr::sig(&ctr)
-                                .add(Expr::lit(1, w))
-                                .eq(Expr::sig(&bound)),
+                            Expr::sig(&ctr).add(Expr::lit(1, w)).eq(Expr::sig(&bound)),
                             vec![
                                 Stmt::assign(&ctr, Expr::lit(0, w)),
                                 Stmt::assign("next_state", Expr::lit(next, sb)),
@@ -307,22 +308,19 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
                 vec![
                     Stmt::Comment("Output state: hold CALC_DONE until read (§5.3.1)".into()),
                     Stmt::assign("CALC_DONE", Expr::lit(1, 1)),
-                    Stmt::if_then(
-                        read_req,
-                        {
-                            let mut stmts = vec![
-                                Stmt::Comment("TODO(user): drive DATA_OUT with the result".into()),
-                                Stmt::assign("DATA_OUT_VALID", Expr::lit(1, 1)),
-                                Stmt::assign("IO_DONE", Expr::lit(1, 1)),
-                                Stmt::assign("CALC_DONE", Expr::lit(0, 1)),
-                                Stmt::assign("next_state", Expr::lit(next, sb)),
-                            ];
-                            if ir.module.params.irq {
-                                stmts.push(Stmt::assign("IRQ", Expr::lit(1, 1)));
-                            }
-                            stmts
-                        },
-                    ),
+                    Stmt::if_then(read_req, {
+                        let mut stmts = vec![
+                            Stmt::Comment("TODO(user): drive DATA_OUT with the result".into()),
+                            Stmt::assign("DATA_OUT_VALID", Expr::lit(1, 1)),
+                            Stmt::assign("IO_DONE", Expr::lit(1, 1)),
+                            Stmt::assign("CALC_DONE", Expr::lit(0, 1)),
+                            Stmt::assign("next_state", Expr::lit(next, sb)),
+                        ];
+                        if ir.module.params.irq {
+                            stmts.push(Stmt::assign("IRQ", Expr::lit(1, 1)));
+                        }
+                        stmts
+                    }),
                 ]
             }
             StubState::PseudoOutput => {
@@ -355,11 +353,7 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
         Stmt::assign("IO_DONE", Expr::lit(0, 1)),
         Stmt::assign("DATA_OUT_VALID", Expr::lit(0, 1)),
         Stmt::Case {
-            expr: Expr::Slice {
-                base: Box::new(Expr::sig("cur_state")),
-                hi: sb - 1,
-                lo: 0,
-            },
+            expr: Expr::Slice { base: Box::new(Expr::sig("cur_state")), hi: sb - 1, lo: 0 },
             arms,
             default: Some(vec![Stmt::assign("next_state", Expr::lit(0, sb))]),
         },
@@ -372,7 +366,11 @@ pub fn stub_module(ir: &DesignIr, stub: &FunctionStub, gen_date: &str) -> Module
     let p = &ir.module.params;
     let mut m = Module::new(format!("func_{}", stub.name));
     m.header = vec![
-        format!("func_{}.{} — user-logic stub generated by Splice", stub.name, hdl_of(ir).extension()),
+        format!(
+            "func_{}.{} — user-logic stub generated by Splice",
+            stub.name,
+            hdl_of(ir).extension()
+        ),
         format!("device: {}   bus: {}   generated: {}", p.device_name, p.bus.kind, gen_date),
         "Fill in the TODO(user) calculation sections; all bus handshaking is complete.".into(),
     ];
@@ -394,7 +392,11 @@ pub fn arbiter_module(ir: &DesignIr, gen_date: &str) -> Module {
     let total = ir.total_instances();
     let mut m = Module::new(format!("user_{}", p.device_name));
     m.header = vec![
-        format!("user_{}.{} — bus arbiter generated by Splice (§5.2)", p.device_name, hdl_of(ir).extension()),
+        format!(
+            "user_{}.{} — bus arbiter generated by Splice (§5.2)",
+            p.device_name,
+            hdl_of(ir).extension()
+        ),
         format!("functions: {}   instances: {}   generated: {}", ir.stubs.len(), total, gen_date),
     ];
     m.ports = vec![
@@ -418,12 +420,9 @@ pub fn arbiter_module(ir: &DesignIr, gen_date: &str) -> Module {
     for (si, inst, id) in ir.arbiter_entries() {
         let stub = &ir.stubs[si];
         let base = format!("f{id}_{}", stub.name);
-        for (suffix, width) in [
-            ("DATA_OUT", p.bus_width),
-            ("DATA_OUT_VALID", 1),
-            ("IO_DONE", 1),
-            ("CALC_DONE", 1),
-        ] {
+        for (suffix, width) in
+            [("DATA_OUT", p.bus_width), ("DATA_OUT_VALID", 1), ("IO_DONE", 1), ("CALC_DONE", 1)]
+        {
             m.decls.push(Decl::Signal { name: format!("{base}_{suffix}"), width, init: None });
         }
         if p.irq {
@@ -467,9 +466,8 @@ pub fn arbiter_module(ir: &DesignIr, gen_date: &str) -> Module {
     for item in mux_items(ir, "IO_DONE") {
         m.items.push(item);
     }
-    m.items.push(Item::Comment(
-        "CALC_DONE concatenation: bit i reports function id i (§5.2)".into(),
-    ));
+    m.items
+        .push(Item::Comment("CALC_DONE concatenation: bit i reports function id i (§5.2)".into()));
     m.items.push(calc_done_encode(ir));
     if p.irq {
         m.items.push(Item::Comment(
@@ -506,10 +504,7 @@ fn mux_items(ir: &DesignIr, line: &str) -> Vec<Item> {
     let mut arms: Vec<(u64, Vec<Stmt>)> = Vec::new();
     if line == "DATA_OUT" {
         // Reserved id 0: the status register read (§4.2.2).
-        arms.push((
-            0,
-            vec![Stmt::assign(line, Expr::sig("CALC_DONE_VEC"))],
-        ));
+        arms.push((0, vec![Stmt::assign(line, Expr::sig("CALC_DONE_VEC"))]));
     }
     for (si, _inst, id) in ir.arbiter_entries() {
         let stub = &ir.stubs[si];
@@ -628,8 +623,7 @@ mod tests {
     fn fig_8_3_file_inventory() {
         let ir = timer_design();
         let template = "-- %COMP_NAME% %BUS_WIDTH% %BASE_ADDR% %GEN_DATE%\n";
-        let files =
-            generate_hardware(&ir, template, &MarkerSet::new(), "2007-05-01").unwrap();
+        let files = generate_hardware(&ir, template, &MarkerSet::new(), "2007-05-01").unwrap();
         let names: Vec<&str> = files.iter().map(|f| f.name.as_str()).collect();
         assert_eq!(
             names,
@@ -654,7 +648,18 @@ mod tests {
         let stub = ir.stub("set_threshold").unwrap();
         let m = stub_module(&ir, stub, "today");
         let port_names: Vec<&str> = m.ports.iter().map(|p| p.name.as_str()).collect();
-        for want in ["CLK", "RST", "DATA_IN", "DATA_IN_VALID", "IO_ENABLE", "FUNC_ID", "DATA_OUT", "DATA_OUT_VALID", "IO_DONE", "CALC_DONE"] {
+        for want in [
+            "CLK",
+            "RST",
+            "DATA_IN",
+            "DATA_IN_VALID",
+            "IO_ENABLE",
+            "FUNC_ID",
+            "DATA_OUT",
+            "DATA_OUT_VALID",
+            "IO_DONE",
+            "CALC_DONE",
+        ] {
             assert!(port_names.contains(&want), "missing {want}");
         }
         let text = emit(&m, Hdl::Vhdl);
@@ -704,10 +709,7 @@ mod tests {
         assert!(text.contains("DATA_OUT <= f1_f_DATA_OUT;"), "{text}");
         assert!(text.contains("DATA_OUT <= f2_g_DATA_OUT;"), "{text}");
         assert!(text.contains("IO_DONE <= f2_g_IO_DONE;"), "{text}");
-        assert!(
-            text.contains("CALC_DONE_VEC <= f2_g_CALC_DONE & f1_f_CALC_DONE & '0';"),
-            "{text}"
-        );
+        assert!(text.contains("CALC_DONE_VEC <= f2_g_CALC_DONE & f1_f_CALC_DONE & '0';"), "{text}");
     }
 
     #[test]
@@ -751,15 +753,18 @@ mod tests {
     fn verilog_target_changes_extensions() {
         let ir = design("long f();", "%target_hdl verilog");
         let files = generate_hardware(&ir, "// %COMP_NAME%\n", &MarkerSet::new(), "d").unwrap();
-        assert!(files.iter().all(|f| f.name.ends_with(".v")), "{:?}", files.iter().map(|f| &f.name).collect::<Vec<_>>());
+        assert!(
+            files.iter().all(|f| f.name.ends_with(".v")),
+            "{:?}",
+            files.iter().map(|f| &f.name).collect::<Vec<_>>()
+        );
         assert!(files[1].text.contains("module user_demo ("));
     }
 
     #[test]
     fn unknown_template_marker_is_reported() {
         let ir = design("long f();", "");
-        let err =
-            generate_hardware(&ir, "%NO_SUCH_MARKER%", &MarkerSet::new(), "d").unwrap_err();
+        let err = generate_hardware(&ir, "%NO_SUCH_MARKER%", &MarkerSet::new(), "d").unwrap_err();
         assert!(matches!(err, TemplateError::UnknownMarker { .. }));
     }
 

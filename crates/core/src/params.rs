@@ -102,11 +102,8 @@ pub fn splice_params(module: &ModuleSpec) -> SModuleParams {
             let inputs: Vec<SIoParams> =
                 f.inputs.iter().map(|io| io_params(io, f, p.bus_width)).collect();
             let output = f.output.as_ref().map(|io| io_params(io, f, p.bus_width));
-            let splitting_f = f
-                .inputs
-                .iter()
-                .chain(f.output.iter())
-                .any(|io| io.ty.bits > p.bus_width);
+            let splitting_f =
+                f.inputs.iter().chain(f.output.iter()).any(|io| io.ty.bits > p.bus_width);
             let indexing_f = f
                 .inputs
                 .iter()

@@ -214,7 +214,8 @@ impl GeneratedStub {
         match &self.stub.states[self.state_idx] {
             StubState::Input { .. } => {
                 self.phase = Phase::Input;
-                self.expected_beats = self.beats_for_state(&self.stub.states[self.state_idx].clone());
+                self.expected_beats =
+                    self.beats_for_state(&self.stub.states[self.state_idx].clone());
                 if self.expected_beats == 0 {
                     // Zero-length dynamic array: skip the state entirely.
                     self.finish_input_state();
@@ -265,10 +266,18 @@ impl GeneratedStub {
         self.out_pos = 0;
     }
 
-    fn finish_round(&mut self) {
+    fn finish_round(&mut self, ctx: &mut TickCtx<'_>) {
         self.rounds += 1;
         self.inputs = FuncInputs::default();
         self.pulse_irq = true;
+        if ctx.metrics_enabled() {
+            ctx.metric_add(&format!("stub.{}.rounds", self.stub.name), 1);
+            ctx.protocol_event(
+                "generated-stub",
+                "round_done",
+                format!("func={} round={}", self.stub.name, self.rounds),
+            );
+        }
         self.enter_state(0);
     }
 
@@ -290,16 +299,12 @@ fn shape_beats(shape: TransferShape, elems: u64) -> u64 {
 fn layout_for(io: &ValidatedIo, bus_width: u32, elems: u64) -> ResultLayout {
     match splice_driver::lower::transfer_shape(io, bus_width) {
         TransferShape::Direct => ResultLayout::Direct { elems: elems as u32 },
-        TransferShape::Packed { per_beat } => ResultLayout::Packed {
-            elems: elems as u32,
-            elem_bits: io.ty.bits,
-            per_beat,
-        },
-        TransferShape::Split { beats_per_elem } => ResultLayout::Split {
-            elems: elems as u32,
-            beats_per_elem,
-            bus_width,
-        },
+        TransferShape::Packed { per_beat } => {
+            ResultLayout::Packed { elems: elems as u32, elem_bits: io.ty.bits, per_beat }
+        }
+        TransferShape::Split { beats_per_elem } => {
+            ResultLayout::Split { elems: elems as u32, beats_per_elem, bus_width }
+        }
     }
 }
 
@@ -378,11 +383,12 @@ impl Component for GeneratedStub {
                 }
             }
             Phase::Calc => {
+                ctx.metric_add("stub.calc_cycles", 1);
                 if self.calc_remaining <= 1 {
                     if self.stub.nowait {
                         // nowait: pulse CALC_DONE and return to inputs.
                         ctx.set(self.calc_done_line, 1);
-                        self.finish_round();
+                        self.finish_round(ctx);
                     } else {
                         self.phase = Phase::Output;
                         // enter_state bookkeeping: output state follows calc.
@@ -407,7 +413,7 @@ impl Component for GeneratedStub {
                     self.out_pos += 1;
                     if self.out_pos >= self.out_beats.len() {
                         ctx.set(self.calc_done_line, 0);
-                        self.finish_round();
+                        self.finish_round(ctx);
                     }
                 }
             }
@@ -465,6 +471,7 @@ impl Component for GeneratedArbiter {
             for &(id, line) in &self.irq_lines {
                 if ctx.get_bool(line) {
                     self.irq_latch |= 1 << id;
+                    ctx.metric_add("arbiter.irq_latched", 1);
                 }
             }
             ctx.set(vsig, self.irq_latch);
@@ -480,6 +487,7 @@ impl Component for GeneratedArbiter {
             && !ctx.get_bool(self.bus.data_in_valid)
             && ctx.get(self.bus.func_id) == STATUS_FUNC_ID as Word;
         if read_req {
+            ctx.metric_add("arbiter.status_reads", 1);
             ctx.set(self.bus.data_out, vec);
             ctx.set_bool(self.bus.data_out_valid, true);
             ctx.set_bool(self.bus.io_done, true);
@@ -530,10 +538,7 @@ pub fn build_peripheral(
 ) -> PeripheralHandles {
     let p = &ir.module.params;
     let total = ir.total_instances();
-    assert!(
-        total < 64,
-        "simulation status vector holds at most 63 instances (design has {total})"
-    );
+    assert!(total < 64, "simulation status vector holds at most 63 instances (design has {total})");
     // FUNC_ID as declared may be narrow; use at least enough bits.
     let bus = SisBus::declare(b, prefix, p.bus_width, p.func_id_width.max(1));
 
@@ -552,15 +557,8 @@ pub fn build_peripheral(
     let mut irq_lines = Vec::new();
     for (si, inst, id) in ir.arbiter_entries() {
         let stub = &ir.stubs[si];
-        let func = ir
-            .module
-            .function(&stub.name)
-            .expect("stub function exists")
-            .clone();
-        let line = b.signal(SignalDecl::new(
-            format!("{prefix}{}.{inst}.CALC_DONE", stub.name),
-            1,
-        ));
+        let func = ir.module.function(&stub.name).expect("stub function exists").clone();
+        let line = b.signal(SignalDecl::new(format!("{prefix}{}.{inst}.CALC_DONE", stub.name), 1));
         calc_lines.push((id, line));
         let mut comp = GeneratedStub::new(
             id,
@@ -683,10 +681,7 @@ mod tests {
 
     #[test]
     fn split_input_reassembles_64_bits() {
-        let ir = design(
-            "llong echo64(llong v);",
-            "%user_type llong, unsigned long long, 64",
-        );
+        let ir = design("llong echo64(llong v);", "%user_type llong, unsigned long long, 64");
         // MSW first, then LSW; output comes back as two beats MSW first.
         let script = vec![
             SisOp::Write { func_id: 1, data: 0xDEAD_BEEF },
@@ -806,10 +801,8 @@ mod tests {
             vec![SisOp::Write { func_id: 1, data: 77 }, SisOp::Read { func_id: 1 }],
         )));
         let mut sim = b.build();
-        sim.run_until("finish", 10_000, |s| {
-            s.component::<SisMaster>(midx).unwrap().is_finished()
-        })
-        .unwrap();
+        sim.run_until("finish", 10_000, |s| s.component::<SisMaster>(midx).unwrap().is_finished())
+            .unwrap();
         assert_eq!(sim.component::<SisMaster>(midx).unwrap().reads, vec![0]);
     }
 }

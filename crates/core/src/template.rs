@@ -102,7 +102,8 @@ pub fn expand(template: &str, markers: &MarkerSet) -> Result<String, TemplateErr
         }
         let start = i + 1;
         let mut j = start;
-        while j < bytes.len() && (bytes[j].is_ascii_uppercase() || bytes[j].is_ascii_digit() || bytes[j] == b'_')
+        while j < bytes.len()
+            && (bytes[j].is_ascii_uppercase() || bytes[j].is_ascii_digit() || bytes[j] == b'_')
         {
             j += 1;
         }
@@ -113,10 +114,7 @@ pub fn expand(template: &str, markers: &MarkerSet) -> Result<String, TemplateErr
         match markers.get(name) {
             Some(v) => out.push_str(v),
             None => {
-                return Err(TemplateError::UnknownMarker {
-                    marker: name.to_owned(),
-                    offset: i,
-                })
+                return Err(TemplateError::UnknownMarker { marker: name.to_owned(), offset: i })
             }
         }
         i = j + 1;
@@ -186,10 +184,7 @@ mod tests {
     fn unknown_marker_errors_with_position() {
         let m = MarkerSet::new();
         let err = expand("abc %NOPE% def", &m).unwrap_err();
-        assert_eq!(
-            err,
-            TemplateError::UnknownMarker { marker: "NOPE".into(), offset: 4 }
-        );
+        assert_eq!(err, TemplateError::UnknownMarker { marker: "NOPE".into(), offset: 4 });
     }
 
     #[test]
@@ -200,10 +195,7 @@ mod tests {
             Err(TemplateError::UnterminatedMarker { .. })
         ));
         // Lowercase after '%' is not a marker.
-        assert!(matches!(
-            expand("50%a", &m),
-            Err(TemplateError::UnterminatedMarker { offset: 2 })
-        ));
+        assert!(matches!(expand("50%a", &m), Err(TemplateError::UnterminatedMarker { offset: 2 })));
     }
 
     #[test]

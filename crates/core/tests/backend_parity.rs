@@ -3,39 +3,29 @@
 //! state constants, same ports), so the Verilog future-work backend can
 //! never drift from the thesis's VHDL reference.
 
-use proptest::prelude::*;
 use splice_core::elaborate::elaborate;
 use splice_core::hdlgen::{arbiter_module, stub_module};
 use splice_hdl::{emit, Hdl};
 use splice_spec::parse_and_validate;
+use splice_testutil::{check, Rng};
 
-fn arb_spec() -> impl Strategy<Value = String> {
-    let param = prop_oneof![
-        Just("int {p}"),
-        Just("char {p}"),
-        Just("int*:5 {p}"),
-        Just("char*:8+ {p}"),
-        Just("short*:3 {p}"),
-    ];
-    (proptest::collection::vec(param, 0..4), 1u64..4).prop_map(|(params, insts)| {
-        let plist: Vec<String> = params
-            .iter()
-            .enumerate()
-            .map(|(j, p)| p.replace("{p}", &format!("p{j}")))
-            .collect();
-        format!(
-            "%device_name parity\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n\
-             long f({}):{insts};\nvoid g();",
-            plist.join(", ")
-        )
-    })
+fn arb_spec(rng: &mut Rng) -> String {
+    const PARAMS: &[&str] = &["int {p}", "char {p}", "int*:5 {p}", "char*:8+ {p}", "short*:3 {p}"];
+    let n_params = rng.range_usize(0, 4);
+    let insts = rng.range(1, 4);
+    let plist: Vec<String> =
+        (0..n_params).map(|j| rng.pick(PARAMS).replace("{p}", &format!("p{j}"))).collect();
+    format!(
+        "%device_name parity\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n\
+         long f({}):{insts};\nvoid g();",
+        plist.join(", ")
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn stub_emissions_share_structure(spec in arb_spec()) {
+#[test]
+fn stub_emissions_share_structure() {
+    check(0x9a31_7001, 48, |rng| {
+        let spec = arb_spec(rng);
         let module = parse_and_validate(&spec).unwrap().module;
         let ir = elaborate(&module);
         for stub in &ir.stubs {
@@ -43,27 +33,30 @@ proptest! {
             let vhdl = emit(&m, Hdl::Vhdl);
             let verilog = emit(&m, Hdl::Verilog);
             // Same module name.
-            prop_assert!(vhdl.contains(&format!("entity func_{} is", stub.name)), "missing entity");
-            prop_assert!(verilog.contains(&format!("module func_{} (", stub.name)), "missing module");
+            assert!(vhdl.contains(&format!("entity func_{} is", stub.name)), "missing entity");
+            assert!(verilog.contains(&format!("module func_{} (", stub.name)), "missing module");
             // Every declared constant and signal appears in both.
             for d in &m.decls {
                 if let splice_hdl::Decl::Constant { name, .. }
                 | splice_hdl::Decl::Signal { name, .. } = d
                 {
-                    prop_assert!(vhdl.contains(name.as_str()), "vhdl missing {}", name);
-                    prop_assert!(verilog.contains(name.as_str()), "verilog missing {}", name);
+                    assert!(vhdl.contains(name.as_str()), "vhdl missing {}", name);
+                    assert!(verilog.contains(name.as_str()), "verilog missing {}", name);
                 }
             }
             // Every port appears in both.
             for p in &m.ports {
-                prop_assert!(vhdl.contains(&p.name));
-                prop_assert!(verilog.contains(&p.name));
+                assert!(vhdl.contains(&p.name));
+                assert!(verilog.contains(&p.name));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn arbiter_emissions_share_instances(spec in arb_spec()) {
+#[test]
+fn arbiter_emissions_share_instances() {
+    check(0x9a31_7002, 48, |rng| {
+        let spec = arb_spec(rng);
         let module = parse_and_validate(&spec).unwrap().module;
         let ir = elaborate(&module);
         let m = arbiter_module(&ir, "parity");
@@ -71,26 +64,25 @@ proptest! {
         let verilog = emit(&m, Hdl::Verilog);
         for item in &m.items {
             if let splice_hdl::Item::Instance(inst) = item {
-                prop_assert!(vhdl.contains(&inst.label), "vhdl missing {}", inst.label);
-                prop_assert!(verilog.contains(&inst.label), "verilog missing {}", inst.label);
+                assert!(vhdl.contains(&inst.label), "vhdl missing {}", inst.label);
+                assert!(verilog.contains(&inst.label), "verilog missing {}", inst.label);
                 for (formal, actual) in &inst.connections {
-                    {
-                        let needle = format!("{} => {}", formal, actual);
-                        prop_assert!(vhdl.contains(&needle), "vhdl missing {}", needle);
-                    }
-                    {
-                        let needle = format!(".{}({})", formal, actual);
-                        prop_assert!(verilog.contains(&needle), "verilog missing {}", needle);
-                    }
+                    let needle = format!("{} => {}", formal, actual);
+                    assert!(vhdl.contains(&needle), "vhdl missing {}", needle);
+                    let needle = format!(".{}({})", formal, actual);
+                    assert!(verilog.contains(&needle), "verilog missing {}", needle);
                 }
             }
         }
-    }
+    });
+}
 
-    /// Register counts (the resource model's FF input) are identical no
-    /// matter which text backend renders the module.
-    #[test]
-    fn registered_bits_are_backend_independent(spec in arb_spec()) {
+/// Register counts (the resource model's FF input) are identical no
+/// matter which text backend renders the module.
+#[test]
+fn registered_bits_are_backend_independent() {
+    check(0x9a31_7003, 48, |rng| {
+        let spec = arb_spec(rng);
         let module = parse_and_validate(&spec).unwrap().module;
         let ir = elaborate(&module);
         for stub in &ir.stubs {
@@ -99,7 +91,7 @@ proptest! {
             let bits_before = m.registered_bits();
             let _ = emit(&m, Hdl::Vhdl);
             let _ = emit(&m, Hdl::Verilog);
-            prop_assert_eq!(m.registered_bits(), bits_before);
+            assert_eq!(m.registered_bits(), bits_before);
         }
-    }
+    });
 }

@@ -142,11 +142,13 @@ impl Component for HandCodedSlave {
                     self.lower_wr_ack = true;
                     self.state = SlaveState::Idle;
                 } else {
+                    ctx.metric_add("slave.wait_state_cycles", 1);
                     self.state = SlaveState::AckWriteIn { remaining: remaining - 1, beats };
                 }
             }
             SlaveState::StreamBurst { remaining } => {
                 // One beat per cycle straight out of the staging queue.
+                ctx.metric_add("slave.burst_beats", 1);
                 if let Some(v) = self.chan.borrow_mut().to_slave.pop_front() {
                     self.words.push(v);
                 }
@@ -175,6 +177,7 @@ impl Component for HandCodedSlave {
                     self.lower_rd_ack = true;
                     self.state = SlaveState::Idle;
                 } else {
+                    ctx.metric_add("slave.wait_state_cycles", 1);
                     self.state = SlaveState::AckReadIn { remaining: remaining - 1 };
                 }
             }
@@ -218,18 +221,12 @@ impl BaselineSystem {
     }
 
     /// Build a baseline with custom device logic (tests).
-    pub fn build_with_calc(
-        which: Baseline,
-        calc: fn(&[Word]) -> Word,
-        calc_cycles: u32,
-    ) -> Self {
+    pub fn build_with_calc(which: Baseline, calc: fn(&[Word]) -> Word, calc_cycles: u32) -> Self {
         let mut b = SimulatorBuilder::new();
         let sig = PlbSignals::declare(&mut b, "", 32);
         let chan = channel();
         let (latency, streaming, timing) = match which {
-            Baseline::SimplePlb => {
-                (NAIVE_PLB_ACK_LATENCY, false, BusTiming::for_bus(BusKind::Plb))
-            }
+            Baseline::SimplePlb => (NAIVE_PLB_ACK_LATENCY, false, BusTiming::for_bus(BusKind::Plb)),
             Baseline::OptimizedFcb => (0, true, BusTiming::for_bus(BusKind::Fcb)),
         };
         b.component(Box::new(HandCodedSlave::new(
@@ -240,18 +237,14 @@ impl BaselineSystem {
             calc,
             calc_cycles,
         )));
-        let master_idx =
-            b.component(Box::new(PlbCpuMaster::new(sig, timing, chan, Vec::new())));
+        let master_idx = b.component(Box::new(PlbCpuMaster::new(sig, timing, chan, Vec::new())));
         BaselineSystem { sim: b.build(), master_idx, call_budget: 1_000_000 }
     }
 
     /// Run one driver call (a raw op list) and return (cycles, reads).
     pub fn run_ops(&mut self, ops: Vec<BusOp>) -> (u64, Vec<Word>) {
         let start = self.sim.cycle();
-        self.sim
-            .component_mut::<PlbCpuMaster>(self.master_idx)
-            .expect("master")
-            .reload(ops);
+        self.sim.component_mut::<PlbCpuMaster>(self.master_idx).expect("master").reload(ops);
         let idx = self.master_idx;
         self.sim
             .run_until("baseline call", self.call_budget, |s| {
@@ -260,6 +253,16 @@ impl BaselineSystem {
             .expect("baseline call completes");
         let m = self.sim.component::<PlbCpuMaster>(idx).unwrap();
         (m.finished_cycle.unwrap() - start, m.reads.clone())
+    }
+
+    /// The underlying simulator (metrics, trace access).
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Mutable simulator access (enable metrics, attach traces).
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
     }
 }
 

@@ -12,8 +12,8 @@
 //! | Splice PLB (DMA)    | generated, PLB with the DMA engine enabled          |
 
 use crate::baselines::{
-    naive_plb_driver_ops, naive_plb_resources, optimized_fcb_driver_ops,
-    optimized_fcb_resources, Baseline, BaselineSystem,
+    naive_plb_driver_ops, naive_plb_resources, optimized_fcb_driver_ops, optimized_fcb_resources,
+    Baseline, BaselineSystem,
 };
 use crate::interp::{interp_module, reference_result, InterpCalc, Scenario};
 use splice_buses::system::SplicedSystem;
@@ -124,6 +124,22 @@ impl InterpRunner {
                 let out = sys.call("interpolate", &s.call_args()).expect("interp call");
                 (out.bus_cycles, out.result[0])
             }
+        }
+    }
+
+    /// The underlying simulator (metrics, trace access).
+    pub fn sim(&self) -> &splice_sim::Simulator {
+        match self {
+            InterpRunner::Baseline(sys, _) => sys.sim(),
+            InterpRunner::Generated(sys) => sys.sim(),
+        }
+    }
+
+    /// Mutable simulator access (enable metrics before running).
+    pub fn sim_mut(&mut self) -> &mut splice_sim::Simulator {
+        match self {
+            InterpRunner::Baseline(sys, _) => sys.sim_mut(),
+            InterpRunner::Generated(sys) => sys.sim_mut(),
         }
     }
 }
@@ -278,10 +294,7 @@ mod tests {
         // "the DMA-supporting interface requires anywhere from 57-69% more
         // FPGA resources ... than the otherwise identical simple PLB".
         let dma_ratio = slices(SplicePlbDma) / slices(SplicePlbSimple);
-        assert!(
-            (1.3..2.2).contains(&dma_ratio),
-            "DMA / simple = {dma_ratio:.2} (paper 1.57-1.69)"
-        );
+        assert!((1.3..2.2).contains(&dma_ratio), "DMA / simple = {dma_ratio:.2} (paper 1.57-1.69)");
     }
 
     #[test]

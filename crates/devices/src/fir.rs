@@ -98,8 +98,7 @@ impl CalcLogic for FilterChannel {
     fn run(&mut self, inputs: &FuncInputs) -> CalcResult {
         let samples: Vec<i64> = inputs.array(1).iter().map(|&v| sign16(v)).collect();
         let bank = self.bank.borrow();
-        let cycles =
-            1 + self.mac_cycles_per_sample * (bank.taps.len() as u32).max(1);
+        let cycles = 1 + self.mac_cycles_per_sample * (bank.taps.len() as u32).max(1);
         CalcResult { cycles, output: vec![fir_reference(&bank.taps, &samples)] }
     }
 }
@@ -130,10 +129,7 @@ impl FirDevice {
         let b = Rc::clone(&bank);
         let system = SplicedSystem::build(&module, move |func, _inst| match func {
             "set_taps" => Box::new(SetTaps { bank: Rc::clone(&b) }),
-            "filter" => Box::new(FilterChannel {
-                bank: Rc::clone(&b),
-                mac_cycles_per_sample: 1,
-            }),
+            "filter" => Box::new(FilterChannel { bank: Rc::clone(&b), mac_cycles_per_sample: 1 }),
             "get_tap_count" => Box::new(GetTapCount { bank: Rc::clone(&b) }),
             other => panic!("unknown FIR function {other}"),
         });
@@ -146,10 +142,7 @@ impl FirDevice {
         self.system
             .call(
                 "set_taps",
-                &CallArgs::new(vec![
-                    CallValue::Scalar(taps.len() as u64),
-                    CallValue::Array(words),
-                ]),
+                &CallArgs::new(vec![CallValue::Scalar(taps.len() as u64), CallValue::Array(words)]),
             )
             .expect("set_taps");
     }
@@ -261,16 +254,15 @@ mod tests {
             let b = Rc::clone(&bank);
             let mut sys = SplicedSystem::build(m, move |func, _| match func {
                 "set_taps" => Box::new(SetTaps { bank: Rc::clone(&b) }) as Box<dyn CalcLogic>,
-                "filter" => Box::new(FilterChannel { bank: Rc::clone(&b), mac_cycles_per_sample: 1 }),
+                "filter" => {
+                    Box::new(FilterChannel { bank: Rc::clone(&b), mac_cycles_per_sample: 1 })
+                }
                 _ => Box::new(GetTapCount { bank: Rc::clone(&b) }),
             });
             let words: Vec<u64> = (1..=8).collect();
-            sys.call(
-                "filter",
-                &CallArgs::new(vec![CallValue::Scalar(8), CallValue::Array(words)]),
-            )
-            .unwrap()
-            .bus_cycles
+            sys.call("filter", &CallArgs::new(vec![CallValue::Scalar(8), CallValue::Array(words)]))
+                .unwrap()
+                .bus_cycles
         };
         let packed = run(&m_packed);
         let plain = run(&m_plain);

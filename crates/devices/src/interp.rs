@@ -209,10 +209,8 @@ mod tests {
     #[test]
     fn fig_9_1_input_parameters() {
         // The Fig 9.1 table, exactly.
-        let rows: Vec<(u32, (u32, u32, u32), u32)> = Scenario::all()
-            .iter()
-            .map(|s| (s.number(), s.set_sizes(), s.total_inputs()))
-            .collect();
+        let rows: Vec<(u32, (u32, u32, u32), u32)> =
+            Scenario::all().iter().map(|s| (s.number(), s.set_sizes(), s.total_inputs())).collect();
         assert_eq!(
             rows,
             vec![

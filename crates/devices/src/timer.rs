@@ -324,7 +324,7 @@ mod tests {
     #[test]
     fn core_counts_and_fires() {
         let mut c = TimerCore::default();
-        c.command(TimerOp::SetThreshold, 3, );
+        c.command(TimerOp::SetThreshold, 3);
         c.command(TimerOp::Enable, 0);
         for _ in 0..3 {
             c.tick();
@@ -342,7 +342,7 @@ mod tests {
     #[test]
     fn disabled_timer_does_not_count() {
         let mut c = TimerCore::default();
-        c.command(TimerOp::SetThreshold, 5, );
+        c.command(TimerOp::SetThreshold, 5);
         for _ in 0..10 {
             c.tick();
         }

@@ -5,9 +5,7 @@
 //! declaration order (packing, splitting, bursting or DMA as the spec
 //! demands), `WAIT_FOR_RESULTS`, then read the output back.
 
-use crate::program::{
-    concrete_func_id, BusOp, CallArgs, CallValue, DriverProgram, ResultLayout,
-};
+use crate::program::{concrete_func_id, BusOp, CallArgs, CallValue, DriverProgram, ResultLayout};
 use splice_spec::validate::{IoBound, ModuleParams, ValidatedFunction, ValidatedIo};
 use std::fmt;
 
@@ -182,8 +180,7 @@ pub fn lower_call(
     // status poll that addresses the reserved id 0, a zero-input function
     // would never start. The generated driver fires one dummy write at the
     // function, which its stub treats as the activation trigger.
-    if func.inputs.is_empty()
-        && params.bus.sync == splice_spec::bus::SyncClass::StrictlySynchronous
+    if func.inputs.is_empty() && params.bus.sync == splice_spec::bus::SyncClass::StrictlySynchronous
     {
         ops.push(BusOp::Write { addr, data: 0 });
     }
@@ -431,10 +428,7 @@ mod tests {
         // 1 write of y, wait, 1 read.
         let m = module("float sample_function(int*:2 x, int y);", "");
         let f = m.function("sample_function").unwrap();
-        let args = CallArgs::new(vec![
-            CallValue::Array(vec![10, 20]),
-            CallValue::Scalar(7),
-        ]);
+        let args = CallArgs::new(vec![CallValue::Array(vec![10, 20]), CallValue::Scalar(7)]);
         let p = lower_call(&m.params, f, &args).unwrap();
         let writes: Vec<&BusOp> =
             p.ops.iter().filter(|o| matches!(o, BusOp::Write { .. })).collect();
@@ -473,10 +467,8 @@ mod tests {
 
     #[test]
     fn split_64_bit_over_32_bus_msw_first() {
-        let m = module(
-            "void set_threshold(llong thold);",
-            "%user_type llong, unsigned long long, 64",
-        );
+        let m =
+            module("void set_threshold(llong thold);", "%user_type llong, unsigned long long, 64");
         let f = m.function("set_threshold").unwrap();
         let args = CallArgs::new(vec![CallValue::Scalar(0xAAAA_BBBB_CCCC_DDDD)]);
         let p = lower_call(&m.params, f, &args).unwrap();
@@ -529,10 +521,7 @@ mod tests {
         // 1 (x) + 3 (y) writes + 1 pseudo-output read.
         assert_eq!(p.total_beats(), 5);
         let bad = CallArgs::new(vec![CallValue::Scalar(2), CallValue::Array(vec![7, 8, 9])]);
-        assert!(matches!(
-            lower_call(&m.params, f, &bad),
-            Err(LowerError::ImplicitMismatch { .. })
-        ));
+        assert!(matches!(lower_call(&m.params, f, &bad), Err(LowerError::ImplicitMismatch { .. })));
     }
 
     #[test]
@@ -597,8 +586,7 @@ mod tests {
     fn multi_instance_offsets_func_id() {
         let m = module("long f(int x):4;", "");
         let f = m.function("f").unwrap();
-        let p2 =
-            lower_call(&m.params, f, &CallArgs::scalars(&[1]).with_instance(2)).unwrap();
+        let p2 = lower_call(&m.params, f, &CallArgs::scalars(&[1]).with_instance(2)).unwrap();
         assert_eq!(p2.func_id, 3); // first id 1 + instance 2
         let bad = lower_call(&m.params, f, &CallArgs::scalars(&[1]).with_instance(9));
         assert!(matches!(bad, Err(LowerError::BadInstance { .. })));
@@ -613,15 +601,9 @@ mod tests {
             Err(LowerError::ArgCount { .. })
         ));
         let shape = CallArgs::new(vec![CallValue::Array(vec![1]), CallValue::Array(vec![1, 2])]);
-        assert!(matches!(
-            lower_call(&m.params, f, &shape),
-            Err(LowerError::ArgShape { .. })
-        ));
+        assert!(matches!(lower_call(&m.params, f, &shape), Err(LowerError::ArgShape { .. })));
         let bound = CallArgs::new(vec![CallValue::Scalar(1), CallValue::Array(vec![1, 2, 3])]);
-        assert!(matches!(
-            lower_call(&m.params, f, &bound),
-            Err(LowerError::BoundMismatch { .. })
-        ));
+        assert!(matches!(lower_call(&m.params, f, &bound), Err(LowerError::BoundMismatch { .. })));
     }
 
     #[test]
@@ -630,18 +612,12 @@ mod tests {
         let f = m.function("gen").unwrap();
         let p = lower_call(&m.params, f, &CallArgs::none()).unwrap();
         assert_eq!(p.read_beats(), 2);
-        assert_eq!(
-            p.result_layout,
-            ResultLayout::Packed { elems: 8, elem_bits: 8, per_beat: 4 }
-        );
+        assert_eq!(p.result_layout, ResultLayout::Packed { elems: 8, elem_bits: 8, per_beat: 4 });
     }
 
     #[test]
     fn split_output_layout_roundtrips() {
-        let m = module(
-            "llong get_threshold();",
-            "%user_type llong, unsigned long long, 64",
-        );
+        let m = module("llong get_threshold();", "%user_type llong, unsigned long long, 64");
         let f = m.function("get_threshold").unwrap();
         let p = lower_call(&m.params, f, &CallArgs::none()).unwrap();
         assert_eq!(p.read_beats(), 2);

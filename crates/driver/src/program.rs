@@ -270,10 +270,7 @@ mod tests {
             result_layout: ResultLayout::Split { elems: 2, beats_per_elem: 2, bus_width: 32 },
         };
         let raw = [0xDEAD_0000u64, 0x0000_BEEF, 0x1, 0x2];
-        assert_eq!(
-            p.decode_result(&raw),
-            vec![0xDEAD_0000_0000_BEEF, 0x1_0000_0002]
-        );
+        assert_eq!(p.decode_result(&raw), vec![0xDEAD_0000_0000_BEEF, 0x1_0000_0002]);
     }
 
     #[test]

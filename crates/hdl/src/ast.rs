@@ -136,18 +136,9 @@ pub enum Stmt {
     /// `lhs <= rhs` (non-blocking in Verilog).
     Assign { lhs: String, rhs: Expr },
     /// `if cond then ... [elsif]* [else ...] end if`.
-    If {
-        cond: Expr,
-        then: Vec<Stmt>,
-        elifs: Vec<(Expr, Vec<Stmt>)>,
-        els: Option<Vec<Stmt>>,
-    },
+    If { cond: Expr, then: Vec<Stmt>, elifs: Vec<(Expr, Vec<Stmt>)>, els: Option<Vec<Stmt>> },
     /// `case expr is when v => ... end case` with an optional default arm.
-    Case {
-        expr: Expr,
-        arms: Vec<(u64, Vec<Stmt>)>,
-        default: Option<Vec<Stmt>>,
-    },
+    Case { expr: Expr, arms: Vec<(u64, Vec<Stmt>)>, default: Option<Vec<Stmt>> },
     /// A comment line.
     Comment(String),
     /// `null;` — explicit do-nothing (used in default case arms, Fig 8.5).
@@ -250,12 +241,7 @@ impl Module {
                         Decl::Signal { name: n, width, .. } if n == name => Some(*width),
                         _ => None,
                     })
-                    .or_else(|| {
-                        self.ports
-                            .iter()
-                            .find(|p| p.name == *name)
-                            .map(|p| p.width)
-                    })
+                    .or_else(|| self.ports.iter().find(|p| p.name == *name).map(|p| p.width))
                     .unwrap_or(1)
             })
             .sum()
@@ -316,7 +302,10 @@ mod tests {
                 Stmt::assign("r8", Expr::lit(0, 8)),
                 Stmt::if_then(
                     Expr::sig("r8").eq(Expr::lit(1, 8)),
-                    vec![Stmt::assign("r16", Expr::lit(2, 16)), Stmt::assign("r8", Expr::lit(3, 8))],
+                    vec![
+                        Stmt::assign("r16", Expr::lit(2, 16)),
+                        Stmt::assign("r8", Expr::lit(3, 8)),
+                    ],
                 ),
             ],
         }));

@@ -7,25 +7,153 @@
 
 /// VHDL-93 reserved words (lowercased).
 const VHDL_KEYWORDS: &[&str] = &[
-    "abs", "access", "after", "alias", "all", "and", "architecture", "array", "assert",
-    "attribute", "begin", "block", "body", "buffer", "bus", "case", "component", "configuration",
-    "constant", "disconnect", "downto", "else", "elsif", "end", "entity", "exit", "file", "for",
-    "function", "generate", "generic", "group", "guarded", "if", "impure", "in", "inertial",
-    "inout", "is", "label", "library", "linkage", "literal", "loop", "map", "mod", "nand", "new",
-    "next", "nor", "not", "null", "of", "on", "open", "or", "others", "out", "package", "port",
-    "postponed", "procedure", "process", "pure", "range", "record", "register", "reject", "rem",
-    "report", "return", "rol", "ror", "select", "severity", "signal", "shared", "sla", "sll",
-    "sra", "srl", "subtype", "then", "to", "transport", "type", "unaffected", "units", "until",
-    "use", "variable", "wait", "when", "while", "with", "xnor", "xor",
+    "abs",
+    "access",
+    "after",
+    "alias",
+    "all",
+    "and",
+    "architecture",
+    "array",
+    "assert",
+    "attribute",
+    "begin",
+    "block",
+    "body",
+    "buffer",
+    "bus",
+    "case",
+    "component",
+    "configuration",
+    "constant",
+    "disconnect",
+    "downto",
+    "else",
+    "elsif",
+    "end",
+    "entity",
+    "exit",
+    "file",
+    "for",
+    "function",
+    "generate",
+    "generic",
+    "group",
+    "guarded",
+    "if",
+    "impure",
+    "in",
+    "inertial",
+    "inout",
+    "is",
+    "label",
+    "library",
+    "linkage",
+    "literal",
+    "loop",
+    "map",
+    "mod",
+    "nand",
+    "new",
+    "next",
+    "nor",
+    "not",
+    "null",
+    "of",
+    "on",
+    "open",
+    "or",
+    "others",
+    "out",
+    "package",
+    "port",
+    "postponed",
+    "procedure",
+    "process",
+    "pure",
+    "range",
+    "record",
+    "register",
+    "reject",
+    "rem",
+    "report",
+    "return",
+    "rol",
+    "ror",
+    "select",
+    "severity",
+    "signal",
+    "shared",
+    "sla",
+    "sll",
+    "sra",
+    "srl",
+    "subtype",
+    "then",
+    "to",
+    "transport",
+    "type",
+    "unaffected",
+    "units",
+    "until",
+    "use",
+    "variable",
+    "wait",
+    "when",
+    "while",
+    "with",
+    "xnor",
+    "xor",
 ];
 
 /// Verilog-2001 reserved words (subset that user tags could plausibly hit).
 const VERILOG_KEYWORDS: &[&str] = &[
-    "always", "and", "assign", "begin", "buf", "case", "casex", "casez", "default", "defparam",
-    "disable", "edge", "else", "end", "endcase", "endfunction", "endmodule", "endtask", "for",
-    "force", "forever", "function", "if", "initial", "inout", "input", "integer", "module",
-    "negedge", "nor", "not", "or", "output", "parameter", "posedge", "reg", "repeat", "signed",
-    "task", "time", "tri", "wait", "while", "wire", "xnor", "xor",
+    "always",
+    "and",
+    "assign",
+    "begin",
+    "buf",
+    "case",
+    "casex",
+    "casez",
+    "default",
+    "defparam",
+    "disable",
+    "edge",
+    "else",
+    "end",
+    "endcase",
+    "endfunction",
+    "endmodule",
+    "endtask",
+    "for",
+    "force",
+    "forever",
+    "function",
+    "if",
+    "initial",
+    "inout",
+    "input",
+    "integer",
+    "module",
+    "negedge",
+    "nor",
+    "not",
+    "or",
+    "output",
+    "parameter",
+    "posedge",
+    "reg",
+    "repeat",
+    "signed",
+    "task",
+    "time",
+    "tri",
+    "wait",
+    "while",
+    "wire",
+    "xnor",
+    "xor",
 ];
 
 /// Make `raw` a legal identifier in both VHDL and Verilog.

@@ -250,10 +250,13 @@ mod tests {
             clocked: true,
             body: vec![Stmt::Case {
                 expr: Expr::sig("cmd"),
-                arms: vec![(1, vec![Stmt::assign("cmd", Expr::Concat(vec![
-                    Expr::lit(0, 1),
-                    Expr::sig("cmd"),
-                ]))])],
+                arms: vec![(
+                    1,
+                    vec![Stmt::assign(
+                        "cmd",
+                        Expr::Concat(vec![Expr::lit(0, 1), Expr::sig("cmd")]),
+                    )],
+                )],
                 default: Some(vec![Stmt::Null]),
             }],
         }));

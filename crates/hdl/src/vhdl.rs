@@ -267,21 +267,15 @@ mod tests {
         m.items.push(Item::Process(Process {
             label: "icob".into(),
             clocked: true,
-            body: vec![
-                Stmt::if_else(
-                    Expr::sig("RST"),
-                    vec![Stmt::assign("cur_state", Expr::lit(0, 2))],
-                    vec![Stmt::Case {
-                        expr: Expr::Slice {
-                            base: Box::new(Expr::sig("cur_state")),
-                            hi: 1,
-                            lo: 0,
-                        },
-                        arms: vec![(0, vec![Stmt::assign("DATA_OUT", Expr::sig("DATA_IN"))])],
-                        default: None,
-                    }],
-                ),
-            ],
+            body: vec![Stmt::if_else(
+                Expr::sig("RST"),
+                vec![Stmt::assign("cur_state", Expr::lit(0, 2))],
+                vec![Stmt::Case {
+                    expr: Expr::Slice { base: Box::new(Expr::sig("cur_state")), hi: 1, lo: 0 },
+                    arms: vec![(0, vec![Stmt::assign("DATA_OUT", Expr::sig("DATA_IN"))])],
+                    default: None,
+                }],
+            )],
         }));
         m.items.push(Item::Assign { lhs: "DATA_OUT".into(), rhs: Expr::sig("DATA_IN") });
         m
@@ -295,7 +289,10 @@ mod tests {
         assert!(v.contains("architecture rtl of func_demo is"), "{v}");
         assert!(v.contains("DATA_IN"), "{v}");
         assert!(v.contains("std_logic_vector(31 downto 0)"), "{v}");
-        assert!(v.contains("constant MY_FUNC_ID : std_logic_vector(3 downto 0) := \"0010\";"), "{v}");
+        assert!(
+            v.contains("constant MY_FUNC_ID : std_logic_vector(3 downto 0) := \"0010\";"),
+            "{v}"
+        );
         assert!(v.contains("if (CLK = '1' and CLK'EVENT) then"), "{v}");
         assert!(v.contains("-- Generated by Splice"), "{v}");
         assert!(v.contains("when others =>"), "{v}");
@@ -329,10 +326,7 @@ mod tests {
     #[test]
     fn arithmetic_uses_numeric_std() {
         let e = Expr::sig("count").add(Expr::lit(1, 8));
-        assert_eq!(
-            expr(&e),
-            "std_logic_vector(unsigned(count) + unsigned(\"00000001\"))"
-        );
+        assert_eq!(expr(&e), "std_logic_vector(unsigned(count) + unsigned(\"00000001\"))");
     }
 
     #[test]

@@ -1,87 +1,99 @@
 //! Properties of the HDL emitters over randomly generated modules:
 //! deterministic output, balanced block structure, no unprintable text.
 
-use proptest::prelude::*;
 use splice_hdl::{emit, Decl, Expr, Hdl, Item, Module, Port, Process, Stmt};
+use splice_testutil::{check, Rng};
 
-fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
-    let leaf = prop_oneof![
-        (any::<u8>(), 1u32..33).prop_map(|(v, w)| Stmt::assign("s0", Expr::lit(v as u64, w))),
-        Just(Stmt::Comment("c".into())),
-        Just(Stmt::Null),
-    ];
+fn arb_stmt(rng: &mut Rng, depth: u32) -> Stmt {
+    fn leaf(rng: &mut Rng) -> Stmt {
+        match rng.range(0, 3) {
+            0 => {
+                let v = rng.range(0, 256);
+                let w = rng.range(1, 33) as u32;
+                Stmt::assign("s0", Expr::lit(v, w))
+            }
+            1 => Stmt::Comment("c".into()),
+            _ => Stmt::Null,
+        }
+    }
     if depth == 0 {
-        leaf.boxed()
-    } else {
-        let inner = arb_stmt(depth - 1);
-        prop_oneof![
-            leaf,
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Stmt::if_else(
-                Expr::sig("s1").eq(Expr::lit(1, 4)),
-                vec![a],
-                vec![b]
-            )),
-            proptest::collection::vec((0u64..8, inner), 1..4).prop_map(|arms| Stmt::Case {
-                expr: Expr::sig("s1"),
-                arms: arms.into_iter().map(|(v, s)| (v, vec![s])).collect(),
-                default: Some(vec![Stmt::Null]),
-            }),
-        ]
-        .boxed()
+        return leaf(rng);
+    }
+    match rng.range(0, 3) {
+        0 => leaf(rng),
+        1 => Stmt::if_else(
+            Expr::sig("s1").eq(Expr::lit(1, 4)),
+            vec![arb_stmt(rng, depth - 1)],
+            vec![arb_stmt(rng, depth - 1)],
+        ),
+        _ => {
+            let arms = (0..rng.range_usize(1, 4))
+                .map(|_| (rng.range(0, 8), vec![arb_stmt(rng, depth - 1)]))
+                .collect();
+            Stmt::Case { expr: Expr::sig("s1"), arms, default: Some(vec![Stmt::Null]) }
+        }
     }
 }
 
-fn arb_module() -> impl Strategy<Value = Module> {
-    (proptest::collection::vec(arb_stmt(2), 1..6), any::<bool>()).prop_map(|(body, clocked)| {
-        let mut m = Module::new("prop_mod");
-        m.ports.push(Port::input("CLK", 1));
-        m.ports.push(Port::input("IN_A", 8));
-        m.ports.push(Port::output("OUT_B", 8));
-        m.decls.push(Decl::Signal { name: "s0".into(), width: 32, init: Some(0) });
-        m.decls.push(Decl::Signal { name: "s1".into(), width: 4, init: None });
-        m.decls.push(Decl::Constant { name: "K".into(), width: 8, value: 42 });
-        m.items.push(Item::Process(Process { label: "p".into(), clocked, body }));
-        m
-    })
+fn arb_module(rng: &mut Rng) -> Module {
+    let body = (0..rng.range_usize(1, 6)).map(|_| arb_stmt(rng, 2)).collect();
+    let clocked = rng.bool();
+    let mut m = Module::new("prop_mod");
+    m.ports.push(Port::input("CLK", 1));
+    m.ports.push(Port::input("IN_A", 8));
+    m.ports.push(Port::output("OUT_B", 8));
+    m.decls.push(Decl::Signal { name: "s0".into(), width: 32, init: Some(0) });
+    m.decls.push(Decl::Signal { name: "s1".into(), width: 4, init: None });
+    m.decls.push(Decl::Constant { name: "K".into(), width: 8, value: 42 });
+    m.items.push(Item::Process(Process { label: "p".into(), clocked, body }));
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn emission_is_deterministic() {
+    check(0xe301_7001, 64, |rng| {
+        let m = arb_module(rng);
+        assert_eq!(emit(&m, Hdl::Vhdl), emit(&m, Hdl::Vhdl));
+        assert_eq!(emit(&m, Hdl::Verilog), emit(&m, Hdl::Verilog));
+    });
+}
 
-    #[test]
-    fn emission_is_deterministic(m in arb_module()) {
-        prop_assert_eq!(emit(&m, Hdl::Vhdl), emit(&m, Hdl::Vhdl));
-        prop_assert_eq!(emit(&m, Hdl::Verilog), emit(&m, Hdl::Verilog));
-    }
-
-    #[test]
-    fn vhdl_blocks_are_balanced(m in arb_module()) {
+#[test]
+fn vhdl_blocks_are_balanced() {
+    check(0xe301_7002, 64, |rng| {
+        let m = arb_module(rng);
         let v = emit(&m, Hdl::Vhdl);
-        prop_assert_eq!(v.matches("if (").count(), v.matches("end if;").count());
-        prop_assert_eq!(v.matches("case (").count(), v.matches("end case;").count());
-        prop_assert_eq!(v.matches(": process").count(), v.matches("end process;").count());
-        prop_assert!(v.contains("entity prop_mod is"));
-        prop_assert!(v.contains("end architecture rtl;"));
-    }
+        assert_eq!(v.matches("if (").count(), v.matches("end if;").count());
+        assert_eq!(v.matches("case (").count(), v.matches("end case;").count());
+        assert_eq!(v.matches(": process").count(), v.matches("end process;").count());
+        assert!(v.contains("entity prop_mod is"));
+        assert!(v.contains("end architecture rtl;"));
+    });
+}
 
-    #[test]
-    fn verilog_blocks_are_balanced(m in arb_module()) {
+#[test]
+fn verilog_blocks_are_balanced() {
+    check(0xe301_7003, 64, |rng| {
+        let m = arb_module(rng);
         let v = emit(&m, Hdl::Verilog);
         // Token-level balance: each `begin` keyword pairs with one `end`
         // keyword (endcase/endmodule are distinct tokens and not counted).
         let tokens: Vec<&str> = v.split(|c: char| !c.is_ascii_alphanumeric() && c != '_').collect();
         let begins = tokens.iter().filter(|t| **t == "begin").count();
         let ends = tokens.iter().filter(|t| **t == "end").count();
-        prop_assert_eq!(begins, ends, "unbalanced begin/end:\n{}", v);
-        prop_assert_eq!(v.matches("case (").count(), v.matches("endcase").count());
-        prop_assert!(v.starts_with("module prop_mod (") || v.contains("module prop_mod ("));
-        prop_assert!(v.trim_end().ends_with("endmodule"));
-    }
+        assert_eq!(begins, ends, "unbalanced begin/end:\n{}", v);
+        assert_eq!(v.matches("case (").count(), v.matches("endcase").count());
+        assert!(v.starts_with("module prop_mod (") || v.contains("module prop_mod ("));
+        assert!(v.trim_end().ends_with("endmodule"));
+    });
+}
 
-    #[test]
-    fn output_is_printable_ascii(m in arb_module()) {
+#[test]
+fn output_is_printable_ascii() {
+    check(0xe301_7004, 64, |rng| {
+        let m = arb_module(rng);
         for text in [emit(&m, Hdl::Vhdl), emit(&m, Hdl::Verilog)] {
-            prop_assert!(text.bytes().all(|b| b == b'\n' || (0x20..0x7F).contains(&b)));
+            assert!(text.bytes().all(|b| b == b'\n' || (0x20..0x7F).contains(&b)));
         }
-    }
+    });
 }

@@ -56,7 +56,8 @@ pub fn stub_cost(ir: &DesignIr, stub: &FunctionStub) -> Resources {
     }
     // Packed/split assembly muxing on the data path.
     for st in &stub.states {
-        if let StubState::Input { ignore_tail_bits, .. } | StubState::Output { ignore_tail_bits, .. } = st
+        if let StubState::Input { ignore_tail_bits, .. }
+        | StubState::Output { ignore_tail_bits, .. } = st
         {
             if *ignore_tail_bits > 0 {
                 luts += 2;
@@ -71,8 +72,8 @@ pub fn stub_cost(ir: &DesignIr, stub: &FunctionStub) -> Resources {
 pub fn arbiter_cost(ir: &DesignIr) -> Resources {
     let p = &ir.module.params;
     let n = ir.total_instances() + 1; // + status arm
-    // DATA_OUT mux: bus_width bits × ⌈n/2⌉ 4-LUT layers worth of select
-    // logic; the 1-bit muxes (valid / done) add ⌈n/2⌉ each.
+                                      // DATA_OUT mux: bus_width bits × ⌈n/2⌉ 4-LUT layers worth of select
+                                      // logic; the 1-bit muxes (valid / done) add ⌈n/2⌉ each.
     let data_mux = p.bus_width * n.div_ceil(2) / 2;
     let bit_muxes = 2 * n.div_ceil(2);
     let concat = n; // OR/route of calc_done bits
@@ -164,9 +165,8 @@ mod tests {
     #[test]
     fn bus_complexity_ordering_matches_thesis() {
         let mk = |bus: &str, base: &str| {
-            let src = format!(
-                "%device_name d\n%bus_type {bus}\n%bus_width 32\n{base}\nvoid f(int x);"
-            );
+            let src =
+                format!("%device_name d\n%bus_type {bus}\n%bus_width 32\n{base}\nvoid f(int x);");
             interface_cost(&elaborate(&parse_and_validate(&src).unwrap().module))
         };
         let plb = mk("plb", "%base_address 0x80000000");
@@ -213,10 +213,7 @@ mod tests {
         // func_g is two instances: it must cost exactly twice one instance.
         let per = stub_cost(&ir, ir.stub("g").unwrap());
         assert_eq!(rep.item("func_g").unwrap(), per * 2);
-        assert_eq!(
-            rep.total(),
-            rep.items.iter().map(|(_, c)| *c).sum::<Resources>()
-        );
+        assert_eq!(rep.total(), rep.items.iter().map(|(_, c)| *c).sum::<Resources>());
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! size and features — a model that could shrink when you add hardware
 //! would invalidate every Fig 9.3 comparison.
 
-use proptest::prelude::*;
 use splice_core::elaborate::elaborate;
 use splice_resources::design_cost;
 use splice_spec::parse_and_validate;
+use splice_testutil::check;
 
 fn design_slices(decls: &str, extra: &str) -> u32 {
     let src = format!(
@@ -14,51 +14,64 @@ fn design_slices(decls: &str, extra: &str) -> u32 {
     design_cost(&elaborate(&parse_and_validate(&src).unwrap().module)).total().slices()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Adding a function never reduces the bill.
-    #[test]
-    fn more_functions_cost_more(n in 1usize..8) {
+/// Adding a function never reduces the bill.
+#[test]
+fn more_functions_cost_more() {
+    check(0x0e50_0001, 32, |rng| {
+        let n = rng.range_usize(1, 8);
         let decls = |k: usize| {
             (0..k).map(|i| format!("long f{i}(int a{i}, int*:4 b{i});\n")).collect::<String>()
         };
         let small = design_slices(&decls(n), "");
         let big = design_slices(&decls(n + 1), "");
-        prop_assert!(big > small, "{n}: {small} vs {big}");
-    }
+        assert!(big > small, "{n}: {small} vs {big}");
+    });
+}
 
-    /// Adding instances never reduces the bill.
-    #[test]
-    fn more_instances_cost_more(n in 1u64..6) {
+/// Adding instances never reduces the bill.
+#[test]
+fn more_instances_cost_more() {
+    check(0x0e50_0002, 32, |rng| {
+        let n = rng.range(1, 6);
         let small = design_slices(&format!("long f(int x):{n};"), "");
         let big = design_slices(&format!("long f(int x):{};", n + 1), "");
-        prop_assert!(big > small);
-    }
+        assert!(big > small);
+    });
+}
 
-    /// Wider explicit bounds never reduce the bill (wider counters).
-    #[test]
-    fn wider_bounds_never_shrink(n in 2u64..200) {
+/// Wider explicit bounds never reduce the bill (wider counters).
+#[test]
+fn wider_bounds_never_shrink() {
+    check(0x0e50_0003, 32, |rng| {
+        let n = rng.range(2, 200);
         let small = design_slices(&format!("void f(int*:{n} x);"), "");
         let big = design_slices(&format!("void f(int*:{} x);", n * 4), "");
-        prop_assert!(big >= small);
-    }
+        assert!(big >= small);
+    });
+}
 
-    /// Feature directives only ever add hardware.
-    #[test]
-    fn features_only_add(seed in 0u8..8) {
+/// Feature directives only ever add hardware.
+#[test]
+fn features_only_add() {
+    for seed in 0u8..8 {
         let burst = seed & 1 != 0;
         let dma = seed & 2 != 0;
         let irq = seed & 4 != 0;
         let mut extra = String::new();
-        if burst { extra.push_str("%burst_support true\n"); }
-        if dma { extra.push_str("%dma_support true\n"); }
-        if irq { extra.push_str("%irq_support true\n"); }
+        if burst {
+            extra.push_str("%burst_support true\n");
+        }
+        if dma {
+            extra.push_str("%dma_support true\n");
+        }
+        if irq {
+            extra.push_str("%irq_support true\n");
+        }
         let with = design_slices("void f(int*:8 x);", &extra);
         let without = design_slices("void f(int*:8 x);", "");
-        prop_assert!(with >= without, "{extra}: {with} vs {without}");
+        assert!(with >= without, "{extra}: {with} vs {without}");
         if dma {
-            prop_assert!(with > without, "DMA must visibly cost");
+            assert!(with > without, "DMA must visibly cost");
         }
     }
 }

@@ -1,5 +1,6 @@
 //! The component trait and per-tick context.
 
+use crate::metrics::{Event, MetricsRegistry};
 use crate::signal::{mask, SignalId, Word};
 
 /// Per-tick view of the signal store handed to each component.
@@ -16,6 +17,7 @@ pub struct TickCtx<'a> {
     pub(crate) component: u32,
     pub(crate) cycle: u64,
     pub(crate) conflict: &'a mut Option<(SignalId, u32, u32)>,
+    pub(crate) metrics: &'a mut MetricsRegistry,
 }
 
 impl<'a> TickCtx<'a> {
@@ -55,6 +57,65 @@ impl<'a> TickCtx<'a> {
     #[inline]
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    // --- observability -------------------------------------------------
+    //
+    // All recording is a no-op while the simulation's metrics registry is
+    // disabled; instrumented components should guard any *expensive*
+    // argument construction (string formatting) behind
+    // [`metrics_enabled`](Self::metrics_enabled).
+
+    /// Whether the metrics registry is recording.
+    #[inline]
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_enabled()
+    }
+
+    /// Add `delta` to a named counter.
+    #[inline]
+    pub fn metric_add(&mut self, name: &str, delta: u64) {
+        self.metrics.counter_add(name, delta);
+    }
+
+    /// Set a named gauge.
+    #[inline]
+    pub fn metric_gauge(&mut self, name: &str, value: u64) {
+        self.metrics.gauge_set(name, value);
+    }
+
+    /// Record a sample into a named latency/size histogram.
+    #[inline]
+    pub fn metric_observe(&mut self, name: &str, value: u64) {
+        self.metrics.observe(name, value);
+    }
+
+    /// Append a cycle-stamped protocol milestone to the event log.
+    #[inline]
+    pub fn protocol_event(&mut self, source: &str, kind: &str, detail: impl Into<String>) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        self.metrics.record_event(Event::ProtocolEvent {
+            cycle: self.cycle,
+            source: source.to_owned(),
+            kind: kind.to_owned(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Append a cycle-stamped protocol violation to the event log.
+    #[inline]
+    pub fn violation_event(&mut self, source: &str, axiom: &str, detail: impl Into<String>) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        self.metrics.record_event(Event::Violation {
+            cycle: self.cycle,
+            source: source.to_owned(),
+            axiom: axiom.to_owned(),
+            detail: detail.into(),
+        });
     }
 }
 

@@ -1,6 +1,7 @@
 //! The simulator: signal store, component scheduling, cycle stepping.
 
 use crate::component::{Component, TickCtx};
+use crate::metrics::{Event, MetricsRegistry};
 use crate::signal::{SignalDecl, SignalId, Word};
 use crate::trace::Trace;
 use std::collections::HashMap;
@@ -57,11 +58,7 @@ impl SimulatorBuilder {
     /// Panics on duplicate names — signal wiring is a construction-time
     /// decision and a duplicate is always a harness bug.
     pub fn signal(&mut self, decl: SignalDecl) -> SignalId {
-        assert!(
-            !self.by_name.contains_key(&decl.name),
-            "signal `{}` declared twice",
-            decl.name
-        );
+        assert!(!self.by_name.contains_key(&decl.name), "signal `{}` declared twice", decl.name);
         let id = SignalId(self.decls.len() as u32);
         self.by_name.insert(decl.name.clone(), id);
         self.decls.push(decl);
@@ -93,6 +90,7 @@ impl SimulatorBuilder {
             written_by: vec![u32::MAX; n],
             cycle: 0,
             traces: Vec::new(),
+            metrics: MetricsRegistry::from_env(),
         }
     }
 }
@@ -108,6 +106,7 @@ pub struct Simulator {
     written_by: Vec<u32>,
     cycle: u64,
     traces: Vec<Trace>,
+    metrics: MetricsRegistry,
 }
 
 impl Simulator {
@@ -156,6 +155,17 @@ impl Simulator {
         self.components[idx].as_any_mut().downcast_mut::<T>()
     }
 
+    /// The observability registry (counters, histograms, event log).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable registry access — use to enable/reset collection:
+    /// `sim.metrics_mut().enable()`.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
     /// Advance one clock edge.
     pub fn step(&mut self) -> Result<(), SimError> {
         // Capture pre-step values into traces (so cycle 0 shows reset state).
@@ -165,6 +175,10 @@ impl Simulator {
 
         self.written_by.fill(u32::MAX);
         self.next.copy_from_slice(&self.cur);
+        let verbose = self.metrics.trace_level() >= 2;
+        if verbose {
+            self.metrics.record_event(Event::TickBegin { cycle: self.cycle });
+        }
         let mut conflict: Option<(SignalId, u32, u32)> = None;
         for (i, comp) in self.components.iter_mut().enumerate() {
             let mut ctx = TickCtx {
@@ -175,8 +189,22 @@ impl Simulator {
                 component: i as u32,
                 cycle: self.cycle,
                 conflict: &mut conflict,
+                metrics: &mut self.metrics,
             };
             comp.tick(&mut ctx);
+        }
+        if verbose {
+            for (i, decl) in self.decls.iter().enumerate() {
+                if self.next[i] != self.cur[i] {
+                    self.metrics.record_event(Event::SignalEdge {
+                        cycle: self.cycle,
+                        signal: decl.name.clone(),
+                        from: self.cur[i],
+                        to: self.next[i],
+                    });
+                }
+            }
+            self.metrics.record_event(Event::TickEnd { cycle: self.cycle });
         }
         if let Some((sig, a, b)) = conflict {
             return Err(SimError::MultipleDrivers {

@@ -21,13 +21,20 @@
 //! (used to regenerate the thesis's timing diagrams) and a VCD writer for
 //! offline waveform inspection.
 
+//! A [`metrics::MetricsRegistry`] rides along with every simulation:
+//! counters, gauges, latency histograms, and a cycle-stamped event log
+//! that components reach through [`TickCtx`] (near-zero cost while
+//! disabled; see `docs/observability.md`).
+
 pub mod component;
 pub mod kernel;
+pub mod metrics;
 pub mod signal;
 pub mod trace;
 pub mod vcd;
 
 pub use component::{Component, TickCtx};
 pub use kernel::{SimError, Simulator, SimulatorBuilder};
+pub use metrics::{Event, EventLog, Histogram, MetricsRegistry};
 pub use signal::{SignalDecl, SignalId, Word};
 pub use trace::Trace;

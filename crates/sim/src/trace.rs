@@ -4,12 +4,15 @@
 //! `splice-sis` (regenerating the thesis's Figs 4.3–4.8) and the VCD writer.
 
 use crate::signal::{SignalId, Word};
+use std::collections::HashMap;
 
 /// A recording of selected signals, one sample per clock cycle.
 #[derive(Debug, Clone)]
 pub struct Trace {
     /// (name, width, id) per traced signal.
     signals: Vec<(String, u32, SignalId)>,
+    /// name → index into `signals`, so per-name queries don't scan.
+    by_name: HashMap<String, usize>,
     /// `samples[cycle][signal_idx]`.
     samples: Vec<Vec<Word>>,
     /// Cycle number of the first sample.
@@ -18,7 +21,13 @@ pub struct Trace {
 
 impl Trace {
     pub(crate) fn new(signals: Vec<(String, u32, SignalId)>) -> Self {
-        Trace { signals, samples: Vec::new(), first_cycle: 0 }
+        let by_name = signals.iter().enumerate().map(|(i, (n, _, _))| (n.clone(), i)).collect();
+        Trace { signals, by_name, samples: Vec::new(), first_cycle: 0 }
+    }
+
+    /// Index of `name` in trace order.
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
     }
 
     pub(crate) fn sample(&mut self, cycle: u64, values: &[Word]) {
@@ -50,18 +59,18 @@ impl Trace {
 
     /// Bit width of the named signal.
     pub fn width(&self, name: &str) -> Option<u32> {
-        self.signals.iter().find(|(n, _, _)| n == name).map(|&(_, w, _)| w)
+        self.index_of(name).map(|i| self.signals[i].1)
     }
 
     /// The full sample series for one signal.
     pub fn values(&self, name: &str) -> Option<Vec<Word>> {
-        let idx = self.signals.iter().position(|(n, _, _)| n == name)?;
+        let idx = self.index_of(name)?;
         Some(self.samples.iter().map(|row| row[idx]).collect())
     }
 
     /// Value of `name` at `cycle` (absolute cycle number).
     pub fn at(&self, name: &str, cycle: u64) -> Option<Word> {
-        let idx = self.signals.iter().position(|(n, _, _)| n == name)?;
+        let idx = self.index_of(name)?;
         let row = cycle.checked_sub(self.first_cycle)? as usize;
         self.samples.get(row).map(|r| r[idx])
     }
@@ -90,10 +99,7 @@ mod tests {
     use super::*;
 
     fn toy_trace() -> Trace {
-        let mut t = Trace::new(vec![
-            ("a".into(), 1, SignalId(0)),
-            ("d".into(), 8, SignalId(1)),
-        ]);
+        let mut t = Trace::new(vec![("a".into(), 1, SignalId(0)), ("d".into(), 8, SignalId(1))]);
         t.sample(10, &[0, 0x00]);
         t.sample(11, &[1, 0x55]);
         t.sample(12, &[0, 0x55]);

@@ -2,8 +2,8 @@
 //! and determinism — the guarantees the double-buffered design makes by
 //! construction, checked over random register networks.
 
-use proptest::prelude::*;
 use splice_sim::{Component, SignalId, SimulatorBuilder, TickCtx};
+use splice_testutil::{check, Rng};
 
 /// A register file: out[i] <= f(inputs...) where f is a small expression
 /// over other signals, chosen by `kind`.
@@ -32,16 +32,19 @@ impl Component for Node {
     }
 }
 
-fn run_network(n_nodes: usize, edges: &[(usize, usize)], kinds: &[u8], order: &[usize], cycles: u64) -> Vec<u64> {
+fn run_network(
+    n_nodes: usize,
+    edges: &[(usize, usize)],
+    kinds: &[u8],
+    order: &[usize],
+    cycles: u64,
+) -> Vec<u64> {
     let mut b = SimulatorBuilder::new();
     let sigs: Vec<SignalId> = (0..n_nodes).map(|i| b.sig(format!("n{i}"), 32)).collect();
     let mut nodes: Vec<Option<Node>> = (0..n_nodes)
         .map(|i| {
-            let inputs: Vec<SignalId> = edges
-                .iter()
-                .filter(|&&(_, dst)| dst == i)
-                .map(|&(src, _)| sigs[src])
-                .collect();
+            let inputs: Vec<SignalId> =
+                edges.iter().filter(|&&(_, dst)| dst == i).map(|&(src, _)| sigs[src]).collect();
             Some(Node { inputs, out: sigs[i], kind: kinds[i] })
         })
         .collect();
@@ -55,48 +58,37 @@ fn run_network(n_nodes: usize, edges: &[(usize, usize)], kinds: &[u8], order: &[
     sigs.iter().map(|&s| sim.value(s)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_network(rng: &mut Rng, max_nodes: usize) -> (usize, Vec<(usize, usize)>, Vec<u8>) {
+    let n_nodes = rng.range_usize(2, max_nodes);
+    let n_edges = rng.range_usize(0, 25);
+    let edges: Vec<(usize, usize)> =
+        (0..n_edges).map(|_| (rng.range_usize(0, n_nodes), rng.range_usize(0, n_nodes))).collect();
+    let kinds: Vec<u8> = (0..n_nodes).map(|_| rng.next_u64() as u8).collect();
+    (n_nodes, edges, kinds)
+}
 
-    #[test]
-    fn component_registration_order_never_changes_results(
-        n_nodes in 2usize..10,
-        raw_edges in proptest::collection::vec((0usize..10, 0usize..10), 0..25),
-        kinds in proptest::collection::vec(any::<u8>(), 10..=10),
-        cycles in 1u64..40,
-        seed in any::<u64>(),
-    ) {
-        let edges: Vec<(usize, usize)> = raw_edges
-            .into_iter()
-            .map(|(a, b)| (a % n_nodes, b % n_nodes))
-            .collect();
+#[test]
+fn component_registration_order_never_changes_results() {
+    check(0xde7_0001, 64, |rng| {
+        let (n_nodes, edges, kinds) = arb_network(rng, 10);
+        let cycles = rng.range(1, 40);
         let forward: Vec<usize> = (0..n_nodes).collect();
-        // A deterministic shuffle derived from the seed.
         let mut shuffled = forward.clone();
-        let mut s = seed | 1;
-        for i in (1..shuffled.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            shuffled.swap(i, (s as usize) % (i + 1));
-        }
+        rng.shuffle(&mut shuffled);
         let a = run_network(n_nodes, &edges, &kinds, &forward, cycles);
         let b = run_network(n_nodes, &edges, &kinds, &shuffled, cycles);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn reruns_are_bit_identical(
-        n_nodes in 2usize..8,
-        raw_edges in proptest::collection::vec((0usize..8, 0usize..8), 0..16),
-        kinds in proptest::collection::vec(any::<u8>(), 8..=8),
-        cycles in 1u64..60,
-    ) {
-        let edges: Vec<(usize, usize)> = raw_edges
-            .into_iter()
-            .map(|(a, b)| (a % n_nodes, b % n_nodes))
-            .collect();
+#[test]
+fn reruns_are_bit_identical() {
+    check(0xde7_0002, 64, |rng| {
+        let (n_nodes, edges, kinds) = arb_network(rng, 8);
+        let cycles = rng.range(1, 60);
         let order: Vec<usize> = (0..n_nodes).collect();
         let a = run_network(n_nodes, &edges, &kinds, &order, cycles);
         let b = run_network(n_nodes, &edges, &kinds, &order, cycles);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }

@@ -46,6 +46,18 @@ pub enum Axiom {
     ReadQualification,
 }
 
+impl Axiom {
+    /// Stable identifier used in violation events and metric reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axiom::WriteStability => "write_stability",
+            Axiom::IoDoneOneShot => "io_done_one_shot",
+            Axiom::DataOutValidOneShot => "data_out_valid_one_shot",
+            Axiom::ReadQualification => "read_qualification",
+        }
+    }
+}
+
 /// Passive SIS conformance checker.
 pub struct SisChecker {
     bus: SisBus,
@@ -76,14 +88,16 @@ impl SisChecker {
         self.violations.is_empty()
     }
 
-    fn violate(&mut self, cycle: u64, axiom: Axiom, detail: String) {
+    fn violate(&mut self, ctx: &mut TickCtx<'_>, axiom: Axiom, detail: String) {
+        let cycle = ctx.cycle();
+        ctx.metric_add("sis.checker.violations", 1);
+        ctx.violation_event(Component::name(self), axiom.name(), detail.clone());
         self.violations.push(Violation { cycle, axiom, detail });
     }
 }
 
 impl Component for SisChecker {
     fn tick(&mut self, ctx: &mut TickCtx<'_>) {
-        let cycle = ctx.cycle();
         if ctx.get_bool(self.bus.rst) {
             self.latched = None;
             self.prev_io_done = false;
@@ -108,7 +122,7 @@ impl Component for SisChecker {
                         self.latched = Some((data_in, func_id));
                     } else if d != data_in || f != func_id {
                         self.violate(
-                            cycle,
+                            ctx,
                             Axiom::WriteStability,
                             format!(
                                 "DATA_IN/FUNC_ID changed mid-beat: \
@@ -126,12 +140,12 @@ impl Component for SisChecker {
         if self.mode == SisMode::PseudoAsync {
             // Axiom 2: IO_DONE one-shot.
             if io_done && self.prev_io_done {
-                self.violate(cycle, Axiom::IoDoneOneShot, "IO_DONE held >1 cycle".into());
+                self.violate(ctx, Axiom::IoDoneOneShot, "IO_DONE held >1 cycle".into());
             }
             // Axiom 3: DATA_OUT_VALID one-shot.
             if dov && self.prev_dov {
                 self.violate(
-                    cycle,
+                    ctx,
                     Axiom::DataOutValidOneShot,
                     "DATA_OUT_VALID held >1 cycle".into(),
                 );
@@ -139,7 +153,7 @@ impl Component for SisChecker {
             // Axiom 4: reads answer with DATA_OUT_VALID and IO_DONE together.
             if dov && !io_done {
                 self.violate(
-                    cycle,
+                    ctx,
                     Axiom::ReadQualification,
                     "DATA_OUT_VALID without IO_DONE".into(),
                 );
@@ -187,14 +201,20 @@ mod tests {
         let bus = SisBus::declare(&mut b, "", 32, 8);
         let midx = b.component(Box::new(SisMaster::new(bus, SisMode::PseudoAsync, script)));
         b.component(Box::new(EchoFunction::new(
-            1, bus, bus.data_out, bus.data_out_valid, bus.io_done, bus.calc_done, 2, 1, sum,
+            1,
+            bus,
+            bus.data_out,
+            bus.data_out_valid,
+            bus.io_done,
+            bus.calc_done,
+            2,
+            1,
+            sum,
         )));
         let cidx = b.component(Box::new(SisChecker::new(bus, SisMode::PseudoAsync)));
         let mut sim = b.build();
-        sim.run_until("finish", 1000, |s| {
-            s.component::<SisMaster>(midx).unwrap().is_finished()
-        })
-        .unwrap();
+        sim.run_until("finish", 1000, |s| s.component::<SisMaster>(midx).unwrap().is_finished())
+            .unwrap();
         sim.run(3).unwrap();
         let checker = sim.component::<SisChecker>(cidx).unwrap();
         assert!(checker.clean(), "violations: {:?}", checker.violations);
@@ -232,10 +252,7 @@ mod tests {
         sim.run(5).unwrap();
         let checker = sim.component::<SisChecker>(cidx).unwrap();
         assert!(!checker.clean());
-        assert!(checker
-            .violations
-            .iter()
-            .all(|v| v.axiom == Axiom::WriteStability));
+        assert!(checker.violations.iter().all(|v| v.axiom == Axiom::WriteStability));
     }
 
     /// A broken slave: holds IO_DONE for many cycles.
@@ -256,9 +273,7 @@ mod tests {
 
     #[test]
     fn sticky_io_done_flagged_in_pseudo_async_only() {
-        for (mode, expect_dirty) in
-            [(SisMode::PseudoAsync, true), (SisMode::StrictSync, false)]
-        {
+        for (mode, expect_dirty) in [(SisMode::PseudoAsync, true), (SisMode::StrictSync, false)] {
             let mut b = SimulatorBuilder::new();
             let bus = SisBus::declare(&mut b, "", 32, 8);
             b.component(Box::new(StickyDoneSlave { io_done: bus.io_done }));
@@ -296,6 +311,52 @@ mod tests {
         assert_eq!(checker.violations.len(), 1);
         assert_eq!(checker.violations[0].axiom, Axiom::ReadQualification);
         assert_eq!(checker.violations[0].cycle, 3);
+    }
+
+    #[test]
+    fn violations_reach_the_event_log() {
+        let mut b = SimulatorBuilder::new();
+        let bus = SisBus::declare(&mut b, "", 32, 8);
+        b.component(Box::new(RogueMaster { bus, n: 0 }));
+        let cidx = b.component(Box::new(SisChecker::new(bus, SisMode::PseudoAsync)));
+        let mut sim = b.build();
+        sim.metrics_mut().enable();
+        sim.run(5).unwrap();
+
+        let n = sim.component::<SisChecker>(cidx).unwrap().violations.len();
+        assert!(n > 0);
+        // Counter and event log mirror the checker's own records, with
+        // cycle and axiom context attached.
+        assert_eq!(sim.metrics().counter("sis.checker.violations"), n as u64);
+        let events: Vec<_> = sim.metrics().events().violations().collect();
+        assert_eq!(events.len(), n);
+        match events[0] {
+            splice_sim::Event::Violation { cycle, source, axiom, detail } => {
+                assert!(*cycle > 0);
+                assert_eq!(source, "sis-checker");
+                assert_eq!(axiom, "write_stability");
+                assert!(detail.contains("DATA_IN"));
+            }
+            other => panic!("not a violation: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_metrics_record_no_violation_events() {
+        let mut b = SimulatorBuilder::new();
+        let bus = SisBus::declare(&mut b, "", 32, 8);
+        b.component(Box::new(RogueMaster { bus, n: 0 }));
+        let cidx = b.component(Box::new(SisChecker::new(bus, SisMode::PseudoAsync)));
+        let mut sim = b.build();
+        if sim.metrics().is_enabled() {
+            return; // SPLICE_TRACE set in the environment
+        }
+        sim.run(5).unwrap();
+        // The checker itself still records violations; only the metrics
+        // side stays silent.
+        assert!(!sim.component::<SisChecker>(cidx).unwrap().clean());
+        assert_eq!(sim.metrics().counter("sis.checker.violations"), 0);
+        assert!(sim.metrics().events().events().is_empty());
     }
 
     #[test]

@@ -521,9 +521,7 @@ mod tests {
         run_to_finish(&mut sim, midx);
         // The function must still be waiting for its first input: force a
         // real write and check 99 never got in.
-        let f = sim
-            .component::<EchoFunction>(1)
-            .expect("component 1 is the echo function");
+        let f = sim.component::<EchoFunction>(1).expect("component 1 is the echo function");
         assert_eq!(f.rounds, 0);
         assert!(f.inputs.is_empty());
     }
@@ -573,7 +571,15 @@ mod tests {
         let port = SisFuncPort::declare(&mut b, "", "f", 32);
         b.component(Box::new(Reset { rst: bus.rst, fired: false }));
         b.component(Box::new(EchoFunction::new(
-            1, bus, port.data_out, port.data_out_valid, port.io_done, port.calc_done, 2, 0, sum,
+            1,
+            bus,
+            port.data_out,
+            port.data_out_valid,
+            port.io_done,
+            port.calc_done,
+            2,
+            0,
+            sum,
         )));
         let mut sim2 = b.build();
         sim2.run(4).unwrap();
@@ -589,7 +595,15 @@ mod tests {
         let bus = SisBus::declare(&mut b, "", 32, 8);
         let midx = b.component(Box::new(SisMaster::new(bus, SisMode::PseudoAsync, script)));
         b.component(Box::new(EchoFunction::new(
-            1, bus, bus.data_out, bus.data_out_valid, bus.io_done, bus.calc_done, 1, 0, sum,
+            1,
+            bus,
+            bus.data_out,
+            bus.data_out_valid,
+            bus.io_done,
+            bus.calc_done,
+            1,
+            0,
+            sum,
         )));
         let mut sim = b.build();
         let t = sim.attach_trace(&[bus.io_enable]);

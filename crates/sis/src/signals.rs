@@ -88,7 +88,9 @@ impl SisSignal {
                 "Used to target a specific user logic function in the system and direct \
                  I/O requests across the SIS."
             }
-            SisSignal::DataOut => "Output data from the user logic in response to a processor request.",
+            SisSignal::DataOut => {
+                "Output data from the user logic in response to a processor request."
+            }
             SisSignal::DataOutValid => {
                 "Used to signal that output data is valid and is waiting to be read via \
                  the processor."
@@ -148,7 +150,12 @@ pub struct SisBus {
 impl SisBus {
     /// Declare a fresh SIS in `b`, prefixing every signal name with
     /// `prefix` (so multiple SIS instances can share one simulation).
-    pub fn declare(b: &mut SimulatorBuilder, prefix: &str, data_width: u32, func_id_width: u32) -> Self {
+    pub fn declare(
+        b: &mut SimulatorBuilder,
+        prefix: &str,
+        data_width: u32,
+        func_id_width: u32,
+    ) -> Self {
         let n = |s: &str| format!("{prefix}{s}");
         SisBus {
             rst: b.signal(SignalDecl::new(n("RST"), 1)),
@@ -181,7 +188,12 @@ pub struct SisFuncPort {
 
 impl SisFuncPort {
     /// Declare the per-function return lines for function `func_name`.
-    pub fn declare(b: &mut SimulatorBuilder, prefix: &str, func_name: &str, data_width: u32) -> Self {
+    pub fn declare(
+        b: &mut SimulatorBuilder,
+        prefix: &str,
+        func_name: &str,
+        data_width: u32,
+    ) -> Self {
         let n = |s: &str| format!("{prefix}{func_name}.{s}");
         SisFuncPort {
             data_out: b.signal(SignalDecl::new(n("DATA_OUT"), data_width)),

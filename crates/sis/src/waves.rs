@@ -81,10 +81,7 @@ mod tests {
 
     #[test]
     fn renders_levels_and_values() {
-        let script = vec![
-            SisOp::Write { func_id: 1, data: 0xBEEF },
-            SisOp::Read { func_id: 1 },
-        ];
+        let script = vec![SisOp::Write { func_id: 1, data: 0xBEEF }, SisOp::Read { func_id: 1 }];
         let mut b = SimulatorBuilder::new();
         let bus = SisBus::declare(&mut b, "", 32, 8);
         let midx = b.component(Box::new(SisMaster::new(bus, SisMode::PseudoAsync, script)));

@@ -105,10 +105,9 @@ impl fmt::Display for SpecErrorKind {
             MissingBusType => write!(f, "required directive `%bus_type` was not supplied"),
             MissingBusWidth => write!(f, "required directive `%bus_width` was not supplied"),
             MissingDeviceName => write!(f, "required directive `%device_name` was not supplied"),
-            MissingBaseAddress => write!(
-                f,
-                "`%base_address` is required: the targeted bus is memory-mapped"
-            ),
+            MissingBaseAddress => {
+                write!(f, "`%base_address` is required: the targeted bus is memory-mapped")
+            }
             UnknownBus(b) => write!(f, "no interface library is registered for bus `{b}`"),
             UnsupportedBusWidth { bus, width, allowed } => write!(
                 f,
@@ -125,17 +124,15 @@ impl fmt::Display for SpecErrorKind {
                 write!(f, "parameter `{param}` appears twice in `{func}`")
             }
             UnknownType(t) => write!(f, "unknown type `{t}` (missing `%user_type`?)"),
-            DmaNotAvailable { func, param, reason } => write!(
-                f,
-                "`{func}`: parameter `{param}` requests DMA but {reason}"
-            ),
+            DmaNotAvailable { func, param, reason } => {
+                write!(f, "`{func}`: parameter `{param}` requests DMA but {reason}")
+            }
             BurstNotAvailable { bus } => {
                 write!(f, "`%burst_support true` but bus `{bus}` has no burst capability")
             }
-            BadImplicitIndex { func, param, index, detail } => write!(
-                f,
-                "`{func}`: implicit bound `{index}` for `{param}` is invalid: {detail}"
-            ),
+            BadImplicitIndex { func, param, index, detail } => {
+                write!(f, "`{func}`: implicit bound `{index}` for `{param}` is invalid: {detail}")
+            }
             BadPacking { func, param, detail } => {
                 write!(f, "`{func}`: cannot pack `{param}`: {detail}")
             }
@@ -146,10 +143,9 @@ impl fmt::Display for SpecErrorKind {
             VoidParam { func, param } => {
                 write!(f, "`{func}`: parameter `{param}` cannot have type void/nowait")
             }
-            NowaitWithValue { func } => write!(
-                f,
-                "`{func}`: `nowait` declarations must not return a value"
-            ),
+            NowaitWithValue { func } => {
+                write!(f, "`{func}`: `nowait` declarations must not return a value")
+            }
             ZeroBound { func, param } => {
                 write!(f, "`{func}`: parameter `{param}` has an explicit bound of 0 elements")
             }
@@ -160,10 +156,9 @@ impl fmt::Display for SpecErrorKind {
                  hardware cannot accept unbounded arrays"
             ),
             NoFunctions => write!(f, "specification declares no interfaces"),
-            TooManyFunctions { total, max } => write!(
-                f,
-                "{total} function instances exceed the {max}-entry FUNC_ID space"
-            ),
+            TooManyFunctions { total, max } => {
+                write!(f, "{total} function instances exceed the {max}-entry FUNC_ID space")
+            }
             MisalignedBaseAddress { addr, align } => write!(
                 f,
                 "base address {addr:#x} is not aligned to the bus word size ({align} bytes)"
@@ -222,11 +217,8 @@ mod tests {
 
     #[test]
     fn kind_messages_are_specific() {
-        let k = SpecErrorKind::UnsupportedBusWidth {
-            bus: "fcb".into(),
-            width: 64,
-            allowed: vec![32],
-        };
+        let k =
+            SpecErrorKind::UnsupportedBusWidth { bus: "fcb".into(), width: 64, allowed: vec![32] };
         assert!(format!("{k}").contains("fcb"));
         assert!(format!("{k}").contains("64"));
     }

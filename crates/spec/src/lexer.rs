@@ -105,10 +105,9 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                 }
             }
-            _ => Err(SpecError::new(
-                SpecErrorKind::UnexpectedChar('/'),
-                Span::new(start, start + 1),
-            )),
+            _ => {
+                Err(SpecError::new(SpecErrorKind::UnexpectedChar('/'), Span::new(start, start + 1)))
+            }
         }
     }
 
@@ -172,14 +171,7 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("long get_status();"),
-            vec![
-                Ident("long".into()),
-                Ident("get_status".into()),
-                LParen,
-                RParen,
-                Semi,
-                Eof
-            ]
+            vec![Ident("long".into()), Ident("get_status".into()), LParen, RParen, Semi, Eof]
         );
     }
 
@@ -188,16 +180,7 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("int*:8^+ x"),
-            vec![
-                Ident("int".into()),
-                Star,
-                Colon,
-                Int(8),
-                Caret,
-                Plus,
-                Ident("x".into()),
-                Eof
-            ]
+            vec![Ident("int".into()), Star, Colon, Int(8), Caret, Plus, Ident("x".into()), Eof]
         );
     }
 
@@ -206,13 +189,7 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("%base_address 0x80000000\n"),
-            vec![
-                Percent,
-                Ident("base_address".into()),
-                HexInt(0x8000_0000),
-                Newline,
-                Eof
-            ]
+            vec![Percent, Ident("base_address".into()), HexInt(0x8000_0000), Newline, Eof]
         );
     }
 

@@ -108,7 +108,6 @@ impl Parser {
         ));
     }
 
-
     // ---- pass 1: directives -------------------------------------------
 
     fn collect_directives(&mut self) {
@@ -185,9 +184,7 @@ impl Parser {
                 None => self.bad_arg("dma_support", "expected `true` or `false`", span),
             },
             "packing_support" => match bool_arg(&args) {
-                Some(enabled) => {
-                    self.directives.push(Directive::PackingSupport { enabled, span })
-                }
+                Some(enabled) => self.directives.push(Directive::PackingSupport { enabled, span }),
                 None => self.bad_arg("packing_support", "expected `true` or `false`", span),
             },
             "irq_support" => match bool_arg(&args) {
@@ -204,10 +201,8 @@ impl Parser {
             },
             "user_type" => self.parse_user_type(&args, span),
             other => {
-                self.errors.push(SpecError::new(
-                    SpecErrorKind::UnknownDirective(other.to_owned()),
-                    span,
-                ));
+                self.errors
+                    .push(SpecError::new(SpecErrorKind::UnknownDirective(other.to_owned()), span));
             }
         }
     }
@@ -270,8 +265,7 @@ impl Parser {
         };
         let signed = !definition.starts_with("unsigned");
         if !self.types.define_user(&name, &definition, bits, signed) {
-            self.errors
-                .push(SpecError::new(SpecErrorKind::DuplicateUserType(name.clone()), span));
+            self.errors.push(SpecError::new(SpecErrorKind::DuplicateUserType(name.clone()), span));
             return;
         }
         self.directives.push(Directive::UserType { name, definition, bits, span });
@@ -687,7 +681,8 @@ mod tests {
     #[test]
     fn brace_parameter_lists() {
         // Fig 8.2 writes declarations with braces.
-        let spec = ok("void set_threshold{llong thold};\n%user_type llong, unsigned long long, 64\n");
+        let spec =
+            ok("void set_threshold{llong thold};\n%user_type llong, unsigned long long, 64\n");
         assert_eq!(spec.decls[0].params[0].ty.bits, 64);
     }
 
@@ -700,10 +695,15 @@ mod tests {
 
     #[test]
     fn directives_parse() {
-        let spec = ok("%bus_type plb\n%bus_width 32\n%base_address 0x8000401C\n%dma_support false\n");
+        let spec =
+            ok("%bus_type plb\n%bus_width 32\n%base_address 0x8000401C\n%dma_support false\n");
         assert_eq!(spec.directives.len(), 4);
-        assert!(matches!(spec.directive("bus_type"), Some(Directive::BusType { name, .. }) if name == "plb"));
-        assert!(matches!(spec.directive("base_address"), Some(Directive::BaseAddress { addr, .. }) if *addr == 0x8000_401C));
+        assert!(
+            matches!(spec.directive("bus_type"), Some(Directive::BusType { name, .. }) if name == "plb")
+        );
+        assert!(
+            matches!(spec.directive("base_address"), Some(Directive::BaseAddress { addr, .. }) if *addr == 0x8000_401C)
+        );
     }
 
     #[test]
@@ -764,7 +764,9 @@ mod tests {
     #[test]
     fn base_address_requires_hex_form() {
         let errs = parse("%base_address 1234\n").unwrap_err();
-        assert!(matches!(&errs[0].kind, SpecErrorKind::BadDirectiveArg { directive, .. } if directive == "base_address"));
+        assert!(
+            matches!(&errs[0].kind, SpecErrorKind::BadDirectiveArg { directive, .. } if directive == "base_address")
+        );
     }
 
     #[test]
@@ -775,8 +777,7 @@ mod tests {
 
     #[test]
     fn duplicate_user_type_is_error() {
-        let errs =
-            parse("%user_type t, int, 32\n%user_type t, int, 32\n").unwrap_err();
+        let errs = parse("%user_type t, int, 32\n%user_type t, int, 32\n").unwrap_err();
         assert!(matches!(&errs[0].kind, SpecErrorKind::DuplicateUserType(t) if t == "t"));
     }
 

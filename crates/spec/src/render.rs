@@ -105,8 +105,9 @@ mod tests {
 
     #[test]
     fn brace_form_normalises_to_parens() {
-        let spec = parse("void set_threshold{llong t};\n%user_type llong, unsigned long long, 64\n")
-            .unwrap();
+        let spec =
+            parse("void set_threshold{llong t};\n%user_type llong, unsigned long long, 64\n")
+                .unwrap();
         let r = render(&spec);
         assert!(r.contains("void set_threshold(llong t);"), "{r}");
     }

@@ -381,14 +381,12 @@ impl<'a> Validator<'a> {
                 }
                 if p.ty.is_void {
                     return Err(SpecError::new(
-                        SpecErrorKind::VoidParam {
-                            func: decl.name.clone(),
-                            param: p.name.clone(),
-                        },
+                        SpecErrorKind::VoidParam { func: decl.name.clone(), param: p.name.clone() },
                         p.span,
                     ));
                 }
-                let io = self.validate_io(decl, &p.name, &p.ty, &p.ext, &mut inputs, p.span, params)?;
+                let io =
+                    self.validate_io(decl, &p.name, &p.ty, &p.ext, &mut inputs, p.span, params)?;
                 inputs.push(io);
             }
 
@@ -396,15 +394,8 @@ impl<'a> Validator<'a> {
                 ReturnKind::Void => (None, false),
                 ReturnKind::Nowait => (None, true),
                 ReturnKind::Value { ty, ext } => {
-                    let io = self.validate_io(
-                        decl,
-                        "result",
-                        ty,
-                        ext,
-                        &mut inputs,
-                        decl.span,
-                        params,
-                    )?;
+                    let io =
+                        self.validate_io(decl, "result", ty, ext, &mut inputs, decl.span, params)?;
                     (Some(io), false)
                 }
             };
@@ -538,8 +529,8 @@ impl<'a> Validator<'a> {
         // Global `%packing_support` packs every eligible array transfer
         // ("will only be implemented in cases where the size of the array
         // entries ... is small in comparison to the width of the bus").
-        let packed = explicitly_packed
-            || (params.packing && ext.pointer && ty.bits * 2 <= params.bus_width);
+        let packed =
+            explicitly_packed || (params.packing && ext.pointer && ty.bits * 2 <= params.bus_width);
 
         // DMA legality (§3.1.5, §3.2.2).
         if ext.dma {
@@ -548,10 +539,7 @@ impl<'a> Validator<'a> {
                     SpecErrorKind::DmaNotAvailable {
                         func,
                         param: name.into(),
-                        reason: format!(
-                            "bus `{}` has no physical DMA support",
-                            params.bus.kind
-                        ),
+                        reason: format!("bus `{}` has no physical DMA support", params.bus.kind),
                     },
                     span,
                 ));
@@ -603,7 +591,8 @@ mod tests {
         validate(&spec, &BusRegistry::builtin())
     }
 
-    const HEADER: &str = "%device_name dev\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n";
+    const HEADER: &str =
+        "%device_name dev\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n";
 
     fn with_header(decls: &str) -> String {
         format!("{HEADER}{decls}")
@@ -739,10 +728,9 @@ mod tests {
 
     #[test]
     fn global_packing_applies_to_eligible_arrays_only() {
-        let v = check(&format!(
-            "{HEADER}%packing_support true\nvoid f(char*:8 c, int*:4 w, short s);"
-        ))
-        .unwrap();
+        let v =
+            check(&format!("{HEADER}%packing_support true\nvoid f(char*:8 c, int*:4 w, short s);"))
+                .unwrap();
         let f = &v.module.functions[0];
         assert!(f.inputs[0].packed, "8-bit chars pack on 32-bit bus");
         assert!(!f.inputs[1].packed, "32-bit ints do not pack on 32-bit bus");
@@ -791,8 +779,10 @@ mod tests {
 
     #[test]
     fn misaligned_base_address() {
-        let e = check("%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x80000001\nvoid f();")
-            .unwrap_err();
+        let e = check(
+            "%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x80000001\nvoid f();",
+        )
+        .unwrap_err();
         assert!(matches!(e.kind, SpecErrorKind::MisalignedBaseAddress { .. }));
     }
 

@@ -1,52 +1,45 @@
 //! Property tests on the front end: the lexer and parser must never panic
 //! on arbitrary input, and rendering must be a fixpoint of parsing.
 
-use proptest::prelude::*;
 use splice_spec::render::render;
+use splice_testutil::check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Arbitrary bytes: lex/parse return Ok or Err, never panic.
-    #[test]
-    fn parser_total_on_arbitrary_ascii(src in "[ -~\\n\\t]{0,200}") {
+/// Arbitrary bytes: lex/parse return Ok or Err, never panic.
+#[test]
+fn parser_total_on_arbitrary_ascii() {
+    check(0x5eed_0001, 512, |rng| {
+        let src = rng.ascii_noise(200);
         let _ = splice_spec::parse(&src);
-    }
+    });
+}
 
-    /// Arbitrary token soup drawn from the language's own alphabet —
-    /// denser coverage of parser paths than plain ASCII noise.
-    #[test]
-    fn parser_total_on_token_soup(
-        toks in proptest::collection::vec(
-            prop_oneof![
-                Just("int".to_string()), Just("char".into()), Just("void".into()),
-                Just("nowait".into()), Just("unsigned".into()), Just("long".into()),
-                Just("*".into()), Just(":".into()), Just("+".into()), Just("^".into()),
-                Just("(".into()), Just(")".into()), Just("{".into()), Just("}".into()),
-                Just(",".into()), Just(";".into()), Just("%".into()), Just("\n".into()),
-                Just("x".into()), Just("f".into()), Just("3".into()), Just("0x10".into()),
-                Just("bus_type".into()), Just("plb".into()), Just("true".into()),
-            ],
-            0..60,
-        )
-    ) {
-        let src: String = toks.join(" ");
+/// Arbitrary token soup drawn from the language's own alphabet —
+/// denser coverage of parser paths than plain ASCII noise.
+#[test]
+fn parser_total_on_token_soup() {
+    const TOKENS: &[&str] = &[
+        "int", "char", "void", "nowait", "unsigned", "long", "*", ":", "+", "^", "(", ")", "{",
+        "}", ",", ";", "%", "\n", "x", "f", "3", "0x10", "bus_type", "plb", "true",
+    ];
+    check(0x70ce_50fa, 512, |rng| {
+        let n = rng.range_usize(0, 60);
+        let src: String = (0..n).map(|_| *rng.pick(TOKENS)).collect::<Vec<_>>().join(" ");
         let _ = splice_spec::parse(&src);
-    }
+    });
+}
 
-    /// Render is a parse fixpoint for generated well-formed specs.
-    #[test]
-    fn render_parse_fixpoint(
-        n_funcs in 1usize..6,
-        width in prop_oneof![Just(32u32), Just(64)],
-        bounds in proptest::collection::vec(1u64..20, 6..=6),
-        instances in 1u64..5,
-    ) {
+/// Render is a parse fixpoint for generated well-formed specs.
+#[test]
+fn render_parse_fixpoint() {
+    check(0xf1f0_0002, 256, |rng| {
+        let n_funcs = rng.range_usize(1, 6);
+        let width = *rng.pick(&[32u32, 64]);
+        let instances = rng.range(1, 5);
         let mut src = format!(
             "%device_name gen\n%bus_type plb\n%bus_width {width}\n%base_address 0x80000000\n"
         );
         for i in 0..n_funcs {
-            let b = bounds[i % bounds.len()];
+            let b = rng.range(1, 20);
             src.push_str(&format!(
                 "long f{i}(int n{i}, int*:n{i} a{i}, char*:{b}+ c{i}):{instances};\n"
             ));
@@ -54,6 +47,6 @@ proptest! {
         let first = splice_spec::parse(&src).expect("generated spec parses");
         let rendered = render(&first);
         let second = splice_spec::parse(&rendered).expect("rendered parses");
-        prop_assert_eq!(render(&second), rendered);
-    }
+        assert_eq!(render(&second), rendered);
+    });
 }

@@ -57,10 +57,7 @@ impl BusLibrary for RingBusLibrary {
     fn markers(&self, ir: &DesignIr) -> MarkerSet {
         let mut m = MarkerSet::new();
         m.set("RING_HOPS", "1");
-        m.set(
-            "RING_NODE_ID",
-            format!("{}", (ir.module.params.base_address >> 8) & 0xFF),
-        );
+        m.set("RING_NODE_ID", format!("{}", (ir.module.params.base_address >> 8) & 0xFF));
         m
     }
 
@@ -83,8 +80,7 @@ impl BusLibrary for RingBusLibrary {
         prefix: &str,
     ) -> AdapterHandle {
         let p = &ir.module.params;
-        let sys =
-            PseudoAsyncSystem::attach(b, prefix, sis, p.bus_width, p.base_address, 1, false);
+        let sys = PseudoAsyncSystem::attach(b, prefix, sis, p.bus_width, p.base_address, 1, false);
         AdapterHandle { component: sys.adapter }
     }
 }
@@ -145,16 +141,12 @@ fn main() {
     let prog = splice_driver::lower::lower_call(
         &module.params,
         module.function("xorsum").unwrap(),
-        &CallArgs::new(vec![
-            CallValue::Scalar(3),
-            CallValue::Array(vec![0xFF, 0x0F, 0xF0]),
-        ]),
+        &CallArgs::new(vec![CallValue::Scalar(3), CallValue::Array(vec![0xFF, 0x0F, 0xF0])]),
     )
     .unwrap();
-    let midx = b.component(Box::new(sys.master(
-        splice_buses::timing::BusTiming::for_bus(BusKind::Wishbone),
-        prog.ops.clone(),
-    )));
+    let midx = b.component(Box::new(
+        sys.master(splice_buses::timing::BusTiming::for_bus(BusKind::Wishbone), prog.ops.clone()),
+    ));
     let mut sim = b.build();
     sim.run_until("ringbus call", 100_000, |s| {
         s.component::<splice_buses::plb::PlbCpuMaster>(midx).unwrap().is_finished()

@@ -54,10 +54,7 @@ fn main() {
         CallValue::Array(payload.clone()),
     ]);
 
-    println!(
-        "{:10} {:>12} {:>12}   notes",
-        "bus", "result", "bus cycles"
-    );
+    println!("{:10} {:>12} {:>12}   notes", "bus", "result", "bus cycles");
     let mut reference: Option<u64> = None;
     for bus in ["plb", "opb", "fcb", "apb", "ahb", "wishbone", "avalon"] {
         let module = splice::parse_and_validate(&spec_for(bus)).expect("valid").module;

@@ -83,11 +83,17 @@ fn main() {
         CallValue::Array(vec![10, 20, 30]),
     ]);
     let out = system.call("mac", &args).expect("mac call");
-    println!("\nmac(n=3, a=[1,2,3], b=[10,20,30]) = {} in {} bus cycles", out.result[0], out.bus_cycles);
+    println!(
+        "\nmac(n=3, a=[1,2,3], b=[10,20,30]) = {} in {} bus cycles",
+        out.result[0], out.bus_cycles
+    );
     assert_eq!(out.result, vec![140]);
 
     let out = system.call("scale", &CallArgs::scalars(&[6, 7])).expect("scale call");
-    println!("scale(6, 7)                       = {} in {} bus cycles", out.result[0], out.bus_cycles);
+    println!(
+        "scale(6, 7)                       = {} in {} bus cycles",
+        out.result[0], out.bus_cycles
+    );
     assert_eq!(out.result, vec![42]);
 
     println!("\nok: same spec would regenerate for opb/fcb/apb/... with no logic changes.");

@@ -48,9 +48,8 @@ fn main() {
         let t = rep.total();
         println!("{:22} {:>6} {:>6} {:>7}", imp.label(), t.luts, t.ffs, t.slices());
     }
-    let slices = |imp: InterpImpl| {
-        res.iter().find(|(i, _)| *i == imp).unwrap().1.total().slices() as f64
-    };
+    let slices =
+        |imp: InterpImpl| res.iter().find(|(i, _)| *i == imp).unwrap().1.total().slices() as f64;
     println!("\nheadline comparisons (paper's §9.3.2 claims in parentheses):");
     println!(
         "  Splice PLB vs naive hand PLB : {:+5.1}%  (≈ -23%)",

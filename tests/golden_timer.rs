@@ -39,7 +39,11 @@ fn first_divergence(a: &str, b: &str) -> String {
             return format!("line {}:\n  golden:    {la}\n  generated: {lb}", i + 1);
         }
     }
-    format!("length mismatch: golden {} lines, generated {} lines", a.lines().count(), b.lines().count())
+    format!(
+        "length mismatch: golden {} lines, generated {} lines",
+        a.lines().count(),
+        b.lines().count()
+    )
 }
 
 #[test]
@@ -48,8 +52,7 @@ fn timer_vhdl_matches_golden() {
     let ir = elaborate(&module);
     let lib = library_for(BusKind::Plb);
     let files =
-        generate_hardware(&ir, &lib.interface_template(&ir), &lib.markers(&ir), "golden")
-            .unwrap();
+        generate_hardware(&ir, &lib.interface_template(&ir), &lib.markers(&ir), "golden").unwrap();
     assert_eq!(files.len(), 9, "interface + arbiter + 7 stubs");
     for f in &files {
         assert_matches_golden(&f.name, &f.text);
@@ -63,8 +66,7 @@ fn timer_verilog_matches_golden() {
     let ir = elaborate(&module);
     let lib = library_for(BusKind::Plb);
     let files =
-        generate_hardware(&ir, &lib.interface_template(&ir), &lib.markers(&ir), "golden")
-            .unwrap();
+        generate_hardware(&ir, &lib.interface_template(&ir), &lib.markers(&ir), "golden").unwrap();
     for f in &files {
         assert_matches_golden(&f.name, &f.text);
     }
@@ -88,10 +90,10 @@ fn golden_vhdl_has_the_fig_8_4_handshake_structure() {
     let stub = golden("func_set_threshold.vhd");
     for needle in [
         "entity func_set_threshold is",
-        "IN_thold",          // the input state for the 64-bit operand
-        "thold_counter",     // split-transfer tracking register
+        "IN_thold",      // the input state for the 64-bit operand
+        "thold_counter", // split-transfer tracking register
         "CALC_STATE",
-        "OUT_SYNC",          // pseudo output state (void return)
+        "OUT_SYNC", // pseudo output state (void return)
         "IO_DONE <= '1';",
         "TODO(user)",
     ] {

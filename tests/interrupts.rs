@@ -90,9 +90,13 @@ fn generated_hdl_gains_irq_ports() {
     let plain =
         splice::parse_and_validate(&SPEC.replace("%irq_support true\n", "")).unwrap().module;
     let plain_ir = elaborate(&plain);
-    let plain_files =
-        generate_hardware(&plain_ir, &lib.interface_template(&plain_ir), &lib.markers(&plain_ir), "t")
-            .unwrap();
+    let plain_files = generate_hardware(
+        &plain_ir,
+        &lib.interface_template(&plain_ir),
+        &lib.markers(&plain_ir),
+        "t",
+    )
+    .unwrap();
     let stub = plain_files.iter().find(|f| f.name == "func_crunch.vhd").unwrap();
     assert!(!stub.text.contains("IRQ"), "{}", stub.text);
 }

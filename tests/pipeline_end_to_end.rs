@@ -42,9 +42,8 @@ fn every_bus_generates_and_runs_the_same_device() {
 
         // Hardware generation: interface + arbiter + 3 stubs.
         let ir = elaborate(&module);
-        let files =
-            generate_hardware(&ir, &lib.interface_template(&ir), &lib.markers(&ir), "test")
-                .unwrap();
+        let files = generate_hardware(&ir, &lib.interface_template(&ir), &lib.markers(&ir), "test")
+            .unwrap();
         assert_eq!(files.len(), 2 + module.functions.len(), "{bus}");
         assert!(files[0].name.starts_with(bus), "{bus}: {}", files[0].name);
 
@@ -61,10 +60,7 @@ fn every_bus_generates_and_runs_the_same_device() {
         let out = sys
             .call(
                 "accumulate",
-                &CallArgs::new(vec![
-                    CallValue::Scalar(4),
-                    CallValue::Array(vec![10, 20, 30, 40]),
-                ]),
+                &CallArgs::new(vec![CallValue::Scalar(4), CallValue::Array(vec![10, 20, 30, 40])]),
             )
             .unwrap_or_else(|e| panic!("{bus}: {e}"));
         assert_eq!(out.result, vec![104], "{bus}");
@@ -88,10 +84,7 @@ fn driver_text_and_simulated_traffic_agree_on_beat_counts() {
     let text_writes = c.matches("WRITE_SINGLE(").count();
 
     let f = module.function("f").unwrap();
-    let args = CallArgs::new(vec![
-        CallValue::Array(vec![1, 2, 3, 4, 5, 6]),
-        CallValue::Scalar(7),
-    ]);
+    let args = CallArgs::new(vec![CallValue::Array(vec![1, 2, 3, 4, 5, 6]), CallValue::Scalar(7)]);
     let prog = splice_driver::lower::lower_call(&module.params, f, &args).unwrap();
     let sim_writes = prog
         .ops

@@ -11,12 +11,12 @@
 //! * **spec fuzz** — randomly generated well-formed specs always parse,
 //!   validate and elaborate without panicking.
 
-use proptest::prelude::*;
 use splice::prelude::*;
 use splice_driver::lower::encode_beats;
 use splice_driver::program::decode_with;
 use splice_driver::program::ResultLayout;
 use splice_spec::validate::ValidatedIo;
+use splice_testutil::{check, Rng};
 
 fn io_for(bits: u32, packed: bool) -> ValidatedIo {
     let module = splice::parse_and_validate(&format!(
@@ -35,50 +35,65 @@ fn io_for(bits: u32, packed: bool) -> ValidatedIo {
     module.functions[0].inputs[0].clone()
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip_direct(elems in proptest::collection::vec(0u64..=0xFFFF_FFFF, 1..40)) {
+fn vec_of(rng: &mut Rng, lo: usize, hi: usize, max: u64) -> Vec<u64> {
+    let n = rng.range_usize(lo, hi);
+    (0..n).map(|_| if max == u64::MAX { rng.next_u64() } else { rng.range(0, max + 1) }).collect()
+}
+
+#[test]
+fn encode_decode_roundtrip_direct() {
+    check(0x0de0_0001, 256, |rng| {
+        let elems = vec_of(rng, 1, 40, 0xFFFF_FFFF);
         let io = io_for(32, false);
         let beats = encode_beats(&io, 32, &elems);
-        prop_assert_eq!(beats.len(), elems.len());
+        assert_eq!(beats.len(), elems.len());
         let decoded = decode_with(ResultLayout::Direct { elems: elems.len() as u32 }, &beats);
-        prop_assert_eq!(decoded, elems);
-    }
+        assert_eq!(decoded, elems);
+    });
+}
 
-    #[test]
-    fn encode_decode_roundtrip_packed_chars(elems in proptest::collection::vec(0u64..=0xFF, 1..40)) {
+#[test]
+fn encode_decode_roundtrip_packed_chars() {
+    check(0x0de0_0002, 256, |rng| {
+        let elems = vec_of(rng, 1, 40, 0xFF);
         let io = io_for(8, true);
         let beats = encode_beats(&io, 32, &elems);
-        prop_assert_eq!(beats.len(), elems.len().div_ceil(4));
+        assert_eq!(beats.len(), elems.len().div_ceil(4));
         let decoded = decode_with(
             ResultLayout::Packed { elems: elems.len() as u32, elem_bits: 8, per_beat: 4 },
             &beats,
         );
-        prop_assert_eq!(decoded, elems);
-    }
+        assert_eq!(decoded, elems);
+    });
+}
 
-    #[test]
-    fn encode_decode_roundtrip_packed_shorts(elems in proptest::collection::vec(0u64..=0xFFFF, 1..40)) {
+#[test]
+fn encode_decode_roundtrip_packed_shorts() {
+    check(0x0de0_0003, 256, |rng| {
+        let elems = vec_of(rng, 1, 40, 0xFFFF);
         let io = io_for(16, true);
         let beats = encode_beats(&io, 32, &elems);
         let decoded = decode_with(
             ResultLayout::Packed { elems: elems.len() as u32, elem_bits: 16, per_beat: 2 },
             &beats,
         );
-        prop_assert_eq!(decoded, elems);
-    }
+        assert_eq!(decoded, elems);
+    });
+}
 
-    #[test]
-    fn encode_decode_roundtrip_split_64(elems in proptest::collection::vec(any::<u64>(), 1..20)) {
+#[test]
+fn encode_decode_roundtrip_split_64() {
+    check(0x0de0_0004, 128, |rng| {
+        let elems = vec_of(rng, 1, 20, u64::MAX);
         let io = io_for(64, false);
         let beats = encode_beats(&io, 32, &elems);
-        prop_assert_eq!(beats.len(), elems.len() * 2);
+        assert_eq!(beats.len(), elems.len() * 2);
         let decoded = decode_with(
             ResultLayout::Split { elems: elems.len() as u32, beats_per_elem: 2, bus_width: 32 },
             &beats,
         );
-        prop_assert_eq!(decoded, elems);
-    }
+        assert_eq!(decoded, elems);
+    });
 }
 
 struct Sum;
@@ -91,16 +106,12 @@ impl CalcLogic for Sum {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Full-system agreement on arbitrary array payloads.
-    #[test]
-    fn hardware_computes_what_software_sent(
-        xs in proptest::collection::vec(0u64..=0xFFFF_FFFF, 1..24),
-        bus_idx in 0usize..3,
-    ) {
-        let bus = ["plb", "fcb", "apb"][bus_idx];
+/// Full-system agreement on arbitrary array payloads.
+#[test]
+fn hardware_computes_what_software_sent() {
+    check(0x0de0_0005, 16, |rng| {
+        let xs = vec_of(rng, 1, 24, 0xFFFF_FFFF);
+        let bus = *rng.pick(&["plb", "fcb", "apb"]);
         let base = if bus == "fcb" { "" } else { "%base_address 0x80000000\n" };
         let spec = format!(
             "%device_name prop\n%bus_type {bus}\n%bus_width 32\n{base}\
@@ -108,21 +119,20 @@ proptest! {
         );
         let module = splice::parse_and_validate(&spec).unwrap().module;
         let mut sys = SplicedSystem::build(&module, |_, _| Box::new(Sum));
-        let args = CallArgs::new(vec![
-            CallValue::Scalar(xs.len() as u64),
-            CallValue::Array(xs.clone()),
-        ]);
+        let args =
+            CallArgs::new(vec![CallValue::Scalar(xs.len() as u64), CallValue::Array(xs.clone())]);
         let out = sys.call("acc", &args).unwrap();
         let expected = (xs.iter().sum::<u64>() + xs.len() as u64) & 0xFFFF_FFFF;
-        prop_assert_eq!(out.result, vec![expected]);
-    }
+        assert_eq!(out.result, vec![expected]);
+    });
+}
 
-    /// Cycle counts depend only on the shape of the call, not the data.
-    #[test]
-    fn cycles_are_data_independent(
-        a in proptest::collection::vec(0u64..=0xFFFF_FFFF, 8..=8),
-        b in proptest::collection::vec(0u64..=0xFFFF_FFFF, 8..=8),
-    ) {
+/// Cycle counts depend only on the shape of the call, not the data.
+#[test]
+fn cycles_are_data_independent() {
+    check(0x0de0_0006, 16, |rng| {
+        let a = vec_of(rng, 8, 9, 0xFFFF_FFFF);
+        let b = vec_of(rng, 8, 9, 0xFFFF_FFFF);
         let spec = "%device_name det\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n\
                     long acc(int*:8 xs);";
         let module = splice::parse_and_validate(spec).unwrap().module;
@@ -132,44 +142,32 @@ proptest! {
                 .unwrap()
                 .bus_cycles
         };
-        prop_assert_eq!(cycles(&a), cycles(&b));
-    }
+        assert_eq!(cycles(&a), cycles(&b));
+    });
 }
 
 /// A generator of well-formed specs: random function sets with random
 /// parameter shapes.
-fn arb_spec() -> impl Strategy<Value = String> {
-    let param = prop_oneof![
-        Just("int {p}".to_string()),
-        Just("char {p}".to_string()),
-        Just("short {p}".to_string()),
-        Just("int*:3 {p}".to_string()),
-        Just("char*:8+ {p}".to_string()),
-    ];
-    let params = proptest::collection::vec(param, 0..4);
-    let ret = prop_oneof![Just("void"), Just("long"), Just("int"), Just("nowait")];
-    let func = (ret, params).prop_map(|(ret, params)| (ret.to_string(), params));
-    proptest::collection::vec(func, 1..6).prop_map(|funcs| {
-        let mut s = String::from(
-            "%device_name fuzz\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n",
-        );
-        for (i, (ret, params)) in funcs.iter().enumerate() {
-            let plist: Vec<String> = params
-                .iter()
-                .enumerate()
-                .map(|(j, p)| p.replace("{p}", &format!("p{j}")))
-                .collect();
-            s.push_str(&format!("{ret} fn{i}({});\n", plist.join(", ")));
-        }
-        s
-    })
+fn arb_spec(rng: &mut Rng) -> String {
+    const PARAMS: &[&str] = &["int {p}", "char {p}", "short {p}", "int*:3 {p}", "char*:8+ {p}"];
+    const RETS: &[&str] = &["void", "long", "int", "nowait"];
+    let n_funcs = rng.range_usize(1, 6);
+    let mut s =
+        String::from("%device_name fuzz\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n");
+    for i in 0..n_funcs {
+        let ret = *rng.pick(RETS);
+        let n_params = rng.range_usize(0, 4);
+        let plist: Vec<String> =
+            (0..n_params).map(|j| rng.pick(PARAMS).replace("{p}", &format!("p{j}"))).collect();
+        s.push_str(&format!("{ret} fn{i}({});\n", plist.join(", ")));
+    }
+    s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_wellformed_specs_flow_through_the_whole_pipeline(spec in arb_spec()) {
+#[test]
+fn random_wellformed_specs_flow_through_the_whole_pipeline() {
+    check(0x0de0_0007, 64, |rng| {
+        let spec = arb_spec(rng);
         let module = splice::parse_and_validate(&spec)
             .unwrap_or_else(|e| panic!("spec should validate: {e:?}\n{spec}"))
             .module;
@@ -184,32 +182,28 @@ proptest! {
             "fuzz",
         )
         .unwrap();
-        prop_assert_eq!(files.len(), 2 + module.functions.len());
+        assert_eq!(files.len(), 2 + module.functions.len());
         // Driver text always generates.
         let c = splice_driver::cgen::driver_source(&module);
-        prop_assert!(c.contains("fn0"));
+        assert!(c.contains("fn0"));
         // Calls with zero-argument functions run end to end.
         if let Some(f) = module.functions.iter().find(|f| f.inputs.is_empty() && !f.nowait) {
             let mut sys = SplicedSystem::build(&module, |_, _| Box::new(Sum));
             let out = sys.call(&f.name, &CallArgs::none()).unwrap();
-            prop_assert!(out.bus_cycles > 0);
+            assert!(out.bus_cycles > 0);
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Systemic protocol conformance: whatever well-formed spec we
-    /// generate and whatever data we push, the internal SIS traffic obeys
-    /// every checkable axiom of §4.2.
-    #[test]
-    fn all_generated_traffic_is_sis_conformant(
-        bus_idx in 0usize..4,
-        n in 1u64..12,
-        scalar in 0u64..=0xFFFF_FFFF,
-    ) {
-        let bus = ["plb", "fcb", "opb", "ahb"][bus_idx];
+/// Systemic protocol conformance: whatever well-formed spec we
+/// generate and whatever data we push, the internal SIS traffic obeys
+/// every checkable axiom of §4.2.
+#[test]
+fn all_generated_traffic_is_sis_conformant() {
+    check(0x0de0_0008, 24, |rng| {
+        let bus = *rng.pick(&["plb", "fcb", "opb", "ahb"]);
+        let n = rng.range(1, 12);
+        let scalar = rng.range(0, 0x1_0000_0000);
         let base = if bus == "fcb" { "" } else { "%base_address 0x80000000\n" };
         let spec = format!(
             "%device_name conf\n%bus_type {bus}\n%bus_width 32\n{base}\
@@ -219,16 +213,13 @@ proptest! {
         let mut sys = SplicedSystem::build_checked(&module, |_, _| Box::new(Sum));
         let xs: Vec<u64> = (0..n).map(|i| i * 3 + scalar % 7).collect();
         let out = sys
-            .call("acc", &CallArgs::new(vec![
-                CallValue::Scalar(n),
-                CallValue::Array(xs.clone()),
-            ]))
+            .call("acc", &CallArgs::new(vec![CallValue::Scalar(n), CallValue::Array(xs.clone())]))
             .unwrap();
         let expected = (xs.iter().sum::<u64>() + n) & 0xFFFF_FFFF;
-        prop_assert_eq!(out.result, vec![expected]);
+        assert_eq!(out.result, vec![expected]);
         sys.call("one", &CallArgs::scalars(&[scalar])).unwrap();
         sys.call("ping", &CallArgs::none()).unwrap();
         let violations = sys.protocol_violations();
-        prop_assert!(violations.is_empty(), "violations: {violations:?}");
-    }
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    });
 }

@@ -35,16 +35,10 @@ fn plb_system_traffic_is_sis_conformant() {
 
     // Several driver programs back to back through one master.
     let calls: Vec<(&str, CallArgs)> = vec![
-        (
-            "acc",
-            CallArgs::new(vec![CallValue::Scalar(3), CallValue::Array(vec![5, 6, 7])]),
-        ),
+        ("acc", CallArgs::new(vec![CallValue::Scalar(3), CallValue::Array(vec![5, 6, 7])])),
         ("dup", CallArgs::scalars(&[42])),
         ("ping", CallArgs::none()),
-        (
-            "acc",
-            CallArgs::new(vec![CallValue::Scalar(1), CallValue::Array(vec![9])]),
-        ),
+        ("acc", CallArgs::new(vec![CallValue::Scalar(1), CallValue::Array(vec![9])])),
     ];
     let mut all_ops = Vec::new();
     for (func, args) in &calls {
@@ -85,23 +79,15 @@ fn burst_and_dma_traffic_is_sis_conformant() {
     let mut ops = Vec::new();
     let f = module.function("big").unwrap();
     ops.extend(
-        lower_call(
-            &module.params,
-            f,
-            &CallArgs::new(vec![CallValue::Array((1..=24).collect())]),
-        )
-        .unwrap()
-        .ops,
+        lower_call(&module.params, f, &CallArgs::new(vec![CallValue::Array((1..=24).collect())]))
+            .unwrap()
+            .ops,
     );
     let g = module.function("quads").unwrap();
     ops.extend(
-        lower_call(
-            &module.params,
-            g,
-            &CallArgs::new(vec![CallValue::Array((1..=8).collect())]),
-        )
-        .unwrap()
-        .ops,
+        lower_call(&module.params, g, &CallArgs::new(vec![CallValue::Array((1..=8).collect())]))
+            .unwrap()
+            .ops,
     );
     let midx = b.component(Box::new(sys.master(BusTiming::for_bus(BusKind::Plb), ops)));
 
@@ -130,10 +116,7 @@ fn fig_4_3_timing_is_pinned() {
     let midx = b.component(Box::new(SisMaster::new(
         bus,
         SisMode::PseudoAsync,
-        vec![
-            SisOp::Write { func_id: 1, data: 0xBEEF },
-            SisOp::Read { func_id: 1 },
-        ],
+        vec![SisOp::Write { func_id: 1, data: 0xBEEF }, SisOp::Read { func_id: 1 }],
     )));
     b.component(Box::new(EchoFunction::new(
         1,
@@ -147,12 +130,7 @@ fn fig_4_3_timing_is_pinned() {
         |x| x[0],
     )));
     let mut sim = b.build();
-    let t = sim.attach_trace(&[
-        bus.data_in_valid,
-        bus.io_enable,
-        bus.io_done,
-        bus.data_out_valid,
-    ]);
+    let t = sim.attach_trace(&[bus.data_in_valid, bus.io_enable, bus.io_done, bus.data_out_valid]);
     sim.run(12).unwrap();
 
     let trace = sim.trace(t);

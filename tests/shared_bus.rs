@@ -57,12 +57,8 @@ fn two_devices_share_one_plb() {
     ops.extend(lower_call(&mod_b.params, f_tri, &CallArgs::scalars(&[14])).unwrap().ops);
     ops.extend(lower_call(&mod_a.params, f_dbl, &CallArgs::scalars(&[50])).unwrap().ops);
     ops.extend(lower_call(&mod_b.params, f_nine, &CallArgs::scalars(&[11])).unwrap().ops);
-    let midx = b.component(Box::new(PlbCpuMaster::new(
-        sig,
-        BusTiming::for_bus(BusKind::Plb),
-        chan,
-        ops,
-    )));
+    let midx =
+        b.component(Box::new(PlbCpuMaster::new(sig, BusTiming::for_bus(BusKind::Plb), chan, ops)));
 
     let mut sim = b.build();
     sim.run_until("interleaved calls", 1_000_000, |s| {
