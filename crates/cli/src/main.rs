@@ -7,14 +7,24 @@
 //! existing output directory (§3.2.3), and prints the §5.3.1 generation
 //! notes.
 //!
+//! Every run also performs a post-generation lint (`splice-lint`): the
+//! spec, the elaborated IR and the generated module ASTs are checked for
+//! semantic defects — lint errors abort generation, and `--deny-warnings`
+//! promotes warnings for CI. `splice lint <spec>` (or `--lint`) runs the
+//! analysis alone without generating anything.
+//!
 //! ```text
 //! USAGE:
 //!   splice [OPTIONS] <spec-file>
+//!   splice lint [OPTIONS] <spec-file>
 //!
 //! OPTIONS:
 //!   -o, --out <dir>     parent directory for the device subdirectory (default .)
 //!   -f, --force         overwrite an existing device directory without asking
 //!   -n, --dry-run       print what would be generated without writing files
+//!       --lint            lint only: report diagnostics, generate nothing
+//!       --deny-warnings   treat lint warnings as errors
+//!       --json            render the lint report as JSON (lint mode)
 //!       --resources     print the estimated FPGA resource bill
 //!       --list-buses    list the registered bus libraries and exit
 //!   -h, --help          show this help
@@ -38,23 +48,32 @@ struct Options {
     resources: bool,
     linux: bool,
     metrics: Option<PathBuf>,
+    lint_only: bool,
+    deny_warnings: bool,
+    json: bool,
 }
 
 const USAGE: &str = "\
 splice — a standardized peripheral logic and interface creation engine
 
 USAGE:
-  splice [OPTIONS] <spec-file>
+  splice [OPTIONS] <spec-file>        generate HDL + drivers (lints first)
+  splice lint [OPTIONS] <spec-file>   static analysis only, no generation
 
 OPTIONS:
-  -o, --out <dir>     parent directory for the device subdirectory (default .)
-  -f, --force         overwrite an existing device directory without asking
-  -n, --dry-run       print what would be generated without writing files
-      --resources     print the estimated FPGA resource bill
-      --linux         also emit splice_lib_linux.h (mmap-based user-space driver)
-      --metrics <f>   write generation-pipeline metrics to <f> as JSON
-      --list-buses    list the registered bus libraries and exit
-  -h, --help          show this help
+  -o, --out <dir>       parent directory for the device subdirectory (default .)
+  -f, --force           overwrite an existing device directory without asking
+  -n, --dry-run         print what would be generated without writing files
+      --lint            lint only: report SLxxxx diagnostics, generate nothing
+      --deny-warnings   treat lint warnings as errors (CI)
+      --json            render the lint report as JSON (lint mode)
+      --resources       print the estimated FPGA resource bill
+      --linux           also emit splice_lib_linux.h (mmap-based user-space driver)
+      --metrics <f>     write generation-pipeline metrics to <f> as JSON
+      --list-buses      list the registered bus libraries and exit
+  -h, --help            show this help
+
+Lint rule codes are catalogued in docs/lint.md.
 ";
 
 fn main() -> ExitCode {
@@ -76,9 +95,23 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut resources = false;
     let mut linux = false;
     let mut metrics = None;
+    let mut lint_only = false;
+    let mut deny_warnings = false;
+    let mut json = false;
+    // `splice lint <spec>` is sugar for `splice --lint <spec>`.
+    let args = match args.first().map(String::as_str) {
+        Some("lint") => {
+            lint_only = true;
+            &args[1..]
+        }
+        _ => args,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--lint" => lint_only = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--json" => json = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return Ok(None);
@@ -114,7 +147,18 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         }
     }
     let spec_file = spec_file.ok_or_else(|| format!("no spec file given\n{USAGE}"))?;
-    Ok(Some(Options { spec_file, out_dir, force, dry_run, resources, linux, metrics }))
+    Ok(Some(Options {
+        spec_file,
+        out_dir,
+        force,
+        dry_run,
+        resources,
+        linux,
+        metrics,
+        lint_only,
+        deny_warnings,
+        json,
+    }))
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -124,20 +168,37 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
     let source = std::fs::read_to_string(&opts.spec_file)
         .map_err(|e| format!("cannot read {}: {e}", opts.spec_file.display()))?;
+    let spec_path = opts.spec_file.display().to_string();
+
+    let libs = builtin_libraries();
+
+    // Lint-only mode: run the full three-layer analysis and report.
+    if opts.lint_only {
+        let report = splice_lint::lint_source_with(&source, &libs.spec_registry());
+        if opts.json {
+            print!("{}", report.render_json());
+        } else {
+            print!("{}", report.render_text());
+        }
+        return Ok(if report.fails(opts.deny_warnings) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
 
     // Front end: parse + validate against the registered bus libraries.
-    let libs = builtin_libraries();
     let spec = match splice_spec::parser::parse(&source) {
         Ok(s) => s,
         Err(errors) => {
             for e in &errors {
-                eprintln!("{}", e.render(&source));
+                eprintln!("{}", e.render_at(&source, &spec_path));
             }
             return Err(format!("{} specification error(s); nothing generated", errors.len()));
         }
     };
     let validated = splice_spec::validate::validate(&spec, &libs.spec_registry())
-        .map_err(|e| e.render(&source))?;
+        .map_err(|e| e.render_at(&source, &spec_path))?;
     let module = validated.module;
 
     // Bus library parameter check (§7.1.2).
@@ -151,6 +212,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let markers = lib.markers(&ir);
     let hw = generate_hardware(&ir, &lib.interface_template(&ir), &markers, &gen_date())
         .map_err(|e| format!("template expansion failed: {e}"))?;
+    // Post-generation lint: generated designs must satisfy the same rules
+    // a hand-written design would. Errors abort before anything is written.
+    let mut lint = splice_lint::LintReport::new();
+    splice_lint::lint_spec(&spec, &source, &libs.spec_registry(), &mut lint);
+    splice_lint::lint_ir(&ir, &mut lint);
+    splice_lint::lint_modules(&splice_core::hdlgen::design_modules(&ir, &gen_date()), &mut lint);
+    if !lint.is_clean() {
+        eprint!("{}", lint.render_text());
+    }
+    if lint.fails(opts.deny_warnings) {
+        return Err(format!(
+            "lint reported {} error(s) and {} warning(s); nothing generated",
+            lint.error_count(),
+            lint.warning_count()
+        ));
+    }
+
     let dev = module.params.device_name.clone();
     let mut sw: Vec<(String, String)> = vec![
         (

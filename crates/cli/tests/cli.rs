@@ -135,7 +135,89 @@ fn list_buses_names_all_seven() {
 fn help_prints_usage() {
     let out = splice_bin().arg("--help").output().unwrap();
     assert!(out.status.success());
-    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("--lint") && stdout.contains("--deny-warnings"), "{stdout}");
+}
+
+/// Validates fine, but the register window wraps (SL0101, error) and two
+/// directives are inert (SL0102/SL0105, warnings).
+const DIRTY_SPEC: &str = "\
+%device_name dirty
+%bus_type plb
+%bus_width 32
+%base_address 0xFFFFFFFC
+%dma_support true
+int f(int a);
+int g(int b);
+";
+
+/// Validates fine; only a warning-severity finding (unused user type).
+const WARN_ONLY_SPEC: &str = "\
+%device_name warnish
+%bus_type plb
+%bus_width 32
+%base_address 0x80000000
+%user_type spare, unsigned spare, 16
+int f(int a);
+";
+
+#[test]
+fn lint_subcommand_is_clean_on_a_good_spec() {
+    let dir = tmp_dir("lint-clean");
+    let spec = dir.join("t.splice");
+    std::fs::write(&spec, TIMER_SPEC).unwrap();
+    let out = splice_bin().arg("lint").arg(&spec).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no findings"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lint_reports_structured_findings_and_fails_on_errors() {
+    let dir = tmp_dir("lint-dirty");
+    let spec = dir.join("t.splice");
+    std::fs::write(&spec, DIRTY_SPEC).unwrap();
+    let out = splice_bin().arg("lint").arg(&spec).output().unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SL0101") && stdout.contains("error"), "{stdout}");
+    assert!(stdout.contains("SL0105") && stdout.contains("warning"), "{stdout}");
+    assert!(stdout.contains("help:"), "{stdout}");
+
+    // --lint flag form + JSON rendering.
+    let out = splice_bin().args(["--lint", "--json"]).arg(&spec).output().unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"diagnostics\""), "{stdout}");
+    assert!(stdout.contains("\"code\": \"SL0101\""), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deny_warnings_promotes_warnings_to_failure() {
+    let dir = tmp_dir("lint-deny");
+    let spec = dir.join("t.splice");
+    std::fs::write(&spec, WARN_ONLY_SPEC).unwrap();
+    let ok = splice_bin().arg("lint").arg(&spec).output().unwrap();
+    assert!(ok.status.success(), "warnings alone must not fail a plain lint");
+    let deny = splice_bin().args(["lint", "--deny-warnings"]).arg(&spec).output().unwrap();
+    assert!(!deny.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generation_aborts_on_lint_errors_before_writing() {
+    let dir = tmp_dir("lint-abort");
+    let spec = dir.join("t.splice");
+    std::fs::write(&spec, DIRTY_SPEC).unwrap();
+    let out = splice_bin().arg("-o").arg(&dir).arg("--force").arg(&spec).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("SL0101"), "{stderr}");
+    assert!(stderr.contains("nothing generated"), "{stderr}");
+    assert!(!dir.join("dirty").exists(), "no files may be written on lint errors");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -160,19 +160,22 @@ fn stub_constants(ir: &DesignIr, stub: &FunctionStub) -> Vec<Decl> {
             value: i as u64,
         });
     }
-    // Tracker bound constants for statically bounded arrays.
+    // Tracker bound constants for statically bounded multi-beat transfers
+    // (inputs and the `result` output alike).
     let f = ir.module.function(&stub.name).expect("function");
-    for (i, st) in stub.states.iter().enumerate() {
-        if let StubState::Input { io, beats: BeatCount::Static(n), .. } = st {
-            if *n > 1 {
-                decls.push(Decl::Constant {
-                    name: format!("{}_max_value", f.inputs[*io].name),
-                    width: bits_for(*n),
-                    value: n - 1,
-                });
+    for st in &stub.states {
+        let (name, n) = match st {
+            StubState::Input { io, beats: BeatCount::Static(n), .. } if *n > 1 => {
+                (f.inputs[*io].name.as_str(), *n)
             }
-        }
-        let _ = i;
+            StubState::Output { beats: BeatCount::Static(n), .. } if *n > 1 => ("result", *n),
+            _ => continue,
+        };
+        decls.push(Decl::Constant {
+            name: format!("{name}_max_value"),
+            width: bits_for(n),
+            value: n - 1,
+        });
     }
     decls
 }
@@ -208,7 +211,7 @@ fn stub_signals(ir: &DesignIr, stub: &FunctionStub) -> Vec<Decl> {
 /// The State Machine Block: advances `cur_state` to `next_state` each clock
 /// (§5.3.2).
 fn smb_process(stub: &FunctionStub) -> Process {
-    let _ = stub;
+    let sb = stub.state_bits();
     Process {
         label: "smb".into(),
         clocked: true,
@@ -216,17 +219,75 @@ fn smb_process(stub: &FunctionStub) -> Process {
             Stmt::Comment("SMB: commit the transition the ICOB requested (§5.3.2)".into()),
             Stmt::if_else(
                 Expr::sig("RST"),
-                vec![Stmt::assign("cur_state", Expr::lit(0, 1))],
+                vec![Stmt::assign("cur_state", Expr::lit(0, sb))],
                 vec![Stmt::assign("cur_state", Expr::sig("next_state"))],
             ),
         ],
     }
 }
 
+/// Counter bookkeeping shared by multi-beat input and output states: on the
+/// final beat reset the counter and run `on_final`; otherwise increment.
+fn counted_advance(
+    stub: &FunctionStub,
+    name: &str,
+    beats: &BeatCount,
+    on_final: Vec<Stmt>,
+) -> Vec<Stmt> {
+    let ctr = format!("{name}_counter");
+    match beats {
+        BeatCount::Static(1) => on_final,
+        BeatCount::Static(n) => {
+            let w = bits_for(*n);
+            let mut done = vec![Stmt::assign(&ctr, Expr::lit(0, w))];
+            done.extend(on_final);
+            vec![Stmt::if_else(
+                Expr::sig(&ctr).eq(Expr::sig(format!("{name}_max_value"))),
+                done,
+                vec![Stmt::assign(&ctr, Expr::sig(&ctr).add(Expr::lit(1, w)))],
+            )]
+        }
+        BeatCount::Dynamic { .. } => {
+            let bound = format!("{name}_bound");
+            let w = stub
+                .trackers
+                .iter()
+                .find(|t| t.for_io == *name)
+                .map(|t| t.counter_bits)
+                .unwrap_or(32);
+            let mut done = vec![Stmt::assign(&ctr, Expr::lit(0, w))];
+            done.extend(on_final);
+            vec![Stmt::if_else(
+                Expr::sig(&ctr).add(Expr::lit(1, w)).eq(Expr::sig(&bound)),
+                done,
+                vec![Stmt::assign(&ctr, Expr::sig(&ctr).add(Expr::lit(1, w)))],
+            )]
+        }
+    }
+}
+
+/// The latch of a dynamic transfer's element count: `<array>_bound` takes
+/// the low bits of `DATA_IN` while the index parameter's beat is accepted.
+fn bound_latch(stub: &FunctionStub, array: &str, bus_width: u32) -> Stmt {
+    let w = stub
+        .trackers
+        .iter()
+        .find(|t| t.for_io == array)
+        .map(|t| t.comparator_bits)
+        .unwrap_or(bus_width);
+    let rhs = if w >= bus_width {
+        Expr::sig("DATA_IN")
+    } else {
+        Expr::Slice { base: Box::new(Expr::sig("DATA_IN")), hi: w - 1, lo: 0 }
+    };
+    Stmt::assign(format!("{array}_bound"), rhs)
+}
+
 /// The Input-Calculation-Output Block (§5.3.1): all bus interaction for the
 /// function, with a blank calculation state.
 fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
     let f = ir.module.function(&stub.name).expect("function");
+    let p = &ir.module.params;
     let sb = stub.state_bits();
     let n_states = stub.states.len();
     let mut arms: Vec<(u64, Vec<Stmt>)> = Vec::with_capacity(n_states);
@@ -252,75 +313,74 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
                     Stmt::Comment(format!("TODO(user): store DATA_IN for `{name}` here")),
                     Stmt::assign("IO_DONE", Expr::lit(1, 1)),
                 ];
-                match beats {
-                    BeatCount::Static(1) => {
-                        on_accept.push(Stmt::assign("next_state", Expr::lit(next, sb)));
-                    }
-                    BeatCount::Static(n) => {
-                        let ctr = format!("{name}_counter");
-                        let w = bits_for(*n);
-                        on_accept.push(Stmt::if_else(
-                            Expr::sig(&ctr).eq(Expr::sig(format!("{name}_max_value"))),
-                            vec![
-                                Stmt::assign(&ctr, Expr::lit(0, w)),
-                                Stmt::assign("next_state", Expr::lit(next, sb)),
-                            ],
-                            vec![Stmt::assign(&ctr, Expr::sig(&ctr).add(Expr::lit(1, w)))],
-                        ));
-                    }
-                    BeatCount::Dynamic { index_input, .. } => {
-                        let ctr = format!("{name}_counter");
-                        let bound = format!("{name}_bound");
-                        let idx_name = &f.inputs[*index_input].name;
-                        on_accept.insert(
-                            0,
-                            Stmt::Comment(format!(
-                                "`{name}` length was latched from `{idx_name}` into {bound}"
-                            )),
-                        );
-                        let w = stub
-                            .trackers
-                            .iter()
-                            .find(|t| t.for_io == *name)
-                            .map(|t| t.counter_bits)
-                            .unwrap_or(32);
-                        on_accept.push(Stmt::if_else(
-                            Expr::sig(&ctr).add(Expr::lit(1, w)).eq(Expr::sig(&bound)),
-                            vec![
-                                Stmt::assign(&ctr, Expr::lit(0, w)),
-                                Stmt::assign("next_state", Expr::lit(next, sb)),
-                            ],
-                            vec![Stmt::assign(&ctr, Expr::sig(&ctr).add(Expr::lit(1, w)))],
-                        ));
-                    }
+                if let BeatCount::Dynamic { index_input, .. } = beats {
+                    let idx_name = &f.inputs[*index_input].name;
+                    on_accept.insert(
+                        0,
+                        Stmt::Comment(format!(
+                            "`{name}` length was latched from `{idx_name}` into {name}_bound"
+                        )),
+                    );
                 }
+                // This input is the runtime bound of later dynamic
+                // transfers: latch its value into their `<array>_bound`
+                // storage registers (§5.3.1's storage register).
+                for st2 in &stub.states {
+                    let array = match st2 {
+                        StubState::Input {
+                            io: a,
+                            beats: BeatCount::Dynamic { index_input, .. },
+                            ..
+                        } if *index_input == *io => f.inputs[*a].name.as_str(),
+                        StubState::Output {
+                            beats: BeatCount::Dynamic { index_input, .. }, ..
+                        } if *index_input == *io => "result",
+                        _ => continue,
+                    };
+                    on_accept.push(bound_latch(stub, array, p.bus_width));
+                }
+                on_accept.extend(counted_advance(
+                    stub,
+                    name,
+                    beats,
+                    vec![Stmt::assign("next_state", Expr::lit(next, sb))],
+                ));
                 b.push(Stmt::if_then(accept, on_accept));
                 b
             }
-            StubState::Calc => vec![
-                Stmt::Comment("TODO(user): calculation logic goes here (§5.3.1)".into()),
-                Stmt::assign("next_state", Expr::lit(next, sb)),
-            ],
-            StubState::Output { .. } => {
+            StubState::Calc => {
+                let mut b = vec![
+                    Stmt::Comment("TODO(user): calculation logic goes here (§5.3.1)".into()),
+                    Stmt::assign("next_state", Expr::lit(next, sb)),
+                ];
+                if p.irq && stub.nowait {
+                    // Fire-and-forget functions signal completion with a
+                    // one-cycle IRQ pulse instead of an output transfer.
+                    b.push(Stmt::assign("IRQ", Expr::lit(1, 1)));
+                }
+                b
+            }
+            StubState::Output { beats, .. } => {
                 let read_req = Expr::sig("IO_ENABLE")
                     .and(Expr::sig("DATA_IN_VALID").not())
                     .and(addressed.clone());
+                let mut on_final = vec![
+                    Stmt::assign("CALC_DONE", Expr::lit(0, 1)),
+                    Stmt::assign("next_state", Expr::lit(next, sb)),
+                ];
+                if p.irq {
+                    on_final.push(Stmt::assign("IRQ", Expr::lit(1, 1)));
+                }
+                let mut on_read = vec![
+                    Stmt::Comment("TODO(user): drive DATA_OUT with the result".into()),
+                    Stmt::assign("DATA_OUT_VALID", Expr::lit(1, 1)),
+                    Stmt::assign("IO_DONE", Expr::lit(1, 1)),
+                ];
+                on_read.extend(counted_advance(stub, "result", beats, on_final));
                 vec![
                     Stmt::Comment("Output state: hold CALC_DONE until read (§5.3.1)".into()),
                     Stmt::assign("CALC_DONE", Expr::lit(1, 1)),
-                    Stmt::if_then(read_req, {
-                        let mut stmts = vec![
-                            Stmt::Comment("TODO(user): drive DATA_OUT with the result".into()),
-                            Stmt::assign("DATA_OUT_VALID", Expr::lit(1, 1)),
-                            Stmt::assign("IO_DONE", Expr::lit(1, 1)),
-                            Stmt::assign("CALC_DONE", Expr::lit(0, 1)),
-                            Stmt::assign("next_state", Expr::lit(next, sb)),
-                        ];
-                        if ir.module.params.irq {
-                            stmts.push(Stmt::assign("IRQ", Expr::lit(1, 1)));
-                        }
-                        stmts
-                    }),
+                    Stmt::if_then(read_req, on_read),
                 ]
             }
             StubState::PseudoOutput => {
@@ -335,7 +395,6 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
                     Stmt::if_then(
                         read_req,
                         vec![
-                            Stmt::assign("DATA_OUT", Expr::lit(0, ir.module.params.bus_width)),
                             Stmt::assign("DATA_OUT_VALID", Expr::lit(1, 1)),
                             Stmt::assign("IO_DONE", Expr::lit(1, 1)),
                             Stmt::assign("CALC_DONE", Expr::lit(0, 1)),
@@ -348,16 +407,23 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
         arms.push((i as u64, body));
     }
 
-    let body = vec![
+    // Every SIS output line gets a default so no port is ever undriven —
+    // later per-state assignments override within the same clock edge.
+    let mut body = vec![
         Stmt::Comment("ICOB: all bus interactions for this function (§5.3.1)".into()),
         Stmt::assign("IO_DONE", Expr::lit(0, 1)),
         Stmt::assign("DATA_OUT_VALID", Expr::lit(0, 1)),
-        Stmt::Case {
-            expr: Expr::Slice { base: Box::new(Expr::sig("cur_state")), hi: sb - 1, lo: 0 },
-            arms,
-            default: Some(vec![Stmt::assign("next_state", Expr::lit(0, sb))]),
-        },
+        Stmt::assign("DATA_OUT", Expr::lit(0, p.bus_width)),
+        Stmt::assign("CALC_DONE", Expr::lit(0, 1)),
     ];
+    if p.irq {
+        body.push(Stmt::assign("IRQ", Expr::lit(0, 1)));
+    }
+    body.push(Stmt::Case {
+        expr: Expr::Slice { base: Box::new(Expr::sig("cur_state")), hi: sb - 1, lo: 0 },
+        arms,
+        default: Some(vec![Stmt::assign("next_state", Expr::lit(0, sb))]),
+    });
     Process { label: "icob".into(), clocked: true, body }
 }
 
@@ -380,6 +446,18 @@ pub fn stub_module(ir: &DesignIr, stub: &FunctionStub, gen_date: &str) -> Module
     m.items.push(Item::Process(smb_process(stub)));
     m.items.push(Item::Process(icob_process(ir, stub)));
     m
+}
+
+/// Every structurally generated module of a design — the arbiter plus one
+/// stub per declaration. This is exactly the set the HDL-level lint rules
+/// analyze (the native bus interface is template text, not a [`Module`]).
+pub fn design_modules(ir: &DesignIr, gen_date: &str) -> Vec<Module> {
+    let mut out = Vec::with_capacity(ir.stubs.len() + 1);
+    out.push(arbiter_module(ir, gen_date));
+    for stub in &ir.stubs {
+        out.push(stub_module(ir, stub, gen_date));
+    }
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -414,6 +492,13 @@ pub fn arbiter_module(ir: &DesignIr, gen_date: &str) -> Module {
     if p.irq {
         m.ports.push(Port::input("IRQ_ACK", 1));
         m.ports.push(Port::output("IRQ_VECTOR", total + 1));
+    }
+
+    // Internal shadow of the CALC_DONE_VEC output port: VHDL-93 forbids
+    // reading an `out` port back, and the id-0 status mux must read it.
+    m.decls.push(Decl::Signal { name: "calc_done_vec_i".into(), width: total + 1, init: None });
+    if p.irq {
+        m.decls.push(Decl::Signal { name: "irq_vector_i".into(), width: total + 1, init: Some(0) });
     }
 
     // Per-instance internal nets + instantiations.
@@ -469,6 +554,7 @@ pub fn arbiter_module(ir: &DesignIr, gen_date: &str) -> Module {
     m.items
         .push(Item::Comment("CALC_DONE concatenation: bit i reports function id i (§5.2)".into()));
     m.items.push(calc_done_encode(ir));
+    m.items.push(Item::Assign { lhs: "CALC_DONE_VEC".into(), rhs: Expr::sig("calc_done_vec_i") });
     if p.irq {
         m.items.push(Item::Comment(
             "Sticky completion-interrupt vector (%irq_support): set on each \
@@ -476,24 +562,59 @@ pub fn arbiter_module(ir: &DesignIr, gen_date: &str) -> Module {
                 .into(),
         ));
         m.items.push(Item::Process(irq_latch_process(ir)));
+        m.items.push(Item::Assign { lhs: "IRQ_VECTOR".into(), rhs: Expr::sig("irq_vector_i") });
     }
     m
 }
 
-/// The sticky interrupt-vector latch of `%irq_support` designs.
+/// A one-hot literal of `width` bits with bit `bit` set, built by
+/// concatenation so vectors wider than 64 bits stay representable.
+fn one_hot(bit: u32, width: u32) -> Expr {
+    let mut parts = Vec::new();
+    if bit + 1 < width {
+        parts.push(Expr::lit(0, width - bit - 1));
+    }
+    parts.push(Expr::lit(1, 1));
+    if bit > 0 {
+        parts.push(Expr::lit(0, bit));
+    }
+    if parts.len() == 1 {
+        parts.pop().expect("one part")
+    } else {
+        Expr::Concat(parts)
+    }
+}
+
+/// The sticky interrupt-vector latch of `%irq_support` designs: each
+/// function's one-cycle IRQ pulse sets its FUNC_ID bit in `irq_vector_i`;
+/// the CPU's IRQ_ACK clears the whole vector.
 fn irq_latch_process(ir: &DesignIr) -> Process {
+    let w = ir.total_instances() + 1;
     let mut body = vec![Stmt::if_then(
         Expr::sig("IRQ_ACK"),
-        vec![Stmt::assign("IRQ_VECTOR", Expr::lit(0, ir.total_instances() + 1))],
+        vec![Stmt::assign("irq_vector_i", Expr::lit(0, w))],
     )];
     for (si, _inst, id) in ir.arbiter_entries() {
         let stub = &ir.stubs[si];
         body.push(Stmt::if_then(
             Expr::sig(format!("f{id}_{}_IRQ", stub.name)),
-            vec![Stmt::Comment(format!("latch interrupt bit {id}"))],
+            vec![Stmt::assign("irq_vector_i", Expr::sig("irq_vector_i").or(one_hot(id, w)))],
         ));
     }
     Process { label: "irq_latch".into(), clocked: true, body }
+}
+
+/// The id-0 status read: `calc_done_vec_i` adapted to the bus width (§4.2.2
+/// returns the CALC_DONE vector on DATA_OUT, zero-extended or truncated).
+fn status_read_expr(ir: &DesignIr) -> Expr {
+    let vec_width = ir.total_instances() + 1;
+    let bus_width = ir.module.params.bus_width;
+    let v = Expr::sig("calc_done_vec_i");
+    match vec_width.cmp(&bus_width) {
+        std::cmp::Ordering::Equal => v,
+        std::cmp::Ordering::Less => Expr::Concat(vec![Expr::lit(0, bus_width - vec_width), v]),
+        std::cmp::Ordering::Greater => Expr::Slice { base: Box::new(v), hi: bus_width - 1, lo: 0 },
+    }
 }
 
 /// A mux over the per-instance copies of `line`, keyed by FUNC_ID, with the
@@ -504,7 +625,7 @@ fn mux_items(ir: &DesignIr, line: &str) -> Vec<Item> {
     let mut arms: Vec<(u64, Vec<Stmt>)> = Vec::new();
     if line == "DATA_OUT" {
         // Reserved id 0: the status register read (§4.2.2).
-        arms.push((0, vec![Stmt::assign(line, Expr::sig("CALC_DONE_VEC"))]));
+        arms.push((0, vec![Stmt::assign(line, status_read_expr(ir))]));
     }
     for (si, _inst, id) in ir.arbiter_entries() {
         let stub = &ir.stubs[si];
@@ -527,7 +648,8 @@ fn mux_items(ir: &DesignIr, line: &str) -> Vec<Item> {
     })]
 }
 
-/// The CALC_DONE concatenation assignment.
+/// The CALC_DONE concatenation assignment (into the internal shadow; a
+/// separate continuous assignment forwards it to the output port).
 fn calc_done_encode(ir: &DesignIr) -> Item {
     let mut parts: Vec<Expr> = Vec::new();
     // Most-significant first: highest id down to bit 1, bit 0 constant '0'.
@@ -538,7 +660,7 @@ fn calc_done_encode(ir: &DesignIr) -> Item {
         parts.push(Expr::sig(format!("f{id}_{}_CALC_DONE", stub.name)));
     }
     parts.push(Expr::lit(0, 1)); // id 0 is the status register itself
-    Item::Assign { lhs: "CALC_DONE_VEC".into(), rhs: Expr::Concat(parts) }
+    Item::Assign { lhs: "calc_done_vec_i".into(), rhs: Expr::Concat(parts) }
 }
 
 // ---------------------------------------------------------------------
@@ -704,12 +826,17 @@ mod tests {
         let ir = design("long f();\nlong g();", "");
         let m = arbiter_module(&ir, "today");
         let text = emit(&m, Hdl::Vhdl);
-        // The id-0 arm returns the status vector on DATA_OUT.
-        assert!(text.contains("DATA_OUT <= CALC_DONE_VEC;"), "{text}");
+        // The id-0 arm returns the zero-extended status vector on DATA_OUT,
+        // read from the internal shadow (out ports are write-only in VHDL).
+        assert!(text.contains("& calc_done_vec_i;"), "{text}");
         assert!(text.contains("DATA_OUT <= f1_f_DATA_OUT;"), "{text}");
         assert!(text.contains("DATA_OUT <= f2_g_DATA_OUT;"), "{text}");
         assert!(text.contains("IO_DONE <= f2_g_IO_DONE;"), "{text}");
-        assert!(text.contains("CALC_DONE_VEC <= f2_g_CALC_DONE & f1_f_CALC_DONE & '0';"), "{text}");
+        assert!(
+            text.contains("calc_done_vec_i <= f2_g_CALC_DONE & f1_f_CALC_DONE & '0';"),
+            "{text}"
+        );
+        assert!(text.contains("CALC_DONE_VEC <= calc_done_vec_i;"), "{text}");
     }
 
     #[test]

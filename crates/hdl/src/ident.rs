@@ -4,6 +4,9 @@
 //! HDL identifiers. Both backends need names that avoid their reserved
 //! words and illegal characters; VHDL additionally forbids leading/trailing
 //! underscores and double underscores.
+//!
+//! The keyword tables live here — and only here — so the emitters and the
+//! `splice-lint` identifier-hazard rules agree on what counts as reserved.
 
 /// VHDL-93 reserved words (lowercased).
 const VHDL_KEYWORDS: &[&str] = &[
@@ -156,6 +159,34 @@ const VERILOG_KEYWORDS: &[&str] = &[
     "xor",
 ];
 
+/// The VHDL-93 reserved-word table (lowercased entries).
+pub fn vhdl_keywords() -> &'static [&'static str] {
+    VHDL_KEYWORDS
+}
+
+/// The Verilog-2001 reserved-word table.
+pub fn verilog_keywords() -> &'static [&'static str] {
+    VERILOG_KEYWORDS
+}
+
+/// True when `name` matches a VHDL reserved word (VHDL is case-insensitive).
+pub fn is_vhdl_keyword(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    VHDL_KEYWORDS.contains(&lower.as_str())
+}
+
+/// True when `name` matches a Verilog reserved word (Verilog is
+/// case-sensitive; its keywords are all lowercase).
+pub fn is_verilog_keyword(name: &str) -> bool {
+    VERILOG_KEYWORDS.contains(&name)
+}
+
+/// True when `name` collides with a reserved word in *either* backend —
+/// generated designs must be emittable in both HDLs.
+pub fn is_reserved(name: &str) -> bool {
+    is_vhdl_keyword(name) || is_verilog_keyword(name)
+}
+
 /// Make `raw` a legal identifier in both VHDL and Verilog.
 ///
 /// The result is deterministic and injective for distinct inputs that were
@@ -187,8 +218,11 @@ pub fn legalize(raw: &str) -> String {
     if s.is_empty() {
         s.push_str("sig");
     }
+    // Conservative: a name whose lowercase form is reserved in either
+    // backend is suffixed, even though Verilog keywords are case-sensitive —
+    // `WIRE` as an identifier is legal Verilog but invites confusion.
     let lower = s.to_ascii_lowercase();
-    if VHDL_KEYWORDS.contains(&lower.as_str()) || VERILOG_KEYWORDS.contains(&lower.as_str()) {
+    if is_reserved(&lower) {
         s.push_str("_sig");
     }
     s

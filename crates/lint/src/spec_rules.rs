@@ -1,0 +1,374 @@
+//! Spec-layer rules (`SL01xx`): checks over the parsed [`Spec`] AST.
+//!
+//! These run *before* validation and therefore report **all** occurrences of
+//! a problem with source positions, where `validate` stops at the first. The
+//! AST-only rules also catch conditions validation accepts — an address map
+//! that wraps, declarations that are ignored, shadowed type names.
+
+use crate::diag::{Diagnostic, Layer, LintReport, Location};
+use splice_spec::ast::{Directive, PtrBound, ReturnKind, Spec};
+use splice_spec::bus::{BusCaps, BusRegistry};
+use splice_spec::span::{line_col, Span};
+use splice_spec::types::TypeTable;
+
+/// Resolve a span to a source-anchored lint location.
+fn loc(source: &str, span: Span) -> Location {
+    let lc = line_col(source, span.start);
+    Location::Source { line: lc.line, col: lc.col }
+}
+
+/// Run every spec-layer rule over a parsed AST.
+pub fn lint_spec(spec: &Spec, source: &str, registry: &BusRegistry, report: &mut LintReport) {
+    let bus = match spec.directive("bus_type") {
+        Some(Directive::BusType { name, .. }) => registry.get(name),
+        _ => None,
+    };
+    let bus_width = match spec.directive("bus_width") {
+        Some(Directive::BusWidth { bits, .. }) => Some(*bits),
+        _ => None,
+    };
+    address_window(spec, source, bus, bus_width, report); // SL0101
+    user_type_hygiene(spec, source, report); // SL0102, SL0103
+    implicit_bounds(spec, source, report); // SL0104
+    ignored_directives(spec, source, bus, bus_width, report); // SL0105
+}
+
+/// SL0101: the device's register window must fit the 32-bit address space.
+///
+/// Every FUNC_ID (0 = status, then one per function instance) occupies one
+/// bus word starting at `%base_address`; a window that runs past `2^32`
+/// wraps around and aliases other peripherals.
+fn address_window(
+    spec: &Spec,
+    source: &str,
+    bus: Option<&BusCaps>,
+    bus_width: Option<u32>,
+    report: &mut LintReport,
+) {
+    let Some(Directive::BaseAddress { addr, span }) = spec.directive("base_address") else {
+        return;
+    };
+    let Some(bus) = bus else { return };
+    if !bus.memory_mapped {
+        return; // the directive is ignored entirely — SL0105's business
+    }
+    let Some(width) = bus_width else { return };
+    if width == 0 || width % 8 != 0 {
+        return; // nonsense width: validation rejects it with a better message
+    }
+    let registers = spec.decls.iter().map(|d| d.instances as u128).sum::<u128>() + 1;
+    let end = *addr as u128 + registers * (width / 8) as u128;
+    if end > 1u128 << 32 {
+        report.push(
+            Diagnostic::error(
+                "SL0101",
+                Layer::Spec,
+                loc(source, *span),
+                format!(
+                    "register window [{addr:#x}, {end:#x}) for {registers} register(s) runs past \
+                     the 32-bit address space and wraps onto other peripherals"
+                ),
+            )
+            .suggest("lower `%base_address` or reduce the number of function instances"),
+        );
+    }
+}
+
+/// SL0102 + SL0103: every `%user_type` should be referenced by some
+/// declaration, and should not shadow a builtin C type name.
+fn user_type_hygiene(spec: &Spec, source: &str, report: &mut LintReport) {
+    let mut used: Vec<&str> = Vec::new();
+    for d in &spec.decls {
+        for p in &d.params {
+            used.push(p.ty.name.as_str());
+        }
+        if let ReturnKind::Value { ty, .. } = &d.ret {
+            used.push(ty.name.as_str());
+        }
+    }
+    let builtins = TypeTable::builtin();
+    for ut in spec.user_types() {
+        let Directive::UserType { name, span, .. } = ut else { continue };
+        if !used.contains(&name.as_str()) {
+            report.push(
+                Diagnostic::warning(
+                    "SL0102",
+                    Layer::Spec,
+                    loc(source, *span),
+                    format!("user type `{name}` is defined but no declaration uses it"),
+                )
+                .suggest("remove the `%user_type` directive or use the type"),
+            );
+        }
+        if builtins.lookup(name).is_some() {
+            report.push(
+                Diagnostic::warning(
+                    "SL0103",
+                    Layer::Spec,
+                    loc(source, *span),
+                    format!(
+                        "user type `{name}` shadows the builtin C type of the same name; \
+                         declarations written against `{name}` silently change meaning"
+                    ),
+                )
+                .suggest("pick a name that is not a builtin ANSI-C type"),
+            );
+        }
+    }
+}
+
+/// SL0104: implicit bounds (`*:var`) must reference a *scalar* parameter
+/// transmitted *before* the array (§3.3). Unlike `validate`, every violation
+/// in the file is reported, each with its position.
+fn implicit_bounds(spec: &Spec, source: &str, report: &mut LintReport) {
+    for d in &spec.decls {
+        let mut check = |var: &str, owner: &str, at: Span, earlier_than: usize| {
+            let Some(qi) = d.params.iter().position(|p| p.name == var) else {
+                report.push(Diagnostic::error(
+                    "SL0104",
+                    Layer::Spec,
+                    loc(source, at),
+                    format!(
+                        "`{}`: implicit bound of `{owner}` references `{var}`, which is not a \
+                         parameter of this declaration",
+                        d.name
+                    ),
+                ));
+                return;
+            };
+            if qi >= earlier_than {
+                report.push(
+                    Diagnostic::error(
+                        "SL0104",
+                        Layer::Spec,
+                        loc(source, at),
+                        format!(
+                            "`{}`: index parameter `{var}` is declared after the array `{owner}` \
+                             that it bounds; the hardware needs the element count first (§3.3)",
+                            d.name
+                        ),
+                    )
+                    .suggest(format!("move `{var}` before `{owner}` in the parameter list")),
+                );
+            } else if d.params[qi].ext.pointer {
+                report.push(Diagnostic::error(
+                    "SL0104",
+                    Layer::Spec,
+                    loc(source, at),
+                    format!(
+                        "`{}`: index parameter `{var}` bounding `{owner}` is itself an array; \
+                         implicit bounds must be scalars",
+                        d.name
+                    ),
+                ));
+            }
+        };
+        for (pi, p) in d.params.iter().enumerate() {
+            if let Some(PtrBound::Implicit(var)) = &p.ext.bound {
+                check(var, &p.name, p.span, pi);
+            }
+        }
+        if let ReturnKind::Value { ext, .. } = &d.ret {
+            if let Some(PtrBound::Implicit(var)) = &ext.bound {
+                // All parameters precede the return transfer.
+                check(var, "result", d.span, d.params.len());
+            }
+        }
+    }
+}
+
+/// SL0105: directives that are accepted but have no effect on this design.
+fn ignored_directives(
+    spec: &Spec,
+    source: &str,
+    bus: Option<&BusCaps>,
+    bus_width: Option<u32>,
+    report: &mut LintReport,
+) {
+    if let Some(Directive::BaseAddress { span, .. }) = spec.directive("base_address") {
+        if let Some(bus) = bus {
+            if !bus.memory_mapped {
+                report.push(
+                    Diagnostic::warning(
+                        "SL0105",
+                        Layer::Spec,
+                        loc(source, *span),
+                        format!(
+                            "`%base_address` is ignored: bus `{}` is not memory-mapped (§3.2.1)",
+                            bus.kind
+                        ),
+                    )
+                    .suggest("remove the directive"),
+                );
+            }
+        }
+    }
+
+    let any_dma = spec.decls.iter().any(|d| {
+        d.params.iter().any(|p| p.ext.dma)
+            || matches!(&d.ret, ReturnKind::Value { ext, .. } if ext.dma)
+    });
+    if let Some(Directive::DmaSupport { enabled: true, span }) = spec.directive("dma_support") {
+        if !any_dma {
+            report.push(
+                Diagnostic::warning(
+                    "SL0105",
+                    Layer::Spec,
+                    loc(source, *span),
+                    "`%dma_support true` has no effect: no transfer carries the `^` DMA extension"
+                        .to_owned(),
+                )
+                .suggest("mark the intended array transfers with `^`, or drop the directive"),
+            );
+        }
+    }
+
+    if let Some(Directive::PackingSupport { enabled: true, span }) =
+        spec.directive("packing_support")
+    {
+        if let Some(width) = bus_width {
+            let eligible = spec.decls.iter().any(|d| {
+                let io_eligible = |pointer: bool, packed: bool, bits: u32| {
+                    packed || (pointer && bits * 2 <= width)
+                };
+                d.params.iter().any(|p| io_eligible(p.ext.pointer, p.ext.packed, p.ty.bits))
+                    || matches!(&d.ret, ReturnKind::Value { ty, ext }
+                        if io_eligible(ext.pointer, ext.packed, ty.bits))
+            });
+            if !eligible {
+                report.push(
+                    Diagnostic::warning(
+                        "SL0105",
+                        Layer::Spec,
+                        loc(source, *span),
+                        format!(
+                            "`%packing_support true` has no effect: no array transfer has \
+                             elements narrow enough to pack two-per-beat onto the {width}-bit bus"
+                        ),
+                    )
+                    .suggest("drop the directive or narrow the array element types"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_spec::parse;
+
+    fn lint(src: &str) -> LintReport {
+        let spec = parse(src).expect("parse ok");
+        let mut r = LintReport::new();
+        lint_spec(&spec, src, &BusRegistry::builtin(), &mut r);
+        r
+    }
+
+    const HEADER: &str =
+        "%device_name dev\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n";
+
+    #[test]
+    fn clean_spec_has_no_findings() {
+        let r = lint(&format!("{HEADER}void f(int x);\nint g();"));
+        assert!(r.is_clean(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn sl0101_window_overflow() {
+        let src = "%device_name d\n%bus_type plb\n%bus_width 32\n\
+                   %base_address 0xFFFFFFF8\nvoid f():4;";
+        let r = lint(src);
+        assert!(r.has("SL0101"), "{}", r.render_text());
+        let d = &r.diagnostics[0];
+        assert!(d.message.contains("wraps"), "{}", d.message);
+        assert_eq!(d.location, Location::Source { line: 4, col: 1 });
+    }
+
+    #[test]
+    fn sl0101_window_that_fits_is_clean() {
+        // 0xFFFFFFF8 + 2 registers * 4 bytes = exactly 2^32: still legal.
+        let src = "%device_name d\n%bus_type plb\n%bus_width 32\n\
+                   %base_address 0xFFFFFFF8\nvoid f();";
+        assert!(!lint(src).has("SL0101"));
+    }
+
+    #[test]
+    fn sl0102_unused_user_type() {
+        let src = format!("{HEADER}%user_type tap, unsigned short, 16\nvoid f(int x);");
+        let r = lint(&src);
+        assert!(r.has("SL0102"), "{}", r.render_text());
+        // Using the type silences it.
+        let used = format!("{HEADER}%user_type tap, unsigned short, 16\nvoid f(tap x);");
+        assert!(!lint(&used).has("SL0102"));
+    }
+
+    #[test]
+    fn sl0103_user_type_shadows_builtin() {
+        use splice_spec::ast::{Directive, Spec};
+        use splice_spec::span::Span;
+        // The parser rejects redefinition, so build the AST directly.
+        let spec = Spec {
+            directives: vec![Directive::UserType {
+                name: "int".into(),
+                definition: "short".into(),
+                bits: 16,
+                span: Span::new(0, 10),
+            }],
+            decls: vec![],
+        };
+        let mut r = LintReport::new();
+        lint_spec(&spec, "%user_type int, short, 16\n", &BusRegistry::builtin(), &mut r);
+        assert!(r.has("SL0103"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn sl0104_reports_every_violation() {
+        // Two independent violations in one declaration list: `validate`
+        // would stop at the first, lint reports both.
+        let src = format!("{HEADER}void f(int*:n a);\nvoid g(int*:k b, int k);");
+        let r = lint(&src);
+        let hits: Vec<_> = r.diagnostics.iter().filter(|d| d.code == "SL0104").collect();
+        assert_eq!(hits.len(), 2, "{}", r.render_text());
+        assert!(hits[0].message.contains("not a parameter"));
+        assert!(hits[1].message.contains("declared after"));
+    }
+
+    #[test]
+    fn sl0104_pointer_index_rejected() {
+        let r = lint(&format!("{HEADER}void f(int*:4 n, int*:n a);"));
+        assert!(r.has("SL0104"));
+        assert!(r.diagnostics[0].message.contains("itself an array"));
+    }
+
+    #[test]
+    fn sl0104_valid_order_is_clean() {
+        assert!(lint(&format!("{HEADER}void f(int n, int*:n a);")).is_clean());
+    }
+
+    #[test]
+    fn sl0105_base_address_on_fcb() {
+        let src = "%device_name d\n%bus_type fcb\n%bus_width 32\n\
+                   %base_address 0x80000000\nvoid f();";
+        let r = lint(src);
+        assert!(r.has("SL0105"), "{}", r.render_text());
+        assert!(r.diagnostics[0].message.contains("not memory-mapped"));
+    }
+
+    #[test]
+    fn sl0105_dma_support_without_dma_transfers() {
+        let r = lint(&format!("{HEADER}%dma_support true\nvoid f(int*:8 x);"));
+        assert!(r.has("SL0105"));
+        // With a `^` transfer the directive is earning its keep.
+        let ok = lint(&format!("{HEADER}%dma_support true\nvoid f(int*:8^ x);"));
+        assert!(!ok.has("SL0105"), "{}", ok.render_text());
+    }
+
+    #[test]
+    fn sl0105_packing_without_narrow_arrays() {
+        let r = lint(&format!("{HEADER}%packing_support true\nvoid f(int*:4 x);"));
+        assert!(r.has("SL0105"), "{}", r.render_text());
+        let ok = lint(&format!("{HEADER}%packing_support true\nvoid f(char*:8 x);"));
+        assert!(!ok.has("SL0105"), "{}", ok.render_text());
+    }
+}

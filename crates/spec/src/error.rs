@@ -187,6 +187,13 @@ impl SpecError {
         let lc = line_col(source, self.span.start);
         format!("error at {lc}: {}", self.kind)
     }
+
+    /// Render in the conventional `file:line:col: error: message` compiler
+    /// format, resolving the span against `source`.
+    pub fn render_at(&self, source: &str, path: &str) -> String {
+        let lc = line_col(source, self.span.start);
+        format!("{path}:{lc}: error: {}", self.kind)
+    }
 }
 
 impl fmt::Display for SpecError {
@@ -206,6 +213,16 @@ mod tests {
         let src = "abc\ndef";
         let e = SpecError::new(SpecErrorKind::MissingBusType, Span::new(4, 5));
         assert_eq!(e.render(src), "error at 2:1: required directive `%bus_type` was not supplied");
+    }
+
+    #[test]
+    fn render_at_uses_compiler_format() {
+        let src = "abc\ndef";
+        let e = SpecError::new(SpecErrorKind::NoFunctions, Span::new(4, 5));
+        assert_eq!(
+            e.render_at(src, "dev.splice"),
+            "dev.splice:2:1: error: specification declares no interfaces"
+        );
     }
 
     #[test]

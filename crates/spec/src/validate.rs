@@ -415,9 +415,19 @@ impl<'a> Validator<'a> {
 
         let total: usize = out.iter().map(|f| f.instances as usize).sum();
         if total > MAX_FUNC_INSTANCES {
+            // Anchor the diagnostic on the declaration that overflows the
+            // id space rather than a meaningless 1:1 position.
+            let mut acc = 0usize;
+            let span = out
+                .iter()
+                .find(|f| {
+                    acc += f.instances as usize;
+                    acc > MAX_FUNC_INSTANCES
+                })
+                .map_or_else(|| Span::point(0), |f| f.span);
             return Err(SpecError::new(
                 SpecErrorKind::TooManyFunctions { total, max: MAX_FUNC_INSTANCES },
-                Span::point(0),
+                span,
             ));
         }
         Ok(out)

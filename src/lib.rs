@@ -50,13 +50,14 @@
 //! See the crate-level docs of each member for the subsystem detail:
 //! [`splice_spec`], [`splice_core`], [`splice_hdl`], [`splice_driver`],
 //! [`splice_sis`], [`splice_sim`], [`splice_buses`], [`splice_resources`],
-//! [`splice_devices`].
+//! [`splice_devices`], [`splice_lint`].
 
 pub use splice_buses as buses;
 pub use splice_core as core_engine;
 pub use splice_devices as devices;
 pub use splice_driver as driver;
 pub use splice_hdl as hdl;
+pub use splice_lint as lint;
 pub use splice_resources as resources;
 pub use splice_sim as sim;
 pub use splice_sis as sis;

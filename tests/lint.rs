@@ -1,0 +1,131 @@
+//! Integration tests of the `splice-lint` static analysis.
+//!
+//! Three claims are pinned here:
+//!
+//! 1. **Self-application**: every module the generator emits for the
+//!    bundled example specifications lints clean — the tool satisfies its
+//!    own rules.
+//! 2. **Golden reports**: the rendered lint report (text and JSON) for
+//!    every spec under `examples/specs/` plus the deliberately dirty
+//!    fixture is pinned byte-for-byte under `tests/golden/lint/`.
+//! 3. **Detection**: corrupting a generated design introduces findings the
+//!    HDL rules catch with correct signal paths (combinational loop,
+//!    multiple drivers).
+
+use splice_core::elaborate::elaborate;
+use splice_core::hdlgen::design_modules;
+use splice_hdl::ast::{Decl, Item};
+use splice_hdl::Expr;
+use splice_lint::{lint_modules, lint_source, LintReport};
+use std::path::{Path, PathBuf};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn example_specs() -> Vec<(String, String)> {
+    let dir = repo_path("examples/specs");
+    let mut out: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .expect("examples/specs exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "splice"))
+        .map(|p| {
+            let stem = p.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).unwrap();
+            (stem, text)
+        })
+        .collect();
+    out.sort();
+    assert!(out.len() >= 5, "expected the bundled example specs, found {}", out.len());
+    out
+}
+
+fn golden(name: &str) -> String {
+    let path = repo_path("tests/golden/lint").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {name}: {e}"))
+}
+
+#[test]
+fn generator_output_lints_clean_for_every_example_spec() {
+    for (stem, source) in example_specs() {
+        let report = lint_source(&source);
+        assert!(report.is_clean(), "examples/specs/{stem}.splice:\n{}", report.render_text());
+    }
+}
+
+#[test]
+fn example_lint_reports_match_goldens() {
+    for (stem, source) in example_specs() {
+        let report = lint_source(&source);
+        assert_eq!(report.render_text(), golden(&format!("{stem}.txt")), "{stem} text report");
+        assert_eq!(report.render_json(), golden(&format!("{stem}.json")), "{stem} json report");
+    }
+}
+
+#[test]
+fn dirty_fixture_report_matches_golden() {
+    let source = std::fs::read_to_string(repo_path("tests/fixtures/dirty.splice")).unwrap();
+    let report = lint_source(&source);
+    assert_eq!(report.codes(), vec!["SL0101", "SL0102", "SL0105"], "{}", report.render_text());
+    assert_eq!(report.render_text(), golden("dirty.txt"));
+    assert_eq!(report.render_json(), golden("dirty.json"));
+}
+
+/// Build the generated module set for the MAC example and hand it back for
+/// corruption.
+fn mac_modules() -> Vec<splice_hdl::Module> {
+    let source = std::fs::read_to_string(repo_path("examples/specs/mac.splice")).unwrap();
+    let validated = splice_spec::parse_and_validate(&source).expect("example is valid");
+    design_modules(&elaborate(&validated.module), "lint-test")
+}
+
+#[test]
+fn corrupted_design_combinational_loop_is_caught_with_its_path() {
+    let mut modules = mac_modules();
+    let stub = modules.iter_mut().find(|m| m.name == "func_mac").expect("mac stub");
+    // Two continuous assignments feeding each other: a classic comb loop.
+    stub.decls.push(Decl::Signal { name: "loop_a".into(), width: 1, init: None });
+    stub.decls.push(Decl::Signal { name: "loop_b".into(), width: 1, init: None });
+    stub.items.push(Item::Assign { lhs: "loop_a".into(), rhs: Expr::sig("loop_b") });
+    stub.items.push(Item::Assign { lhs: "loop_b".into(), rhs: Expr::sig("loop_a") });
+
+    let mut report = LintReport::new();
+    lint_modules(&modules, &mut report);
+    let d = report.diagnostics.iter().find(|d| d.code == "SL0308").expect("loop detected");
+    assert!(d.message.contains("loop_a") && d.message.contains("loop_b"), "{}", d.message);
+    assert!(d.message.contains(" -> "), "cycle path rendered: {}", d.message);
+    assert!(d.location.to_string().starts_with("func_mac."), "{}", d.location);
+}
+
+#[test]
+fn corrupted_design_double_driver_is_caught_with_both_sites() {
+    let mut modules = mac_modules();
+    let stub = modules.iter_mut().find(|m| m.name == "func_mac").expect("mac stub");
+    // `cur_state` is owned by the clocked `smb` process; add a second,
+    // concurrent driver.
+    stub.items.push(Item::Assign { lhs: "cur_state".into(), rhs: Expr::sig("next_state") });
+
+    let mut report = LintReport::new();
+    lint_modules(&modules, &mut report);
+    let d = report.diagnostics.iter().find(|d| d.code == "SL0301").expect("conflict detected");
+    assert_eq!(d.location.to_string(), "func_mac.cur_state");
+    assert!(d.message.contains("2 drivers"), "{}", d.message);
+    assert!(d.message.contains("process `smb`"), "{}", d.message);
+    assert!(d.message.contains("continuous assignment"), "{}", d.message);
+}
+
+#[test]
+fn lint_report_names_at_least_ten_distinct_rules() {
+    // The catalogue itself: ten or more distinct codes must be reachable.
+    // (Unit tests per rule live in the splice-lint crate; this pins the
+    // public registry the documentation is checked against.)
+    assert!(splice_lint::CODES.len() >= 10, "{}", splice_lint::CODES.len());
+}
+
+#[test]
+fn docs_catalogue_every_rule_code() {
+    let docs = std::fs::read_to_string(repo_path("docs/lint.md")).expect("docs/lint.md exists");
+    for (code, _) in splice_lint::CODES {
+        assert!(docs.contains(code), "docs/lint.md does not document {code}");
+    }
+}
