@@ -1,0 +1,212 @@
+//! Kernel throughput benchmark: cycles/second of the event-driven
+//! scheduler against the eager (tick-everything) fallback.
+//!
+//! Two workloads:
+//!
+//! * `fig9_2` — the chapter-9 interpolator evaluation, all five
+//!   implementations × four scenarios, repeated. Busy traffic: most
+//!   components have work most cycles, so gating helps modestly.
+//! * `idle_heavy_sweep` — a `nowait` device with 512–2000-cycle
+//!   calculations, fire-then-wait-for-interrupt. The bus is dead while the
+//!   calculation counts down, which is exactly the stretch the
+//!   sensitivity-gated scheduler skips.
+//!
+//! Both modes must simulate the *same number of cycles* — the scheduler is
+//! an optimization, not a semantics change — and the harness asserts that.
+//!
+//! Usage: `cargo run --release -p splice-bench --bin perf [-- --smoke|--eager]`
+//!
+//! * `--smoke` — tiny iteration counts plus a hard assert that the Fig 9.2
+//!   cycle table still matches the pinned seed values (CI regression gate).
+//! * `--eager` — measure only the eager fallback (no comparison table).
+//!
+//! Writes `BENCH_PERF.json` into the working directory.
+
+use splice_bench::table;
+use splice_buses::system::SplicedSystem;
+use splice_core::simbuild::{CalcLogic, CalcResult, FuncInputs};
+use splice_devices::eval::{fig_9_2, InterpImpl, InterpRunner};
+use splice_devices::interp::Scenario;
+use splice_driver::program::CallArgs;
+use splice_spec::parse_and_validate;
+use std::time::{Duration, Instant};
+
+/// One timed measurement: simulated cycles vs wall clock.
+struct Meas {
+    sim_cycles: u64,
+    wall: Duration,
+}
+
+impl Meas {
+    fn cps(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The fig 9.2 evaluation run `iters` times over persistent systems.
+fn bench_fig9_2(eager: bool, iters: u32) -> Meas {
+    let mut runners: Vec<InterpRunner> = InterpImpl::all().map(InterpRunner::build).into();
+    for r in &mut runners {
+        r.sim_mut().set_eager(eager);
+        // Warm-up pass (untimed): first calls touch cold allocations.
+        for s in Scenario::all() {
+            r.run(s);
+        }
+    }
+    let cycles_before: u64 = runners.iter().map(|r| r.sim().cycle()).sum();
+    let start = Instant::now();
+    for _ in 0..iters {
+        for r in &mut runners {
+            for s in Scenario::all() {
+                r.run(s);
+            }
+        }
+    }
+    let wall = start.elapsed();
+    let cycles_after: u64 = runners.iter().map(|r| r.sim().cycle()).sum();
+    Meas { sim_cycles: cycles_after - cycles_before, wall }
+}
+
+/// Calculation whose latency walks a fixed 512–2000-cycle pattern, so the
+/// sweep spends nearly all its simulated time with an idle bus.
+struct IdleCalc {
+    i: usize,
+}
+
+const CALC_CYCLES: [u32; 5] = [512, 777, 1024, 1499, 2000];
+
+impl CalcLogic for IdleCalc {
+    fn run(&mut self, inputs: &FuncInputs) -> CalcResult {
+        let cycles = CALC_CYCLES[self.i % CALC_CYCLES.len()];
+        self.i += 1;
+        CalcResult { cycles, output: vec![inputs.scalar(0) * 2] }
+    }
+}
+
+/// Fire-and-forget rounds against a long-latency device: `nowait` call,
+/// wait for the completion interrupt, acknowledge, repeat.
+fn bench_idle_sweep(eager: bool, rounds: u32) -> Meas {
+    let spec = "%device_name sweep\n%bus_type plb\n%bus_width 32\n\
+                %base_address 0x80000000\n%irq_support true\n\
+                nowait crunch(int x);";
+    let module = parse_and_validate(spec).expect("sweep spec").module;
+    let mut sys = SplicedSystem::build(&module, |_, _| Box::new(IdleCalc { i: 0 }));
+    sys.sim_mut().set_eager(eager);
+    let vector = sys.sim().signal_id("sis.IRQ_VECTOR").expect("irq vector");
+
+    // Warm-up round (untimed).
+    sys.call("crunch", &CallArgs::scalars(&[0])).expect("warmup call");
+    sys.sim_mut().run_until_high("sweep irq", vector, 1_000_000).expect("warmup irq");
+    sys.wait_irq("crunch", 0).expect("warmup ack");
+
+    let cycles_before = sys.sim().cycle();
+    let start = Instant::now();
+    for r in 0..rounds {
+        let out = sys.call("crunch", &CallArgs::scalars(&[u64::from(r)])).expect("call");
+        assert!(out.bus_cycles < 50, "nowait call should return fast");
+        // Ride out the idle calculation on the signal-indexed fast wait,
+        // then consume the latched interrupt (immediate) to clear the bit.
+        sys.sim_mut().run_until_high("sweep irq", vector, 1_000_000).expect("irq");
+        sys.wait_irq("crunch", 0).expect("ack");
+    }
+    let wall = start.elapsed();
+    Meas { sim_cycles: sys.sim().cycle() - cycles_before, wall }
+}
+
+fn fmt_mcps(m: &Meas) -> String {
+    format!("{:.2}", m.cps() / 1e6)
+}
+
+fn fmt_ms(m: &Meas) -> String {
+    format!("{:.1}", m.wall.as_secs_f64() * 1e3)
+}
+
+fn json_meas(m: &Meas) -> String {
+    format!(
+        "{{\"sim_cycles\":{},\"wall_ms\":{:.3},\"cycles_per_sec\":{:.0}}}",
+        m.sim_cycles,
+        m.wall.as_secs_f64() * 1e3,
+        m.cps()
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let eager_only = args.iter().any(|a| a == "--eager");
+    if let Some(bad) = args.iter().find(|a| *a != "--smoke" && *a != "--eager") {
+        eprintln!("unknown flag {bad}; usage: perf [--smoke] [--eager]");
+        std::process::exit(2);
+    }
+
+    if smoke {
+        // Regression gate: the event-driven kernel must reproduce the
+        // seed's Fig 9.2 table exactly.
+        let pinned: [u64; 5] = [680, 298, 508, 344, 488];
+        for ((imp, row), want) in fig_9_2().iter().zip(pinned) {
+            let total: u64 = row.iter().sum();
+            assert_eq!(total, want, "{} drifted from pinned total", imp.label());
+        }
+        println!("smoke: fig 9.2 totals match pinned seed values {pinned:?}");
+    }
+
+    let (fig_iters, sweep_rounds) = if smoke { (5, 30) } else { (400, 1500) };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_workloads: Vec<String> = Vec::new();
+
+    for (name, run) in [
+        ("fig9_2", bench_fig9_2 as fn(bool, u32) -> Meas),
+        ("idle_heavy_sweep", bench_idle_sweep as fn(bool, u32) -> Meas),
+    ] {
+        let iters = if name == "fig9_2" { fig_iters } else { sweep_rounds };
+        let eager = run(true, iters);
+        rows.push(vec![
+            name.into(),
+            "eager".into(),
+            eager.sim_cycles.to_string(),
+            fmt_ms(&eager),
+            fmt_mcps(&eager),
+        ]);
+        if eager_only {
+            json_workloads.push(format!("{{\"name\":\"{name}\",\"eager\":{}}}", json_meas(&eager)));
+            continue;
+        }
+        let gated = run(false, iters);
+        assert_eq!(
+            gated.sim_cycles, eager.sim_cycles,
+            "{name}: gated scheduler changed the simulated cycle count"
+        );
+        let speedup = gated.cps() / eager.cps();
+        rows.push(vec![
+            name.into(),
+            "gated".into(),
+            gated.sim_cycles.to_string(),
+            fmt_ms(&gated),
+            fmt_mcps(&gated),
+        ]);
+        rows.push(vec![name.into(), "speedup".into(), String::new(), String::new(), {
+            format!("{speedup:.2}x")
+        }]);
+        json_workloads.push(format!(
+            "{{\"name\":\"{name}\",\"eager\":{},\"gated\":{},\"speedup\":{speedup:.3}}}",
+            json_meas(&eager),
+            json_meas(&gated),
+        ));
+    }
+
+    let headers = ["workload", "mode", "sim cycles", "wall ms", "Mcycles/s"];
+    println!("\nKernel throughput — event-driven scheduler vs eager fallback");
+    println!("(fig9_2 x{fig_iters} passes, sweep x{sweep_rounds} rounds)\n");
+    print!("{}", table(&headers, &rows));
+
+    let mode = if eager_only { "eager-only" } else { "both" };
+    let json = format!(
+        "{{\"bench\":\"kernel_throughput\",\"mode\":\"{mode}\",\"smoke\":{smoke},\
+         \"fig9_2_iters\":{fig_iters},\"sweep_rounds\":{sweep_rounds},\
+         \"workloads\":[{}]}}\n",
+        json_workloads.join(",")
+    );
+    std::fs::write("BENCH_PERF.json", &json).expect("write BENCH_PERF.json");
+    println!("\nwrote BENCH_PERF.json");
+}

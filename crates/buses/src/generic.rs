@@ -16,7 +16,10 @@
 use crate::plb::{channel, ChannelHandle, PlbCpuMaster, PlbSignals, PlbSisAdapter};
 use crate::timing::BusTiming;
 use splice_driver::program::BusOp;
-use splice_sim::{Component, SignalDecl, SignalId, SimulatorBuilder, TickCtx, Word};
+use splice_sim::{
+    Component, LazyCounter, LazyHistogram, Sensitivity, SignalDecl, SignalId, SimulatorBuilder,
+    TickCtx, Word,
+};
 use splice_sis::SisBus;
 
 /// The native APB signal bundle (AMBA 2 nomenclature).
@@ -105,6 +108,11 @@ pub struct ApbMaster {
     pub bus_txns: u64,
     /// Cycle the outstanding transfer began (for latency histograms).
     req_start: Option<u64>,
+    m_txns: LazyCounter,
+    m_polls: LazyCounter,
+    m_wait: LazyCounter,
+    m_busy: LazyCounter,
+    h_latency: LazyHistogram,
 }
 
 impl ApbMaster {
@@ -121,6 +129,11 @@ impl ApbMaster {
             finished_cycle: None,
             bus_txns: 0,
             req_start: None,
+            m_txns: LazyCounter::new("apb.master.txns"),
+            m_polls: LazyCounter::new("apb.master.poll_reads"),
+            m_wait: LazyCounter::new("apb.master.wait_cycles"),
+            m_busy: LazyCounter::new("apb.master.busy_cycles"),
+            h_latency: LazyHistogram::new("apb.master.req_ack_latency"),
         }
     }
 
@@ -173,7 +186,7 @@ impl ApbMaster {
         }
         self.bus_txns += 1;
         self.req_start = Some(ctx.cycle());
-        ctx.metric_add("apb.master.txns", 1);
+        self.m_txns.add(ctx, 1);
         if ctx.metrics_enabled() {
             ctx.protocol_event(
                 "apb-master",
@@ -187,7 +200,8 @@ impl ApbMaster {
     /// its setup→completion latency.
     fn observe_done(&mut self, ctx: &mut TickCtx<'_>) {
         if let Some(start) = self.req_start.take() {
-            ctx.metric_observe("apb.master.req_ack_latency", ctx.cycle() - start);
+            let delta = ctx.cycle() - start;
+            self.h_latency.observe(ctx, delta);
         }
     }
 
@@ -261,7 +275,7 @@ impl Component for ApbMaster {
                                 self.next_op(cycle);
                             } else {
                                 // Poll again: a fresh APB read transfer.
-                                ctx.metric_add("apb.master.poll_reads", 1);
+                                self.m_polls.add(ctx, 1);
                                 self.setup(ctx, addr, None);
                                 self.state =
                                     AmState::Enable { is_read: true, remaining_reads: bit + 1 };
@@ -273,12 +287,12 @@ impl Component for ApbMaster {
                         }
                     }
                 } else {
-                    ctx.metric_add("apb.master.wait_cycles", 1);
+                    self.m_wait.add(ctx, 1);
                     self.state = AmState::AwaitData { remaining: remaining - 1, poll };
                 }
             }
             AmState::Busy { remaining } => {
-                ctx.metric_add("apb.master.busy_cycles", 1);
+                self.m_busy.add(ctx, 1);
                 if remaining <= 1 {
                     self.next_op(cycle);
                 } else {
@@ -301,6 +315,18 @@ impl Component for ApbMaster {
                 self.idle(ctx);
             }
         }
+        // Self-clocked: the fixed-schedule APB machine re-arms a one-cycle
+        // wake in every active state (ticking every cycle exactly as the
+        // eager scheduler would, so its per-cycle wait/busy counters stay
+        // exact) and sleeps once the op list is done. The early return on
+        // op-list exhaustion above deliberately skips this.
+        if !matches!(self.state, AmState::Done) {
+            ctx.wake_after(1);
+        }
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        Sensitivity::Signals(Vec::new())
     }
 
     fn name(&self) -> &str {
@@ -390,6 +416,7 @@ pub struct ApbAdapter {
     prev_req: bool,
     /// SIS beats moved (diagnostics).
     pub sis_beats: u64,
+    a_sis_beats: LazyCounter,
 }
 
 impl ApbAdapter {
@@ -403,6 +430,7 @@ impl ApbAdapter {
             lower_enable: false,
             prev_req: false,
             sis_beats: 0,
+            a_sis_beats: LazyCounter::new("apb.adapter.sis_beats"),
         }
     }
 
@@ -437,16 +465,30 @@ impl Component for ApbAdapter {
                 ctx.set_bool(self.sis.io_enable, true);
                 self.lower_enable = true;
                 self.sis_beats += 1;
-                ctx.metric_add("apb.adapter.sis_beats", 1);
+                self.a_sis_beats.add(ctx, 1);
             } else {
                 ctx.set_bool(self.sis.data_in_valid, false);
                 ctx.set(self.sis.func_id, func_id);
                 ctx.set_bool(self.sis.io_enable, true);
                 self.lower_enable = true;
                 self.sis_beats += 1;
-                ctx.metric_add("apb.adapter.sis_beats", 1);
+                self.a_sis_beats.add(ctx, 1);
             }
         }
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // PSEL/PENABLE edges are exactly the points where the request edge
+        // detector can change; the SIS response lines route onto PRDATA,
+        // and the adapter's own IO_ENABLE strobe wakes it for the tick that
+        // lowers it again.
+        Sensitivity::Signals(vec![
+            self.sig.psel,
+            self.sig.penable,
+            self.sis.data_out_valid,
+            self.sis.data_out,
+            self.sis.io_enable,
+        ])
     }
 
     fn name(&self) -> &str {

@@ -23,7 +23,10 @@
 
 use crate::timing::BusTiming;
 use splice_driver::program::BusOp;
-use splice_sim::{Component, SignalDecl, SignalId, SimulatorBuilder, TickCtx, Word};
+use splice_sim::{
+    Component, LazyCounter, LazyHistogram, Sensitivity, SignalDecl, SignalId, SimulatorBuilder,
+    TickCtx, Word,
+};
 use splice_sis::SisBus;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -110,9 +113,11 @@ pub const DMA_CTRL_ACK_DELAY: u32 = 5;
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum MState {
     Fetch,
-    /// Pay issue cycles before driving the request.
+    /// Pay issue cycles before driving the request; `until` is the absolute
+    /// cycle the request goes out (so a sleeping master can jump straight
+    /// to it).
     Issue {
-        remaining: u32,
+        until: u64,
         op: Box<BusOp>,
     },
     /// Write request asserted, waiting for WR_ACK.
@@ -137,9 +142,9 @@ enum MState {
         bit: u32,
         ack_pending: bool,
     },
-    /// CPU-side compute (already converted to bus cycles).
+    /// CPU-side compute; busy until the given absolute bus cycle.
     Busy {
-        remaining: u32,
+        until: u64,
     },
     Done,
 }
@@ -166,6 +171,13 @@ pub struct PlbCpuMaster {
     pub bus_txns: u64,
     /// Cycle the outstanding request was asserted (for latency histograms).
     req_start: Option<u64>,
+    m_txns: LazyCounter,
+    m_wait: LazyCounter,
+    m_busy: LazyCounter,
+    m_dma_wait: LazyCounter,
+    m_polls: LazyCounter,
+    h_ack_latency: LazyHistogram,
+    h_burst_beats: LazyHistogram,
 }
 
 impl PlbCpuMaster {
@@ -185,6 +197,13 @@ impl PlbCpuMaster {
             finished_cycle: None,
             bus_txns: 0,
             req_start: None,
+            m_txns: LazyCounter::new("plb.master.txns"),
+            m_wait: LazyCounter::new("plb.master.wait_cycles"),
+            m_busy: LazyCounter::new("plb.master.busy_cycles"),
+            m_dma_wait: LazyCounter::new("plb.master.dma_wait_cycles"),
+            m_polls: LazyCounter::new("plb.master.poll_reads"),
+            h_ack_latency: LazyHistogram::new("plb.master.req_ack_latency"),
+            h_burst_beats: LazyHistogram::new("plb.master.burst_beats"),
         }
     }
 
@@ -216,7 +235,8 @@ impl PlbCpuMaster {
     /// A native request just completed: record its request→ack latency.
     fn observe_ack(&mut self, ctx: &mut TickCtx<'_>, which: &str) {
         if let Some(start) = self.req_start.take() {
-            ctx.metric_observe("plb.master.req_ack_latency", ctx.cycle() - start);
+            let latency = ctx.cycle() - start;
+            self.h_ack_latency.observe(ctx, latency);
         }
         if ctx.metrics_enabled() {
             ctx.protocol_event("plb-cpu-master", which, "");
@@ -253,9 +273,9 @@ impl PlbCpuMaster {
         ctx.set(self.sig.burst_len, beats as Word);
         self.bus_txns += 1;
         self.req_start = Some(ctx.cycle());
-        ctx.metric_add("plb.master.txns", 1);
+        self.m_txns.add(ctx, 1);
         if ctx.metrics_enabled() {
-            ctx.metric_observe("plb.master.burst_beats", beats as u64);
+            self.h_burst_beats.observe(ctx, beats as u64);
             ctx.protocol_event(
                 "plb-cpu-master",
                 "wr_req",
@@ -274,9 +294,9 @@ impl PlbCpuMaster {
         ctx.set(self.sig.burst_len, beats as Word);
         self.bus_txns += 1;
         self.req_start = Some(ctx.cycle());
-        ctx.metric_add("plb.master.txns", 1);
+        self.m_txns.add(ctx, 1);
         if ctx.metrics_enabled() {
-            ctx.metric_observe("plb.master.burst_beats", beats as u64);
+            self.h_burst_beats.observe(ctx, beats as u64);
             ctx.protocol_event(
                 "plb-cpu-master",
                 "rd_req",
@@ -327,7 +347,7 @@ impl PlbCpuMaster {
                 if bus == 0 {
                     self.next_op(ctx.cycle());
                 } else {
-                    self.state = MState::Busy { remaining: bus };
+                    self.state = MState::Busy { until: ctx.cycle() + bus as u64 };
                 }
             }
             BusOp::WaitIrq { bit } => {
@@ -366,14 +386,14 @@ impl Component for PlbCpuMaster {
                     self.begin_op(ctx, op);
                 } else {
                     self.idle_lines(ctx);
-                    self.state = MState::Issue { remaining: issue, op: Box::new(op) };
+                    self.state = MState::Issue { until: cycle + issue as u64, op: Box::new(op) };
                 }
             }
-            MState::Issue { remaining, op } => {
-                if remaining <= 1 {
+            MState::Issue { until, op } => {
+                if cycle >= until {
                     self.begin_op(ctx, *op);
                 } else {
-                    self.state = MState::Issue { remaining: remaining - 1, op };
+                    self.state = MState::Issue { until, op };
                 }
             }
             MState::WaitWrAck => {
@@ -397,7 +417,7 @@ impl Component for PlbCpuMaster {
                         self.next_op(cycle);
                     }
                 } else {
-                    ctx.metric_add("plb.master.wait_cycles", 1);
+                    self.m_wait.add(ctx, 1);
                     self.state = MState::WaitWrAck;
                 }
             }
@@ -420,7 +440,7 @@ impl Component for PlbCpuMaster {
                     }
                     self.next_op(cycle);
                 } else {
-                    ctx.metric_add("plb.master.wait_cycles", 1);
+                    self.m_wait.add(ctx, 1);
                     self.state = MState::WaitRdAck { beats };
                 }
             }
@@ -434,18 +454,18 @@ impl Component for PlbCpuMaster {
                         self.next_op(cycle);
                     } else {
                         // Poll again: a fresh read transaction.
-                        ctx.metric_add("plb.master.poll_reads", 1);
+                        self.m_polls.add(ctx, 1);
                         self.assert_read(ctx, addr, 1);
                         self.state = MState::PollWait { addr, bit };
                     }
                 } else {
-                    ctx.metric_add("plb.master.wait_cycles", 1);
+                    self.m_wait.add(ctx, 1);
                     self.state = MState::PollWait { addr, bit };
                 }
             }
             MState::WaitDma { is_read } => {
                 self.idle_lines(ctx);
-                ctx.metric_add("plb.master.dma_wait_cycles", 1);
+                self.m_dma_wait.add(ctx, 1);
                 if ctx.get_bool(self.sig.dma_done) {
                     if is_read {
                         let mut ch = self.chan.borrow_mut();
@@ -458,12 +478,12 @@ impl Component for PlbCpuMaster {
                     self.state = MState::WaitDma { is_read };
                 }
             }
-            MState::Busy { remaining } => {
-                ctx.metric_add("plb.master.busy_cycles", 1);
-                if remaining <= 1 {
+            MState::Busy { until } => {
+                self.m_busy.add(ctx, 1);
+                if cycle >= until {
                     self.next_op(cycle);
                 } else {
-                    self.state = MState::Busy { remaining: remaining - 1 };
+                    self.state = MState::Busy { until };
                 }
             }
             MState::WaitIrq { bit, ack_pending } => {
@@ -485,6 +505,42 @@ impl Component for PlbCpuMaster {
                 self.state = MState::Done;
             }
         }
+        // Timed wakes for the states that advance without any watched-signal
+        // edge (no-op under eager scheduling).
+        match &self.state {
+            MState::Fetch => ctx.wake_after(1),
+            MState::Issue { until, .. } | MState::Busy { until } => {
+                ctx.wake_after(until.saturating_sub(cycle).max(1));
+            }
+            MState::WaitIrq { ack_pending: true, .. } => ctx.wake_after(1),
+            MState::WaitIrq { bit, ack_pending: false } => {
+                // Edges on the vector only arrive for *future* completions;
+                // an already-latched bit must be consumed by ticking again.
+                if let Some((vector, _)) = self.irq {
+                    if (ctx.get(vector) >> bit) & 1 == 1 {
+                        ctx.wake_after(1);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // Own request strobes are watched so the raise-edge wakes the
+        // master for the cycle that lowers them; timed states (Fetch /
+        // Issue / Busy) re-arm via `wake_after` at the end of every tick.
+        let mut sigs = vec![
+            self.sig.wr_ack,
+            self.sig.rd_ack,
+            self.sig.dma_done,
+            self.sig.wr_req,
+            self.sig.rd_req,
+        ];
+        if let Some((vector, _)) = self.irq {
+            sigs.push(vector);
+        }
+        Sensitivity::Signals(sigs)
     }
 
     fn name(&self) -> &str {
@@ -506,9 +562,10 @@ impl Component for PlbCpuMaster {
 enum AState {
     Idle,
     /// Extra response latency (0 for generated adapters; >0 models less
-    /// optimised hand implementations).
+    /// optimised hand implementations). Stalled until the given absolute
+    /// cycle.
     Stall {
-        remaining: u32,
+        until: u64,
         then_write: bool,
         beats: u32,
     },
@@ -533,9 +590,9 @@ enum AState {
         func_addr: u64,
         asserted: bool,
     },
-    /// Inter-beat pacing gap of the DMA engine.
+    /// Inter-beat pacing gap of the DMA engine, until an absolute cycle.
     DmaGap {
-        remaining: u32,
+        until: u64,
         is_write: bool,
         beats_left: u32,
         func_addr: u64,
@@ -567,6 +624,10 @@ pub struct PlbSisAdapter {
     lower: LowerFlags,
     /// Completed SIS beats (diagnostics).
     pub sis_beats: u64,
+    a_wait_states: LazyCounter,
+    a_sis_beats: LazyCounter,
+    a_dma_beats: LazyCounter,
+    a_dma_gap: LazyCounter,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -599,6 +660,10 @@ impl PlbSisAdapter {
             state: AState::Idle,
             lower: LowerFlags::default(),
             sis_beats: 0,
+            a_wait_states: LazyCounter::new("plb.adapter.wait_state_cycles"),
+            a_sis_beats: LazyCounter::new("plb.adapter.sis_beats"),
+            a_dma_beats: LazyCounter::new("plb.adapter.dma_beats"),
+            a_dma_gap: LazyCounter::new("plb.adapter.dma_gap_cycles"),
         }
     }
 
@@ -684,214 +749,242 @@ impl Component for PlbSisAdapter {
             self.lower.io_enable = false;
         }
 
-        match self.state {
-            AState::Idle => {
-                let addr = ctx.get(self.sig.addr);
-                if (ctx.get_bool(self.sig.wr_req) || ctx.get_bool(self.sig.rd_req))
-                    && !self.selected(addr)
-                {
-                    return; // another peripheral's transaction
-                }
-                // A fully-programmed DMA request takes priority.
-                let armed = self.chan.borrow_mut().dma_pending.take();
-                if let Some((is_write, beats, faddr)) = armed {
-                    let func_addr = self.func_id_of(faddr);
-                    if ctx.metrics_enabled() {
-                        ctx.protocol_event(
-                            "plb-sis-adapter",
-                            "dma_start",
-                            format!("{} beats={beats}", if is_write { "write" } else { "read" }),
-                        );
+        'arms: {
+            match self.state {
+                AState::Idle => {
+                    let addr = ctx.get(self.sig.addr);
+                    if (ctx.get_bool(self.sig.wr_req) || ctx.get_bool(self.sig.rd_req))
+                        && !self.selected(addr)
+                    {
+                        break 'arms; // another peripheral's transaction
                     }
-                    self.state = if is_write {
-                        AState::DmaWritePump { beats_left: beats, func_addr, asserted: false }
-                    } else {
-                        AState::DmaReadPump { beats_left: beats, func_addr, asserted: false }
-                    };
-                    return;
-                }
-                if ctx.get_bool(self.sig.wr_req) && ctx.get_bool(self.sig.wr_ce) {
-                    if addr == DMA_CTRL_ADDR {
-                        // Controller register write: a real bus transaction
-                        // to the DMA controller's slave port — it pays the
-                        // same request/acknowledge round trip as any other
-                        // peripheral register (this is why DMA "does not
-                        // benefit transactions of four or fewer data
-                        // values", §9.2.1).
-                        self.state = AState::Stall {
-                            remaining: DMA_CTRL_ACK_DELAY,
-                            then_write: true,
-                            beats: 0, // sentinel: ctrl ack, no SIS traffic
-                        };
-                        return;
-                    }
-                    let beats = ctx.get(self.sig.burst_len).max(1) as u32;
-                    if self.stall_cycles > 0 {
-                        self.state =
-                            AState::Stall { remaining: self.stall_cycles, then_write: true, beats };
-                    } else {
-                        self.begin_write(ctx, beats);
-                    }
-                } else if ctx.get_bool(self.sig.rd_req) && ctx.get_bool(self.sig.rd_ce) {
-                    let beats = ctx.get(self.sig.burst_len).max(1) as u32;
-                    if self.stall_cycles > 0 {
-                        self.state = AState::Stall {
-                            remaining: self.stall_cycles,
-                            then_write: false,
-                            beats,
-                        };
-                    } else {
-                        self.begin_read(ctx, beats);
-                    }
-                }
-            }
-            AState::Stall { remaining, then_write, beats } => {
-                ctx.metric_add("plb.adapter.wait_state_cycles", 1);
-                if remaining <= 1 {
-                    if beats == 0 {
-                        // DMA-controller register ack (no SIS traffic).
-                        ctx.set_bool(self.sig.wr_ack, true);
-                        self.lower.wr_ack = true;
-                        self.state = AState::Idle;
-                    } else if then_write {
-                        self.begin_write(ctx, beats);
-                    } else {
-                        self.begin_read(ctx, beats);
-                    }
-                } else {
-                    self.state = AState::Stall { remaining: remaining - 1, then_write, beats };
-                }
-            }
-            AState::SisWriteWait { beats_left } => {
-                if ctx.get_bool(self.sis.io_done) {
-                    self.sis_beats += 1;
-                    ctx.metric_add("plb.adapter.sis_beats", 1);
-                    if beats_left <= 1 {
-                        ctx.set_bool(self.sis.data_in_valid, false);
-                        ctx.set_bool(self.sig.wr_ack, true);
-                        self.lower.wr_ack = true;
-                        self.state = AState::Idle;
-                    } else {
-                        // Burst pump: next beat straight from the channel.
-                        let next = self.chan.borrow_mut().to_slave.pop_front().unwrap_or(0);
-                        let func_id = ctx.get(self.sis.func_id);
-                        self.sis_write_beat(ctx, func_id, next);
-                        self.state = AState::SisWriteWait { beats_left: beats_left - 1 };
-                    }
-                }
-            }
-            AState::SisReadWait { beats_left, ack_deferred } => {
-                if ctx.get_bool(self.sis.data_out_valid) && ctx.get_bool(self.sis.io_done) {
-                    self.sis_beats += 1;
-                    ctx.metric_add("plb.adapter.sis_beats", 1);
-                    let data = ctx.get(self.sis.data_out);
-                    if beats_left <= 1 {
-                        ctx.set(self.sig.s_data, data);
-                        if ack_deferred {
-                            // Burst read: earlier beats went to the channel.
-                            self.chan.borrow_mut().from_slave.push_back(data);
-                        }
-                        ctx.set_bool(self.sig.rd_ack, true);
-                        self.lower.rd_ack = true;
-                        ctx.set(self.sis.func_id, 0);
-                        self.state = AState::Idle;
-                    } else {
-                        self.chan.borrow_mut().from_slave.push_back(data);
-                        let func_id = ctx.get(self.sis.func_id);
-                        self.sis_read_req(ctx, func_id);
-                        self.state =
-                            AState::SisReadWait { beats_left: beats_left - 1, ack_deferred: true };
-                    }
-                }
-            }
-            AState::DmaWritePump { beats_left, func_addr, asserted } => {
-                if !asserted {
-                    let beat = self.chan.borrow_mut().to_slave.pop_front().unwrap_or(0);
-                    self.sis_write_beat(ctx, func_addr, beat);
-                    self.state = AState::DmaWritePump { beats_left, func_addr, asserted: true };
-                } else if ctx.get_bool(self.sis.io_done) {
-                    self.sis_beats += 1;
-                    ctx.metric_add("plb.adapter.sis_beats", 1);
-                    ctx.metric_add("plb.adapter.dma_beats", 1);
-                    if beats_left <= 1 {
-                        ctx.set_bool(self.sis.data_in_valid, false);
-                        ctx.set_bool(self.sig.dma_done, true);
-                        self.lower.dma_done = true;
+                    // A fully-programmed DMA request takes priority.
+                    let armed = self.chan.borrow_mut().dma_pending.take();
+                    if let Some((is_write, beats, faddr)) = armed {
+                        let func_addr = self.func_id_of(faddr);
                         if ctx.metrics_enabled() {
-                            ctx.protocol_event("plb-sis-adapter", "dma_done", "write stream");
+                            ctx.protocol_event(
+                                "plb-sis-adapter",
+                                "dma_start",
+                                format!(
+                                    "{} beats={beats}",
+                                    if is_write { "write" } else { "read" }
+                                ),
+                            );
                         }
-                        self.state = AState::Idle;
-                    } else if self.dma_beat_gap > 0 {
-                        ctx.set_bool(self.sis.data_in_valid, false);
-                        self.state = AState::DmaGap {
-                            remaining: self.dma_beat_gap,
-                            is_write: true,
-                            beats_left: beats_left - 1,
-                            func_addr,
+                        self.state = if is_write {
+                            AState::DmaWritePump { beats_left: beats, func_addr, asserted: false }
+                        } else {
+                            AState::DmaReadPump { beats_left: beats, func_addr, asserted: false }
                         };
-                    } else {
+                        break 'arms;
+                    }
+                    if ctx.get_bool(self.sig.wr_req) && ctx.get_bool(self.sig.wr_ce) {
+                        if addr == DMA_CTRL_ADDR {
+                            // Controller register write: a real bus transaction
+                            // to the DMA controller's slave port — it pays the
+                            // same request/acknowledge round trip as any other
+                            // peripheral register (this is why DMA "does not
+                            // benefit transactions of four or fewer data
+                            // values", §9.2.1).
+                            self.state = AState::Stall {
+                                until: ctx.cycle() + DMA_CTRL_ACK_DELAY as u64,
+                                then_write: true,
+                                beats: 0, // sentinel: ctrl ack, no SIS traffic
+                            };
+                            break 'arms;
+                        }
+                        let beats = ctx.get(self.sig.burst_len).max(1) as u32;
+                        if self.stall_cycles > 0 {
+                            self.state = AState::Stall {
+                                until: ctx.cycle() + self.stall_cycles as u64,
+                                then_write: true,
+                                beats,
+                            };
+                        } else {
+                            self.begin_write(ctx, beats);
+                        }
+                    } else if ctx.get_bool(self.sig.rd_req) && ctx.get_bool(self.sig.rd_ce) {
+                        let beats = ctx.get(self.sig.burst_len).max(1) as u32;
+                        if self.stall_cycles > 0 {
+                            self.state = AState::Stall {
+                                until: ctx.cycle() + self.stall_cycles as u64,
+                                then_write: false,
+                                beats,
+                            };
+                        } else {
+                            self.begin_read(ctx, beats);
+                        }
+                    }
+                }
+                AState::Stall { until, then_write, beats } => {
+                    self.a_wait_states.add(ctx, 1);
+                    if ctx.cycle() >= until {
+                        if beats == 0 {
+                            // DMA-controller register ack (no SIS traffic).
+                            ctx.set_bool(self.sig.wr_ack, true);
+                            self.lower.wr_ack = true;
+                            self.state = AState::Idle;
+                        } else if then_write {
+                            self.begin_write(ctx, beats);
+                        } else {
+                            self.begin_read(ctx, beats);
+                        }
+                    }
+                }
+                AState::SisWriteWait { beats_left } => {
+                    if ctx.get_bool(self.sis.io_done) {
+                        self.sis_beats += 1;
+                        self.a_sis_beats.add(ctx, 1);
+                        if beats_left <= 1 {
+                            ctx.set_bool(self.sis.data_in_valid, false);
+                            ctx.set_bool(self.sig.wr_ack, true);
+                            self.lower.wr_ack = true;
+                            self.state = AState::Idle;
+                        } else {
+                            // Burst pump: next beat straight from the channel.
+                            let next = self.chan.borrow_mut().to_slave.pop_front().unwrap_or(0);
+                            let func_id = ctx.get(self.sis.func_id);
+                            self.sis_write_beat(ctx, func_id, next);
+                            self.state = AState::SisWriteWait { beats_left: beats_left - 1 };
+                        }
+                    }
+                }
+                AState::SisReadWait { beats_left, ack_deferred } => {
+                    if ctx.get_bool(self.sis.data_out_valid) && ctx.get_bool(self.sis.io_done) {
+                        self.sis_beats += 1;
+                        self.a_sis_beats.add(ctx, 1);
+                        let data = ctx.get(self.sis.data_out);
+                        if beats_left <= 1 {
+                            ctx.set(self.sig.s_data, data);
+                            if ack_deferred {
+                                // Burst read: earlier beats went to the channel.
+                                self.chan.borrow_mut().from_slave.push_back(data);
+                            }
+                            ctx.set_bool(self.sig.rd_ack, true);
+                            self.lower.rd_ack = true;
+                            ctx.set(self.sis.func_id, 0);
+                            self.state = AState::Idle;
+                        } else {
+                            self.chan.borrow_mut().from_slave.push_back(data);
+                            let func_id = ctx.get(self.sis.func_id);
+                            self.sis_read_req(ctx, func_id);
+                            self.state = AState::SisReadWait {
+                                beats_left: beats_left - 1,
+                                ack_deferred: true,
+                            };
+                        }
+                    }
+                }
+                AState::DmaWritePump { beats_left, func_addr, asserted } => {
+                    if !asserted {
                         let beat = self.chan.borrow_mut().to_slave.pop_front().unwrap_or(0);
                         self.sis_write_beat(ctx, func_addr, beat);
-                        self.state = AState::DmaWritePump {
-                            beats_left: beats_left - 1,
-                            func_addr,
-                            asserted: true,
-                        };
-                    }
-                }
-            }
-            AState::DmaReadPump { beats_left, func_addr, asserted } => {
-                if !asserted {
-                    self.sis_read_req(ctx, func_addr);
-                    self.state = AState::DmaReadPump { beats_left, func_addr, asserted: true };
-                } else if ctx.get_bool(self.sis.data_out_valid) && ctx.get_bool(self.sis.io_done) {
-                    self.sis_beats += 1;
-                    ctx.metric_add("plb.adapter.sis_beats", 1);
-                    ctx.metric_add("plb.adapter.dma_beats", 1);
-                    self.chan.borrow_mut().from_slave.push_back(ctx.get(self.sis.data_out));
-                    if beats_left <= 1 {
-                        ctx.set_bool(self.sig.dma_done, true);
-                        self.lower.dma_done = true;
-                        ctx.set(self.sis.func_id, 0);
-                        if ctx.metrics_enabled() {
-                            ctx.protocol_event("plb-sis-adapter", "dma_done", "read stream");
+                        self.state = AState::DmaWritePump { beats_left, func_addr, asserted: true };
+                    } else if ctx.get_bool(self.sis.io_done) {
+                        self.sis_beats += 1;
+                        self.a_sis_beats.add(ctx, 1);
+                        self.a_dma_beats.add(ctx, 1);
+                        if beats_left <= 1 {
+                            ctx.set_bool(self.sis.data_in_valid, false);
+                            ctx.set_bool(self.sig.dma_done, true);
+                            self.lower.dma_done = true;
+                            if ctx.metrics_enabled() {
+                                ctx.protocol_event("plb-sis-adapter", "dma_done", "write stream");
+                            }
+                            self.state = AState::Idle;
+                        } else if self.dma_beat_gap > 0 {
+                            ctx.set_bool(self.sis.data_in_valid, false);
+                            self.state = AState::DmaGap {
+                                until: ctx.cycle() + self.dma_beat_gap as u64,
+                                is_write: true,
+                                beats_left: beats_left - 1,
+                                func_addr,
+                            };
+                        } else {
+                            let beat = self.chan.borrow_mut().to_slave.pop_front().unwrap_or(0);
+                            self.sis_write_beat(ctx, func_addr, beat);
+                            self.state = AState::DmaWritePump {
+                                beats_left: beats_left - 1,
+                                func_addr,
+                                asserted: true,
+                            };
                         }
-                        self.state = AState::Idle;
-                    } else if self.dma_beat_gap > 0 {
-                        self.state = AState::DmaGap {
-                            remaining: self.dma_beat_gap,
-                            is_write: false,
-                            beats_left: beats_left - 1,
-                            func_addr,
-                        };
-                    } else {
-                        self.sis_read_req(ctx, func_addr);
-                        self.state = AState::DmaReadPump {
-                            beats_left: beats_left - 1,
-                            func_addr,
-                            asserted: true,
-                        };
                     }
                 }
-            }
-            AState::DmaGap { remaining, is_write, beats_left, func_addr } => {
-                ctx.metric_add("plb.adapter.dma_gap_cycles", 1);
-                if remaining <= 1 {
-                    self.state = if is_write {
-                        AState::DmaWritePump { beats_left, func_addr, asserted: false }
-                    } else {
-                        AState::DmaReadPump { beats_left, func_addr, asserted: false }
-                    };
-                } else {
-                    self.state = AState::DmaGap {
-                        remaining: remaining - 1,
-                        is_write,
-                        beats_left,
-                        func_addr,
-                    };
+                AState::DmaReadPump { beats_left, func_addr, asserted } => {
+                    if !asserted {
+                        self.sis_read_req(ctx, func_addr);
+                        self.state = AState::DmaReadPump { beats_left, func_addr, asserted: true };
+                    } else if ctx.get_bool(self.sis.data_out_valid)
+                        && ctx.get_bool(self.sis.io_done)
+                    {
+                        self.sis_beats += 1;
+                        self.a_sis_beats.add(ctx, 1);
+                        self.a_dma_beats.add(ctx, 1);
+                        self.chan.borrow_mut().from_slave.push_back(ctx.get(self.sis.data_out));
+                        if beats_left <= 1 {
+                            ctx.set_bool(self.sig.dma_done, true);
+                            self.lower.dma_done = true;
+                            ctx.set(self.sis.func_id, 0);
+                            if ctx.metrics_enabled() {
+                                ctx.protocol_event("plb-sis-adapter", "dma_done", "read stream");
+                            }
+                            self.state = AState::Idle;
+                        } else if self.dma_beat_gap > 0 {
+                            self.state = AState::DmaGap {
+                                until: ctx.cycle() + self.dma_beat_gap as u64,
+                                is_write: false,
+                                beats_left: beats_left - 1,
+                                func_addr,
+                            };
+                        } else {
+                            self.sis_read_req(ctx, func_addr);
+                            self.state = AState::DmaReadPump {
+                                beats_left: beats_left - 1,
+                                func_addr,
+                                asserted: true,
+                            };
+                        }
+                    }
+                }
+                AState::DmaGap { until, is_write, beats_left, func_addr } => {
+                    self.a_dma_gap.add(ctx, 1);
+                    if ctx.cycle() >= until {
+                        self.state = if is_write {
+                            AState::DmaWritePump { beats_left, func_addr, asserted: false }
+                        } else {
+                            AState::DmaReadPump { beats_left, func_addr, asserted: false }
+                        };
+                    }
                 }
             }
         }
+        // Timed wakes for states that advance without a watched-signal edge.
+        match self.state {
+            AState::Stall { until, .. } | AState::DmaGap { until, .. } => {
+                ctx.wake_after(until.saturating_sub(ctx.cycle()).max(1));
+            }
+            AState::DmaWritePump { asserted: false, .. }
+            | AState::DmaReadPump { asserted: false, .. } => ctx.wake_after(1),
+            _ => {}
+        }
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // Watches both sides of the bridge (PLB requests, SIS handshakes)
+        // plus its own strobes, whose raise-edge triggers the tick that
+        // lowers them again; Stall/DmaGap re-arm timed wakes per tick.
+        Sensitivity::Signals(vec![
+            self.sig.wr_req,
+            self.sig.rd_req,
+            self.sig.wr_ack,
+            self.sig.rd_ack,
+            self.sig.dma_done,
+            self.sis.io_done,
+            self.sis.data_out_valid,
+            self.sis.io_enable,
+        ])
     }
 
     fn name(&self) -> &str {

@@ -15,7 +15,9 @@
 use crate::ir::{BeatCount, DesignIr, FunctionStub, StubState};
 use splice_driver::lower::TransferShape;
 use splice_driver::program::{decode_with, ResultLayout};
-use splice_sim::{Component, SignalDecl, SignalId, SimulatorBuilder, TickCtx, Word};
+use splice_sim::{
+    Component, LazyCounter, Sensitivity, SignalDecl, SignalId, SimulatorBuilder, TickCtx, Word,
+};
 use splice_sis::{SisBus, STATUS_FUNC_ID};
 use splice_spec::validate::{IoBound, ValidatedFunction, ValidatedIo};
 
@@ -115,6 +117,9 @@ pub struct GeneratedStub {
     inputs: FuncInputs,
     expected_beats: u64,
     calc_remaining: u32,
+    /// Absolute cycle the calculation state completes, fixed on the first
+    /// calc tick so a sleeping stub can jump straight to it.
+    calc_until: Option<u64>,
     out_beats: Vec<Word>,
     out_pos: usize,
     lower_io_done: bool,
@@ -126,6 +131,7 @@ pub struct GeneratedStub {
     pending_read: bool,
     /// Completed input→output rounds.
     pub rounds: u64,
+    c_calc_cycles: LazyCounter,
 }
 
 impl GeneratedStub {
@@ -155,12 +161,14 @@ impl GeneratedStub {
             inputs: FuncInputs::default(),
             expected_beats: 0,
             calc_remaining: 0,
+            calc_until: None,
             out_beats: Vec::new(),
             out_pos: 0,
             lower_io_done: false,
             lower_dov: false,
             pending_read: false,
             rounds: 0,
+            c_calc_cycles: LazyCounter::new("stub.calc_cycles"),
         };
         s.enter_state(0);
         s
@@ -255,6 +263,7 @@ impl GeneratedStub {
         self.phase = Phase::Calc;
         let result = self.calc.run(&self.inputs);
         self.calc_remaining = result.cycles.max(1);
+        self.calc_until = None;
         // Pre-encode the output beats.
         self.out_beats = match &self.func.output {
             Some(out) => {
@@ -383,8 +392,15 @@ impl Component for GeneratedStub {
                 }
             }
             Phase::Calc => {
-                ctx.metric_add("stub.calc_cycles", 1);
-                if self.calc_remaining <= 1 {
+                self.c_calc_cycles.add(ctx, 1);
+                // First calc tick fixes the completion cycle; a sleeping
+                // stub wakes straight at it (per-cycle metric counts stay
+                // exact because enabled metrics force eager scheduling).
+                let until = *self
+                    .calc_until
+                    .get_or_insert(ctx.cycle() + (self.calc_remaining.max(1) - 1) as u64);
+                if ctx.cycle() >= until {
+                    self.calc_until = None;
                     if self.stub.nowait {
                         // nowait: pulse CALC_DONE and return to inputs.
                         ctx.set(self.calc_done_line, 1);
@@ -394,8 +410,6 @@ impl Component for GeneratedStub {
                         // enter_state bookkeeping: output state follows calc.
                         self.state_idx += 1;
                     }
-                } else {
-                    self.calc_remaining -= 1;
                 }
             }
             Phase::Output => {
@@ -418,6 +432,36 @@ impl Component for GeneratedStub {
                 }
             }
         }
+
+        // Timed / level wakes (no-ops under eager scheduling): calc spins
+        // without signal edges, and a fresh output state must run once to
+        // raise CALC_DONE (or serve a latched read) before sleeping.
+        match self.phase {
+            Phase::Calc => match self.calc_until {
+                Some(until) => ctx.wake_after(until.saturating_sub(ctx.cycle()).max(1)),
+                None => ctx.wake_after(1),
+            },
+            Phase::Output if self.pending_read || ctx.get(self.calc_done_line) == 0 => {
+                ctx.wake_after(1);
+            }
+            _ => {}
+        }
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // The SIS request side plus the stub's own driven strobes: a raised
+        // strobe's edge wakes the stub for the tick that lowers it again.
+        let mut sigs = vec![
+            self.bus.rst,
+            self.bus.io_enable,
+            self.bus.io_done,
+            self.bus.data_out_valid,
+            self.calc_done_line,
+        ];
+        if let Some(line) = self.irq_line {
+            sigs.push(line);
+        }
+        Sensitivity::Signals(sigs)
     }
 
     fn name(&self) -> &str {
@@ -449,6 +493,8 @@ pub struct GeneratedArbiter {
     irq_ack_sig: Option<SignalId>,
     irq_latch: Word,
     lower_strobes: bool,
+    c_irq_latched: LazyCounter,
+    c_status_reads: LazyCounter,
 }
 
 impl Component for GeneratedArbiter {
@@ -471,7 +517,7 @@ impl Component for GeneratedArbiter {
             for &(id, line) in &self.irq_lines {
                 if ctx.get_bool(line) {
                     self.irq_latch |= 1 << id;
-                    ctx.metric_add("arbiter.irq_latched", 1);
+                    self.c_irq_latched.add(ctx, 1);
                 }
             }
             ctx.set(vsig, self.irq_latch);
@@ -487,12 +533,35 @@ impl Component for GeneratedArbiter {
             && !ctx.get_bool(self.bus.data_in_valid)
             && ctx.get(self.bus.func_id) == STATUS_FUNC_ID as Word;
         if read_req {
-            ctx.metric_add("arbiter.status_reads", 1);
+            self.c_status_reads.add(ctx, 1);
             ctx.set(self.bus.data_out, vec);
             ctx.set_bool(self.bus.data_out_valid, true);
             ctx.set_bool(self.bus.io_done, true);
             self.lower_strobes = true;
         }
+
+        // Status reads are level-triggered on IO_ENABLE, so keep ticking
+        // while it is held high (and for pending strobe cleanup) even if no
+        // watched signal produces an edge.
+        if ctx.get_bool(self.bus.io_enable) || self.lower_strobes {
+            ctx.wake_after(1);
+        }
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        let mut sigs = vec![
+            self.bus.io_enable,
+            self.bus.data_in_valid,
+            self.bus.func_id,
+            self.bus.io_done,
+            self.bus.data_out_valid,
+        ];
+        sigs.extend(self.calc_lines.iter().map(|&(_, line)| line));
+        sigs.extend(self.irq_lines.iter().map(|&(_, line)| line));
+        if let Some(ack) = self.irq_ack_sig {
+            sigs.push(ack);
+        }
+        Sensitivity::Signals(sigs)
     }
 
     fn name(&self) -> &str {
@@ -584,6 +653,8 @@ pub fn build_peripheral(
         irq_ack_sig: irq_ack,
         irq_latch: 0,
         lower_strobes: false,
+        c_irq_latched: LazyCounter::new("arbiter.irq_latched"),
+        c_status_reads: LazyCounter::new("arbiter.status_reads"),
     }));
     PeripheralHandles { bus, stub_components, arbiter_component, irq_vector, irq_ack }
 }

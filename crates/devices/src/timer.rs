@@ -202,6 +202,13 @@ impl Component for TimerTicker {
         self.core.borrow_mut().tick();
     }
 
+    fn sensitivity(&self) -> splice_sim::Sensitivity {
+        // A free-running counter genuinely does work every bus clock — it
+        // must never be gated, or wall-clock time would stop advancing for
+        // the device while the bus is idle.
+        splice_sim::Sensitivity::Always
+    }
+
     fn name(&self) -> &str {
         "timer-counter"
     }

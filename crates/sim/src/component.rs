@@ -1,7 +1,32 @@
 //! The component trait and per-tick context.
 
-use crate::metrics::{Event, MetricsRegistry};
+use crate::metrics::{CounterId, Event, HistogramId, MetricsRegistry};
 use crate::signal::{mask, SignalId, Word};
+
+/// When the scheduler re-evaluates a component.
+///
+/// Declared once, at [`crate::SimulatorBuilder::build`] time, via
+/// [`Component::sensitivity`]. A component with `Signals` sensitivity is
+/// ticked only on cycles where one of its watched signals changed on the
+/// previous clock edge, where it asked to be woken via
+/// [`TickCtx::wake_after`], or at cycle 0 (every component sees reset).
+///
+/// **Contract for `Signals` components:** the watch list must include every
+/// signal whose change can require action, *including signals the component
+/// itself drives* — a one-cycle strobe raised at cycle `c` must be lowered
+/// at `c + 1`, and it is the strobe's own edge that wakes the component for
+/// the cleanup tick. Components with purely time-based behaviour (countdown
+/// states) must call [`TickCtx::wake_after`] before going back to sleep.
+/// When unsure, `Always` is always correct (it is the default and exactly
+/// reproduces the eager kernel's behaviour for that component).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sensitivity {
+    /// Tick every cycle (the eager default; always correct).
+    Always,
+    /// Tick only when one of these signals changed on the previous edge
+    /// (or after an explicit [`TickCtx::wake_after`] request).
+    Signals(Vec<SignalId>),
+}
 
 /// Per-tick view of the signal store handed to each component.
 ///
@@ -14,10 +39,18 @@ pub struct TickCtx<'a> {
     pub(crate) next: &'a mut [Word],
     pub(crate) widths: &'a [u32],
     pub(crate) written_by: &'a mut [u32],
+    /// Epoch stamp per signal: `write_epoch[i] == epoch` means signal `i`
+    /// was already written this cycle (by `written_by[i]`).
+    pub(crate) write_epoch: &'a mut [u32],
+    pub(crate) epoch: u32,
+    /// Dense list of signals written this cycle (each index exactly once).
+    pub(crate) written: &'a mut Vec<u32>,
     pub(crate) component: u32,
     pub(crate) cycle: u64,
     pub(crate) conflict: &'a mut Option<(SignalId, u32, u32)>,
     pub(crate) metrics: &'a mut MetricsRegistry,
+    /// This component's earliest pending timed wake (absolute cycle).
+    pub(crate) wake: &'a mut u64,
 }
 
 impl<'a> TickCtx<'a> {
@@ -38,9 +71,16 @@ impl<'a> TickCtx<'a> {
     #[inline]
     pub fn set(&mut self, sig: SignalId, val: Word) {
         let i = sig.index();
-        let prev = self.written_by[i];
-        if prev != u32::MAX && prev != self.component && self.conflict.is_none() {
-            *self.conflict = Some((sig, prev, self.component));
+        if self.write_epoch[i] == self.epoch {
+            // Already written this cycle: same component may overwrite
+            // (last write wins); a different component is a conflict.
+            let prev = self.written_by[i];
+            if prev != self.component && self.conflict.is_none() {
+                *self.conflict = Some((sig, prev, self.component));
+            }
+        } else {
+            self.write_epoch[i] = self.epoch;
+            self.written.push(i as u32);
         }
         self.written_by[i] = self.component;
         self.next[i] = val & mask(self.widths[i]);
@@ -57,6 +97,19 @@ impl<'a> TickCtx<'a> {
     #[inline]
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Ask the scheduler to tick this component again in `n` cycles (`n` is
+    /// clamped to at least 1), even if none of its watched signals change in
+    /// between. Countdown states call this instead of relying on per-cycle
+    /// ticks; multiple calls keep the earliest requested cycle. No-op for
+    /// [`Sensitivity::Always`] components (they tick every cycle anyway).
+    #[inline]
+    pub fn wake_after(&mut self, n: u64) {
+        let target = self.cycle + n.max(1);
+        if target < *self.wake {
+            *self.wake = target;
+        }
     }
 
     // --- observability -------------------------------------------------
@@ -90,6 +143,32 @@ impl<'a> TickCtx<'a> {
         self.metrics.observe(name, value);
     }
 
+    /// Resolve a counter name to a stable interned handle (see
+    /// [`MetricsRegistry::counter_id`]). Hot per-tick sites resolve once and
+    /// then use [`metric_add_id`](Self::metric_add_id).
+    #[inline]
+    pub fn intern_counter(&mut self, name: &str) -> CounterId {
+        self.metrics.counter_id(name)
+    }
+
+    /// Resolve a histogram name to a stable interned handle.
+    #[inline]
+    pub fn intern_histogram(&mut self, name: &str) -> HistogramId {
+        self.metrics.histogram_id(name)
+    }
+
+    /// Add `delta` to an interned counter (no name lookup).
+    #[inline]
+    pub fn metric_add_id(&mut self, id: CounterId, delta: u64) {
+        self.metrics.counter_add_id(id, delta);
+    }
+
+    /// Record a sample into an interned histogram (no name lookup).
+    #[inline]
+    pub fn metric_observe_id(&mut self, id: HistogramId, value: u64) {
+        self.metrics.observe_id(id, value);
+    }
+
     /// Append a cycle-stamped protocol milestone to the event log.
     #[inline]
     pub fn protocol_event(&mut self, source: &str, kind: &str, detail: impl Into<String>) {
@@ -119,14 +198,73 @@ impl<'a> TickCtx<'a> {
     }
 }
 
+/// A counter handle resolved lazily on first use, then reused every tick.
+///
+/// Components hold one of these per hot counter so steady-state recording is
+/// a bounds-checked vector index instead of a `HashMap` string lookup.
+#[derive(Debug, Clone)]
+pub struct LazyCounter {
+    name: &'static str,
+    id: Option<CounterId>,
+}
+
+impl LazyCounter {
+    /// A handle for `name`, not yet resolved.
+    pub const fn new(name: &'static str) -> Self {
+        LazyCounter { name, id: None }
+    }
+
+    /// Add `delta`, resolving the handle on first call.
+    #[inline]
+    pub fn add(&mut self, ctx: &mut TickCtx<'_>, delta: u64) {
+        let id = match self.id {
+            Some(id) => id,
+            None => *self.id.insert(ctx.intern_counter(self.name)),
+        };
+        ctx.metric_add_id(id, delta);
+    }
+}
+
+/// A histogram handle resolved lazily on first use (see [`LazyCounter`]).
+#[derive(Debug, Clone)]
+pub struct LazyHistogram {
+    name: &'static str,
+    id: Option<HistogramId>,
+}
+
+impl LazyHistogram {
+    /// A handle for `name`, not yet resolved.
+    pub const fn new(name: &'static str) -> Self {
+        LazyHistogram { name, id: None }
+    }
+
+    /// Record `value`, resolving the handle on first call.
+    #[inline]
+    pub fn observe(&mut self, ctx: &mut TickCtx<'_>, value: u64) {
+        let id = match self.id {
+            Some(id) => id,
+            None => *self.id.insert(ctx.intern_histogram(self.name)),
+        };
+        ctx.metric_observe_id(id, value);
+    }
+}
+
 /// A clocked hardware component.
 ///
-/// `tick` is called exactly once per clock edge. Implementations must read
-/// inputs through [`TickCtx::get`] and drive outputs through
-/// [`TickCtx::set`]; internal state lives in `self`.
+/// `tick` is called once per clock edge on which the component is
+/// *runnable* (see [`Sensitivity`]); the default `Always` sensitivity makes
+/// that every edge. Implementations must read inputs through
+/// [`TickCtx::get`] and drive outputs through [`TickCtx::set`]; internal
+/// state lives in `self`.
 pub trait Component {
     /// Advance one clock edge.
     fn tick(&mut self, ctx: &mut TickCtx<'_>);
+
+    /// Which cycles this component must be evaluated on. Consulted once at
+    /// build time. Defaults to [`Sensitivity::Always`].
+    fn sensitivity(&self) -> Sensitivity {
+        Sensitivity::Always
+    }
 
     /// Human-readable instance name for diagnostics.
     fn name(&self) -> &str {

@@ -1,6 +1,16 @@
-//! The simulator: signal store, component scheduling, cycle stepping.
+//! The simulator: signal store, event-driven component scheduling, cycle
+//! stepping.
+//!
+//! The kernel is *event-driven but cycle-exact*: a component with a
+//! declared [`Sensitivity`] set sleeps through cycles on which none of its
+//! watched signals changed and no timed wake is due, and the whole `step`
+//! collapses to a cycle-counter increment when every component is asleep.
+//! Because reads always see pre-edge values, skipping a component whose
+//! inputs did not change (and which requested no wake) cannot alter any
+//! signal — results are identical to ticking everything every cycle, which
+//! the `--eager` fallback ([`Simulator::set_eager`]) still does.
 
-use crate::component::{Component, TickCtx};
+use crate::component::{Component, Sensitivity, TickCtx};
 use crate::metrics::{Event, MetricsRegistry};
 use crate::signal::{SignalDecl, SignalId, Word};
 use crate::trace::Trace;
@@ -76,10 +86,32 @@ impl SimulatorBuilder {
         self.components.len() - 1
     }
 
-    /// Finish building.
+    /// Finish building: resolve every component's [`Sensitivity`] into
+    /// per-signal watcher lists.
     pub fn build(self) -> Simulator {
         let n = self.decls.len();
+        let nc = self.components.len();
         let cur: Vec<Word> = self.decls.iter().map(|d| d.reset & d.mask()).collect();
+        let mut watchers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut sens_always = vec![false; nc];
+        let mut num_always = 0usize;
+        for (i, c) in self.components.iter().enumerate() {
+            match c.sensitivity() {
+                Sensitivity::Always => {
+                    sens_always[i] = true;
+                    num_always += 1;
+                }
+                Sensitivity::Signals(sigs) => {
+                    for s in sigs {
+                        watchers[s.index()].push(i as u32);
+                    }
+                }
+            }
+        }
+        for w in &mut watchers {
+            w.sort_unstable();
+            w.dedup();
+        }
         Simulator {
             next: cur.clone(),
             cur,
@@ -88,6 +120,16 @@ impl SimulatorBuilder {
             by_name: self.by_name,
             components: self.components,
             written_by: vec![u32::MAX; n],
+            write_epoch: vec![0; n],
+            epoch: 0,
+            written: Vec::with_capacity(n),
+            watchers,
+            sens_always,
+            num_always,
+            // Every component ticks at cycle 0 (it must observe reset).
+            wake_at: vec![0; nc],
+            min_wake: 0,
+            eager: false,
             cycle: 0,
             traces: Vec::new(),
             metrics: MetricsRegistry::from_env(),
@@ -104,6 +146,24 @@ pub struct Simulator {
     next: Vec<Word>,
     components: Vec<Box<dyn Component>>,
     written_by: Vec<u32>,
+    /// Per-signal epoch stamp: entries matching `epoch` were written this
+    /// cycle. Replaces refilling `written_by` with `u32::MAX` every cycle.
+    write_epoch: Vec<u32>,
+    epoch: u32,
+    /// Scratch: signals written during the current tick, each exactly once.
+    written: Vec<u32>,
+    /// Per-signal list of gated components to wake when it changes.
+    watchers: Vec<Vec<u32>>,
+    /// Per-component: declared `Sensitivity::Always`.
+    sens_always: Vec<bool>,
+    num_always: usize,
+    /// Per-component earliest cycle it must next tick (`u64::MAX` = asleep).
+    wake_at: Vec<u64>,
+    /// Minimum over `wake_at` — gate for the idle fast path.
+    min_wake: u64,
+    /// Force every component to tick every cycle (the pre-event-driven
+    /// behaviour, kept for comparison benchmarks).
+    eager: bool,
     cycle: u64,
     traces: Vec<Trace>,
     metrics: MetricsRegistry,
@@ -130,6 +190,38 @@ impl Simulator {
         self.cycle
     }
 
+    /// Disable (or re-enable) sensitivity-gated scheduling: when eager,
+    /// every component ticks every cycle exactly like the original kernel.
+    /// Results are identical either way; eager mode exists for performance
+    /// comparison (`splice-bench --bin perf -- --eager`).
+    ///
+    /// Note that enabling metrics also forces eager evaluation, because
+    /// instrumented components count per-cycle occupancy (wait states, busy
+    /// cycles) from inside their tick.
+    pub fn set_eager(&mut self, eager: bool) {
+        self.eager = eager;
+    }
+
+    /// Whether the scheduler is running eagerly (explicitly, or implicitly
+    /// because metrics collection is enabled).
+    pub fn is_eager(&self) -> bool {
+        self.eager || self.metrics.is_enabled()
+    }
+
+    /// Force a gated component to tick on the next step, as if one of its
+    /// watched signals had changed. Called automatically by
+    /// [`component_mut`](Self::component_mut), since any external mutation
+    /// (an op reload between driver calls, say) can change component state
+    /// without a signal edge.
+    pub fn wake_component(&mut self, idx: usize) {
+        if self.wake_at[idx] > self.cycle {
+            self.wake_at[idx] = self.cycle;
+        }
+        if self.min_wake > self.cycle {
+            self.min_wake = self.cycle;
+        }
+    }
+
     /// Attach a trace capturing the named signals each cycle.
     pub fn attach_trace(&mut self, signals: &[SignalId]) -> usize {
         let named: Vec<(String, u32, SignalId)> = signals
@@ -150,8 +242,10 @@ impl Simulator {
         self.components[idx].as_any().downcast_ref::<T>()
     }
 
-    /// Mutable downcast.
+    /// Mutable downcast. Also wakes the component (see
+    /// [`wake_component`](Self::wake_component)).
     pub fn component_mut<T: 'static>(&mut self, idx: usize) -> Option<&mut T> {
+        self.wake_component(idx);
         self.components[idx].as_any_mut().downcast_mut::<T>()
     }
 
@@ -173,36 +267,86 @@ impl Simulator {
             t.sample(self.cycle, &self.cur);
         }
 
-        self.written_by.fill(u32::MAX);
-        self.next.copy_from_slice(&self.cur);
+        let eager = self.eager || self.metrics.is_enabled();
+        // Idle fast path: every component is asleep and none is due — no
+        // tick can write anything, so the cycle is a counter increment.
+        if !eager && self.num_always == 0 && self.min_wake > self.cycle {
+            self.cycle += 1;
+            return Ok(());
+        }
+
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch counter wrapped (once per 2^32 cycles): clear the
+            // stamps so stale entries can't alias the new epoch.
+            self.write_epoch.fill(0);
+            self.epoch = 1;
+        }
+        self.written.clear();
+
         let verbose = self.metrics.trace_level() >= 2;
         if verbose {
             self.metrics.record_event(Event::TickBegin { cycle: self.cycle });
         }
         let mut conflict: Option<(SignalId, u32, u32)> = None;
-        for (i, comp) in self.components.iter_mut().enumerate() {
-            let mut ctx = TickCtx {
-                cur: &self.cur,
-                next: &mut self.next,
-                widths: &self.widths,
-                written_by: &mut self.written_by,
-                component: i as u32,
-                cycle: self.cycle,
-                conflict: &mut conflict,
-                metrics: &mut self.metrics,
-            };
-            comp.tick(&mut ctx);
+        let cycle = self.cycle;
+        {
+            let Simulator {
+                components,
+                cur,
+                next,
+                widths,
+                written_by,
+                write_epoch,
+                written,
+                sens_always,
+                wake_at,
+                metrics,
+                epoch,
+                ..
+            } = self;
+            for (i, comp) in components.iter_mut().enumerate() {
+                if !(eager || sens_always[i] || wake_at[i] <= cycle) {
+                    continue;
+                }
+                if wake_at[i] <= cycle {
+                    wake_at[i] = u64::MAX; // consume the wake
+                }
+                let mut ctx = TickCtx {
+                    cur,
+                    next,
+                    widths,
+                    written_by,
+                    write_epoch,
+                    epoch: *epoch,
+                    written,
+                    component: i as u32,
+                    cycle,
+                    conflict: &mut conflict,
+                    metrics,
+                    wake: &mut wake_at[i],
+                };
+                comp.tick(&mut ctx);
+            }
         }
         if verbose {
-            for (i, decl) in self.decls.iter().enumerate() {
-                if self.next[i] != self.cur[i] {
-                    self.metrics.record_event(Event::SignalEdge {
-                        cycle: self.cycle,
-                        signal: decl.name.clone(),
-                        from: self.cur[i],
-                        to: self.next[i],
-                    });
-                }
+            // Only written signals can have changed; emit edges in signal
+            // order, exactly as the eager kernel's full diff did.
+            let mut changed: Vec<u32> = self
+                .written
+                .iter()
+                .copied()
+                .filter(|&i| self.next[i as usize] != self.cur[i as usize])
+                .collect();
+            changed.sort_unstable();
+            for i in changed {
+                let i = i as usize;
+                self.metrics.record_event(Event::SignalEdge {
+                    cycle: self.cycle,
+                    signal: self.decls[i].name.clone(),
+                    from: self.cur[i],
+                    to: self.next[i],
+                });
             }
             self.metrics.record_event(Event::TickEnd { cycle: self.cycle });
         }
@@ -214,7 +358,26 @@ impl Simulator {
                 cycle: self.cycle,
             });
         }
-        std::mem::swap(&mut self.cur, &mut self.next);
+        // Commit: copy only written signals across the edge (unwritten ones
+        // hold their value by construction — no full-vector copy), waking
+        // the watchers of every signal that actually changed.
+        let wake_cycle = cycle + 1;
+        {
+            let Simulator { cur, next, written, watchers, wake_at, .. } = self;
+            for &i in written.iter() {
+                let i = i as usize;
+                if next[i] != cur[i] {
+                    cur[i] = next[i];
+                    for &w in &watchers[i] {
+                        let w = w as usize;
+                        if wake_at[w] > wake_cycle {
+                            wake_at[w] = wake_cycle;
+                        }
+                    }
+                }
+            }
+        }
+        self.min_wake = self.wake_at.iter().copied().min().unwrap_or(u64::MAX);
         self.cycle += 1;
         Ok(())
     }
@@ -238,6 +401,43 @@ impl Simulator {
         for stepped in 1..=max_cycles {
             self.step()?;
             if pred(self) {
+                return Ok(stepped);
+            }
+        }
+        Err(SimError::Timeout { after: max_cycles, what: what.into() })
+    }
+
+    /// Step until `sig` reads non-zero, up to `max_cycles` edges. A
+    /// fast-path form of [`run_until`](Self::run_until) for the common
+    /// wait-for-strobe loop: no closure, no name lookup per cycle.
+    pub fn run_until_high(
+        &mut self,
+        what: &str,
+        sig: SignalId,
+        max_cycles: u64,
+    ) -> Result<u64, SimError> {
+        let i = sig.index();
+        for stepped in 1..=max_cycles {
+            self.step()?;
+            if self.cur[i] != 0 {
+                return Ok(stepped);
+            }
+        }
+        Err(SimError::Timeout { after: max_cycles, what: what.into() })
+    }
+
+    /// Step until `sig` reads exactly `val`, up to `max_cycles` edges.
+    pub fn run_until_eq(
+        &mut self,
+        what: &str,
+        sig: SignalId,
+        val: Word,
+        max_cycles: u64,
+    ) -> Result<u64, SimError> {
+        let i = sig.index();
+        for stepped in 1..=max_cycles {
+            self.step()?;
+            if self.cur[i] == val {
                 return Ok(stepped);
             }
         }
@@ -416,6 +616,18 @@ mod tests {
     }
 
     #[test]
+    fn run_until_eq_and_high_match_run_until() {
+        let mut b = SimulatorBuilder::new();
+        let c = b.sig("count", 16);
+        b.component(Box::new(Counter { out: c }));
+        let mut sim = b.build();
+        assert_eq!(sim.run_until_high("count!=0", c, 100).unwrap(), 1);
+        assert_eq!(sim.run_until_eq("count==4", c, 4, 100).unwrap(), 3);
+        let err = sim.run_until_eq("count==2", c, 2, 10).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { after: 10, .. }));
+    }
+
+    #[test]
     fn signal_lookup_by_name() {
         let mut b = SimulatorBuilder::new();
         let s = b.sig("abc", 8);
@@ -452,5 +664,202 @@ mod tests {
         sim.run(3).unwrap();
         let trace = sim.trace(t);
         assert_eq!(trace.values("count").unwrap(), &[0, 1, 2]);
+    }
+
+    // --- event-driven scheduler ---------------------------------------
+
+    /// A gated register: declares sensitivity on its input only.
+    struct GatedReg {
+        input: SignalId,
+        output: SignalId,
+        ticks: u64,
+    }
+
+    impl Component for GatedReg {
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            self.ticks += 1;
+            let v = ctx.get(self.input);
+            ctx.set(self.output, v);
+        }
+        fn sensitivity(&self) -> Sensitivity {
+            Sensitivity::Signals(vec![self.input])
+        }
+        fn name(&self) -> &str {
+            "gated-reg"
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Writes a one-shot pulse at a fixed cycle via `wake_after`.
+    struct OneShot {
+        out: SignalId,
+        at: u64,
+        fired_at: Option<u64>,
+    }
+
+    impl Component for OneShot {
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            if ctx.cycle() == self.at {
+                self.fired_at = Some(ctx.cycle());
+                ctx.set(self.out, 1);
+            } else if ctx.cycle() < self.at {
+                ctx.wake_after(self.at - ctx.cycle());
+            }
+        }
+        fn sensitivity(&self) -> Sensitivity {
+            Sensitivity::Signals(vec![])
+        }
+        fn name(&self) -> &str {
+            "one-shot"
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn gated_component_sleeps_while_inputs_quiet_and_wakes_on_the_edge() {
+        let mut b = SimulatorBuilder::new();
+        let pulse = b.sig("pulse", 1);
+        let echo = b.sig("echo", 1);
+        b.component(Box::new(OneShot { out: pulse, at: 10, fired_at: None }));
+        let reg_idx = b.component(Box::new(GatedReg { input: pulse, output: echo, ticks: 0 }));
+        let mut sim = b.build();
+        sim.run(9).unwrap();
+        // Quiet input: the gated reg ticked only at cycle 0.
+        assert_eq!(sim.component::<GatedReg>(reg_idx).unwrap().ticks, 1);
+        assert_eq!(sim.value(echo), 0);
+        sim.run(3).unwrap();
+        // pulse rises on edge 10 → the reg ticks at cycle 11 → echo rises
+        // on edge 11, exactly one register delay after the input edge.
+        assert_eq!(sim.component::<GatedReg>(reg_idx).unwrap().ticks, 2);
+        assert_eq!(sim.value(echo), 1);
+    }
+
+    #[test]
+    fn gated_timing_matches_eager_timing() {
+        let run = |eager: bool| {
+            let mut b = SimulatorBuilder::new();
+            let pulse = b.sig("pulse", 1);
+            let echo = b.sig("echo", 1);
+            b.component(Box::new(OneShot { out: pulse, at: 7, fired_at: None }));
+            b.component(Box::new(GatedReg { input: pulse, output: echo, ticks: 0 }));
+            let mut sim = b.build();
+            sim.set_eager(eager);
+            let t = sim.attach_trace(&[pulse, echo]);
+            sim.run(12).unwrap();
+            (sim.trace(t).values("pulse").unwrap(), sim.trace(t).values("echo").unwrap())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn wake_after_fires_on_the_exact_requested_cycle() {
+        let mut b = SimulatorBuilder::new();
+        let out = b.sig("out", 1);
+        let idx = b.component(Box::new(OneShot { out, at: 37, fired_at: None }));
+        let mut sim = b.build();
+        sim.run(40).unwrap();
+        assert_eq!(sim.component::<OneShot>(idx).unwrap().fired_at, Some(37));
+        // The pulse committed on edge 37.
+        assert_eq!(sim.value(out), 1);
+    }
+
+    #[test]
+    fn stale_epoch_writes_are_ignored() {
+        // A component that writes only at cycle 0 leaves a stale value in
+        // the scratch buffer; later cycles must not re-commit it.
+        struct WriteOnce {
+            out: SignalId,
+        }
+        impl Component for WriteOnce {
+            fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+                if ctx.cycle() == 0 {
+                    ctx.set(self.out, 7);
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        struct Clearer {
+            out: SignalId,
+        }
+        impl Component for Clearer {
+            fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+                if ctx.cycle() == 1 {
+                    ctx.set(self.out, 1);
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut b = SimulatorBuilder::new();
+        let s = b.sig("s", 8);
+        b.component(Box::new(WriteOnce { out: s }));
+        b.component(Box::new(Clearer { out: s }));
+        let mut sim = b.build();
+        sim.step().unwrap(); // only WriteOnce writes → 7
+        assert_eq!(sim.value(s), 7);
+        sim.step().unwrap(); // only Clearer writes → 1; the stale 7 in the
+        assert_eq!(sim.value(s), 1); // scratch buffer is not a conflict
+        sim.step().unwrap(); // nobody writes → holds
+        assert_eq!(sim.value(s), 1);
+    }
+
+    #[test]
+    fn conflict_detected_on_a_later_cycle_between_gated_components() {
+        // Two one-shots firing the same signal on the same later cycle:
+        // conflict must be reported at exactly that cycle.
+        let mut b = SimulatorBuilder::new();
+        let s = b.sig("s", 1);
+        b.component(Box::new(OneShot { out: s, at: 5, fired_at: None }));
+        b.component(Box::new(OneShot { out: s, at: 5, fired_at: None }));
+        let mut sim = b.build();
+        sim.run(5).unwrap();
+        let err = sim.step().unwrap_err();
+        assert!(matches!(err, SimError::MultipleDrivers { cycle: 5, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn component_mut_wakes_a_sleeping_component() {
+        let mut b = SimulatorBuilder::new();
+        let pulse = b.sig("pulse", 1);
+        let echo = b.sig("echo", 1);
+        let idx = b.component(Box::new(GatedReg { input: pulse, output: echo, ticks: 0 }));
+        let mut sim = b.build();
+        sim.run(5).unwrap();
+        assert_eq!(sim.component::<GatedReg>(idx).unwrap().ticks, 1);
+        // External mutation wakes the component for the next step.
+        sim.component_mut::<GatedReg>(idx).unwrap().ticks = 100;
+        sim.step().unwrap();
+        assert_eq!(sim.component::<GatedReg>(idx).unwrap().ticks, 101);
+    }
+
+    #[test]
+    fn eager_mode_ticks_gated_components_every_cycle() {
+        let mut b = SimulatorBuilder::new();
+        let pulse = b.sig("pulse", 1);
+        let echo = b.sig("echo", 1);
+        let idx = b.component(Box::new(GatedReg { input: pulse, output: echo, ticks: 0 }));
+        let mut sim = b.build();
+        sim.set_eager(true);
+        sim.run(10).unwrap();
+        assert_eq!(sim.component::<GatedReg>(idx).unwrap().ticks, 10);
     }
 }

@@ -7,12 +7,19 @@
 //!
 //! * during a tick, every component reads the *current* (pre-edge) value of
 //!   any signal and schedules *next* values for the signals it drives;
-//! * after all components have ticked, the buffers swap — one bus-clock
-//!   cycle has elapsed.
+//! * after all components have ticked, the written signals commit — one
+//!   bus-clock cycle has elapsed.
 //!
 //! Because reads always see pre-edge values, component evaluation order can
 //! never change simulation results (this is checked by a property test), and
 //! the kernel is deterministic by construction.
+//!
+//! The scheduler is **event-driven**: components declare a
+//! [`Sensitivity`] set and sleep through cycles on which none of their
+//! watched signals changed (timed behaviour uses
+//! [`TickCtx::wake_after`]). Results are cycle-exact either way — see
+//! `docs/performance.md` for the scheduling model and the
+//! [`Simulator::set_eager`] escape hatch.
 //!
 //! Multi-driver errors — two components scheduling the same signal in one
 //! cycle — are detected at runtime and reported with both signal and cycle.
@@ -33,8 +40,8 @@ pub mod signal;
 pub mod trace;
 pub mod vcd;
 
-pub use component::{Component, TickCtx};
+pub use component::{Component, LazyCounter, LazyHistogram, Sensitivity, TickCtx};
 pub use kernel::{SimError, Simulator, SimulatorBuilder};
-pub use metrics::{Event, EventLog, Histogram, MetricsRegistry};
+pub use metrics::{CounterId, Event, EventLog, Histogram, HistogramId, MetricsRegistry};
 pub use signal::{SignalDecl, SignalId, Word};
 pub use trace::Trace;

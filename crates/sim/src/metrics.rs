@@ -223,11 +223,44 @@ impl EventLog {
     }
 }
 
+/// Stable handle to an interned counter, resolved once via
+/// [`MetricsRegistry::counter_id`] and then usable every tick without a
+/// string lookup. Handles survive [`MetricsRegistry::reset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(pub(crate) usize);
+
+/// Stable handle to an interned histogram (see [`CounterId`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramId(pub(crate) usize);
+
+/// An interned counter slot. `live` marks whether it was touched while the
+/// registry was enabled — only live slots appear in snapshots, mirroring
+/// the string API's touch-to-create semantics.
+#[derive(Debug, Clone)]
+struct InternedCounter {
+    name: String,
+    value: u64,
+    live: bool,
+}
+
+/// An interned histogram slot (see [`InternedCounter`]).
+#[derive(Debug, Clone)]
+struct InternedHistogram {
+    name: String,
+    hist: Histogram,
+    live: bool,
+}
+
 /// Named counters, gauges, and histograms plus the event log — the
 /// simulation's whole observability surface.
 ///
 /// All recording methods are no-ops while `enabled` is false; ids are
 /// resolved lazily by name so instrumentation sites never pre-register.
+/// Hot per-tick sites can intern a name once ([`counter_id`]/
+/// [`histogram_id`](Self::histogram_id)) and record through the id — a
+/// vector index instead of a `HashMap` probe.
+///
+/// [`counter_id`]: Self::counter_id
 #[derive(Debug, Default, Clone)]
 pub struct MetricsRegistry {
     enabled: bool,
@@ -238,6 +271,8 @@ pub struct MetricsRegistry {
     gauge_idx: HashMap<String, usize>,
     histograms: Vec<(String, Histogram)>,
     histogram_idx: HashMap<String, usize>,
+    interned_counters: Vec<InternedCounter>,
+    interned_histograms: Vec<InternedHistogram>,
     events: EventLog,
 }
 
@@ -350,6 +385,58 @@ impl MetricsRegistry {
         self.histograms[i].1.observe(value);
     }
 
+    /// Resolve `name` to a stable [`CounterId`], creating an (empty,
+    /// non-live) slot on first use. Works while disabled, so components can
+    /// intern at construction or on their first tick either way.
+    pub fn counter_id(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.interned_counters.iter().position(|c| c.name == name) {
+            return CounterId(i);
+        }
+        self.interned_counters.push(InternedCounter {
+            name: name.to_owned(),
+            value: 0,
+            live: false,
+        });
+        CounterId(self.interned_counters.len() - 1)
+    }
+
+    /// Resolve `name` to a stable [`HistogramId`] (see [`counter_id`]).
+    ///
+    /// [`counter_id`]: Self::counter_id
+    pub fn histogram_id(&mut self, name: &str) -> HistogramId {
+        if let Some(i) = self.interned_histograms.iter().position(|h| h.name == name) {
+            return HistogramId(i);
+        }
+        self.interned_histograms.push(InternedHistogram {
+            name: name.to_owned(),
+            hist: Histogram::default(),
+            live: false,
+        });
+        HistogramId(self.interned_histograms.len() - 1)
+    }
+
+    /// Add `delta` to an interned counter — no name lookup.
+    #[inline]
+    pub fn counter_add_id(&mut self, id: CounterId, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let c = &mut self.interned_counters[id.0];
+        c.live = true;
+        c.value += delta;
+    }
+
+    /// Record `value` into an interned histogram — no name lookup.
+    #[inline]
+    pub fn observe_id(&mut self, id: HistogramId, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let h = &mut self.interned_histograms[id.0];
+        h.live = true;
+        h.hist.observe(value);
+    }
+
     /// Append an event (respects the enabled flag but not the level — the
     /// caller decides what level a variant needs; see `TickCtx`).
     #[inline]
@@ -360,9 +447,17 @@ impl MetricsRegistry {
         self.events.push(ev);
     }
 
-    /// Value of a counter (0 if never touched).
+    /// Value of a counter (0 if never touched). Sums the string-keyed and
+    /// interned slots if both exist for the name.
     pub fn counter(&self, name: &str) -> u64 {
-        self.counter_idx.get(name).map(|&i| self.counters[i].1).unwrap_or(0)
+        let by_name = self.counter_idx.get(name).map(|&i| self.counters[i].1).unwrap_or(0);
+        let interned: u64 = self
+            .interned_counters
+            .iter()
+            .filter(|c| c.live && c.name == name)
+            .map(|c| c.value)
+            .sum();
+        by_name + interned
     }
 
     /// Value of a gauge, if ever set.
@@ -372,12 +467,22 @@ impl MetricsRegistry {
 
     /// The named histogram, if any sample was recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histogram_idx.get(name).map(|&i| &self.histograms[i].1)
+        if let Some(&i) = self.histogram_idx.get(name) {
+            return Some(&self.histograms[i].1);
+        }
+        self.interned_histograms.iter().find(|h| h.live && h.name == name).map(|h| &h.hist)
     }
 
-    /// All counters, sorted by name.
+    /// All counters, sorted by name (string-keyed and live interned slots
+    /// merged — a name recorded through both sums into one row).
     pub fn counters(&self) -> Vec<(&str, u64)> {
         let mut v: Vec<(&str, u64)> = self.counters.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+        for c in self.interned_counters.iter().filter(|c| c.live) {
+            match v.iter_mut().find(|(n, _)| *n == c.name) {
+                Some(row) => row.1 += c.value,
+                None => v.push((c.name.as_str(), c.value)),
+            }
+        }
         v.sort_unstable_by_key(|&(n, _)| n);
         v
     }
@@ -389,10 +494,16 @@ impl MetricsRegistry {
         v
     }
 
-    /// All histograms, sorted by name.
+    /// All histograms, sorted by name (live interned slots included; if a
+    /// name was recorded through both APIs the string-keyed one wins).
     pub fn histograms(&self) -> Vec<(&str, &Histogram)> {
         let mut v: Vec<(&str, &Histogram)> =
             self.histograms.iter().map(|(n, h)| (n.as_str(), h)).collect();
+        for h in self.interned_histograms.iter().filter(|h| h.live) {
+            if !v.iter().any(|(n, _)| *n == h.name) {
+                v.push((h.name.as_str(), &h.hist));
+            }
+        }
         v.sort_unstable_by_key(|&(n, _)| n);
         v
     }
@@ -407,7 +518,9 @@ impl MetricsRegistry {
         &mut self.events
     }
 
-    /// Drop all recorded data, keeping the enabled state.
+    /// Drop all recorded data, keeping the enabled state. Interned slots
+    /// are zeroed but keep their names, so previously resolved
+    /// [`CounterId`]/[`HistogramId`] handles stay valid.
     pub fn reset(&mut self) {
         self.counters.clear();
         self.counter_idx.clear();
@@ -415,6 +528,14 @@ impl MetricsRegistry {
         self.gauge_idx.clear();
         self.histograms.clear();
         self.histogram_idx.clear();
+        for c in &mut self.interned_counters {
+            c.value = 0;
+            c.live = false;
+        }
+        for h in &mut self.interned_histograms {
+            h.hist = Histogram::default();
+            h.live = false;
+        }
         self.events = EventLog { cap: self.events.cap, ..EventLog::default() };
     }
 
@@ -636,6 +757,62 @@ mod tests {
         // Must parse as one object at minimum structurally: balanced braces.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn interned_handles_match_string_api_semantics() {
+        let mut m = MetricsRegistry::new();
+        // Interning works while disabled, but recording is a no-op...
+        let c = m.counter_id("hot.counter");
+        let h = m.histogram_id("hot.lat");
+        m.counter_add_id(c, 5);
+        m.observe_id(h, 9);
+        assert_eq!(m.counter("hot.counter"), 0);
+        assert!(m.histogram("hot.lat").is_none());
+        assert!(m.counters().is_empty()); // untouched-while-enabled = invisible
+                                          // ...and ids are stable: re-interning returns the same handle.
+        assert_eq!(m.counter_id("hot.counter"), c);
+        assert_eq!(m.histogram_id("hot.lat"), h);
+        m.enable();
+        m.counter_add_id(c, 5);
+        m.counter_add_id(c, 2);
+        m.observe_id(h, 9);
+        assert_eq!(m.counter("hot.counter"), 7);
+        assert_eq!(m.histogram("hot.lat").unwrap().count(), 1);
+        assert_eq!(m.counters(), vec![("hot.counter", 7)]);
+        let j = m.to_json();
+        assert!(j.contains("\"hot.counter\":7"), "{j}");
+        assert!(j.contains("\"hot.lat\":{\"count\":1"), "{j}");
+    }
+
+    #[test]
+    fn interned_and_string_apis_merge_by_name() {
+        let mut m = MetricsRegistry::new();
+        m.enable();
+        let c = m.counter_id("shared");
+        m.counter_add_id(c, 3);
+        m.counter_add("shared", 4);
+        assert_eq!(m.counter("shared"), 7);
+        assert_eq!(m.counters(), vec![("shared", 7)]);
+    }
+
+    #[test]
+    fn reset_keeps_interned_ids_valid() {
+        let mut m = MetricsRegistry::new();
+        m.enable();
+        let c = m.counter_id("c");
+        let h = m.histogram_id("h");
+        m.counter_add_id(c, 9);
+        m.observe_id(h, 3);
+        m.reset();
+        assert_eq!(m.counter("c"), 0);
+        assert!(m.histogram("h").is_none());
+        // Old handles still point at the right (zeroed) slots.
+        m.counter_add_id(c, 1);
+        m.observe_id(h, 2);
+        assert_eq!(m.counter("c"), 1);
+        assert_eq!(m.histogram("h").unwrap().sum(), 2);
+        assert_eq!(m.counter_id("c"), c);
     }
 
     #[test]

@@ -6,15 +6,25 @@
 use crate::signal::{SignalId, Word};
 use std::collections::HashMap;
 
+/// How many cycles of storage to reserve when the first sample arrives —
+/// protocol runs are typically hundreds of cycles, so one up-front
+/// allocation covers most traces entirely.
+const INITIAL_CYCLE_CAPACITY: usize = 1024;
+
 /// A recording of selected signals, one sample per clock cycle.
+///
+/// Samples live in one flat buffer with a stride of one row (all traced
+/// signals) per cycle, so recording a cycle is a bounds-checked append
+/// rather than a per-cycle `Vec` allocation.
 #[derive(Debug, Clone)]
 pub struct Trace {
     /// (name, width, id) per traced signal.
     signals: Vec<(String, u32, SignalId)>,
     /// name → index into `signals`, so per-name queries don't scan.
     by_name: HashMap<String, usize>,
-    /// `samples[cycle][signal_idx]`.
-    samples: Vec<Vec<Word>>,
+    /// Flat row-major sample store: `samples[cycle * stride + signal_idx]`,
+    /// where `stride == signals.len()`.
+    samples: Vec<Word>,
     /// Cycle number of the first sample.
     first_cycle: u64,
 }
@@ -25,6 +35,11 @@ impl Trace {
         Trace { signals, by_name, samples: Vec::new(), first_cycle: 0 }
     }
 
+    /// Row length of the flat sample store.
+    fn stride(&self) -> usize {
+        self.signals.len()
+    }
+
     /// Index of `name` in trace order.
     fn index_of(&self, name: &str) -> Option<usize> {
         self.by_name.get(name).copied()
@@ -33,13 +48,18 @@ impl Trace {
     pub(crate) fn sample(&mut self, cycle: u64, values: &[Word]) {
         if self.samples.is_empty() {
             self.first_cycle = cycle;
+            self.samples.reserve(INITIAL_CYCLE_CAPACITY * self.stride());
         }
-        self.samples.push(self.signals.iter().map(|&(_, _, id)| values[id.index()]).collect());
+        self.samples.extend(self.signals.iter().map(|&(_, _, id)| values[id.index()]));
     }
 
     /// Number of recorded cycles.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        if self.signals.is_empty() {
+            0
+        } else {
+            self.samples.len() / self.stride()
+        }
     }
 
     /// True when nothing was recorded.
@@ -65,14 +85,14 @@ impl Trace {
     /// The full sample series for one signal.
     pub fn values(&self, name: &str) -> Option<Vec<Word>> {
         let idx = self.index_of(name)?;
-        Some(self.samples.iter().map(|row| row[idx]).collect())
+        Some(self.samples.iter().skip(idx).step_by(self.stride()).copied().collect())
     }
 
     /// Value of `name` at `cycle` (absolute cycle number).
     pub fn at(&self, name: &str, cycle: u64) -> Option<Word> {
         let idx = self.index_of(name)?;
         let row = cycle.checked_sub(self.first_cycle)? as usize;
-        self.samples.get(row).map(|r| r[idx])
+        self.samples.get(row * self.stride() + idx).copied()
     }
 
     /// Cycles (absolute) in which `name` was non-zero.

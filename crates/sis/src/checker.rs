@@ -164,6 +164,15 @@ impl Component for SisChecker {
         self.prev_dov = dov;
     }
 
+    fn sensitivity(&self) -> splice_sim::Sensitivity {
+        // Deliberately eager: several rules (e.g. sticky DATA_OUT_VALID
+        // outside a handshake) must flag *every* offending cycle, including
+        // ones on which no watched signal changes, so the checker never
+        // sleeps. Checked systems therefore trade the idle fast path for
+        // full-protocol coverage.
+        splice_sim::Sensitivity::Always
+    }
+
     fn name(&self) -> &str {
         "sis-checker"
     }

@@ -26,7 +26,7 @@
 //! through reserved FUNC_ID 0.
 
 use crate::signals::{SisBus, STATUS_FUNC_ID};
-use splice_sim::{Component, SignalId, TickCtx, Word};
+use splice_sim::{Component, Sensitivity, SignalId, TickCtx, Word};
 
 /// Which SIS protocol variant is in effect (a property of the native bus).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -235,6 +235,18 @@ impl Component for SisMaster {
                 self.idle_lines(ctx);
             }
         }
+        // Self-clocked: re-arm a one-cycle wake in every active state and
+        // sleep for good once the script has finished (the early return on
+        // script exhaustion above deliberately skips this).
+        if !matches!(self.state, MState::Done) {
+            ctx.wake_after(1);
+        }
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // No watched signals: the master paces itself with `wake_after`
+        // while active, which keeps its timing identical to eager ticking.
+        Sensitivity::Signals(Vec::new())
     }
 
     fn name(&self) -> &str {
