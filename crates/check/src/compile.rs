@@ -1,0 +1,912 @@
+//! HDL module AST → explicit transition relation.
+//!
+//! A [`CompiledDesign`] flattens a module (recursively instantiating its
+//! children) into one signal table plus two executable views:
+//!
+//! * **combinational settle** — continuous assignments and unclocked
+//!   processes, topologically ordered so each evaluates after everything it
+//!   reads (signals trapped in a combinational cycle stay X);
+//! * **clocked step** — every clocked process run with VHDL non-blocking
+//!   semantics: reads see pre-edge values, writes land post-edge, the last
+//!   write to a signal wins, unassigned registers hold.
+//!
+//! Control flow over unknown values is conservative: an `if` with an X
+//! condition joins both branches, a `case` with a partially unknown
+//! selector joins every arm the selector may reach.
+
+use crate::tv::TWord;
+use splice_hdl::{BinOp, Decl, Dir, Expr, Item, Module, Stmt};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a module set could not be compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// An instantiated module is not in the provided set.
+    UnknownModule { instance: String, module: String },
+    /// An identifier is referenced but never declared.
+    UnknownSignal { module: String, name: String },
+    /// A signal is wider than the 64-bit model domain.
+    TooWide { name: String, width: u32 },
+    /// A signal is driven from both clocked and combinational logic.
+    MixedDrivers { name: String },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownModule { instance, module } => {
+                write!(f, "instance `{instance}` refers to unknown module `{module}`")
+            }
+            CompileError::UnknownSignal { module, name } => {
+                write!(f, "`{name}` referenced in `{module}` is not declared")
+            }
+            CompileError::TooWide { name, width } => {
+                write!(f, "signal `{name}` is {width} bits wide; the model domain is 64")
+            }
+            CompileError::MixedDrivers { name } => {
+                write!(f, "signal `{name}` has both clocked and combinational drivers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// How a signal gets its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Top-level input port: driven by the environment.
+    Input,
+    /// Assigned in a clocked process: part of the sequential state.
+    Register,
+    /// Assigned by combinational logic.
+    Comb,
+    /// Declared constant.
+    Const(u64),
+    /// Never driven: permanently X.
+    Undriven,
+}
+
+/// One flattened signal.
+#[derive(Debug, Clone)]
+pub struct SignalInfo {
+    /// Hierarchical name (`u_f1_enable.cur_state` for instance-local nets).
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// Declared initial value, if any (registers without one start X).
+    pub init: Option<u64>,
+    /// Driver classification.
+    pub kind: Kind,
+}
+
+/// A compiled expression with signal references resolved to indices.
+#[derive(Debug, Clone)]
+enum CExpr {
+    Sig(usize),
+    Lit(TWord),
+    Bin { op: BinOp, lhs: Box<CExpr>, rhs: Box<CExpr> },
+    Not(Box<CExpr>),
+    Slice { base: Box<CExpr>, hi: u32, lo: u32 },
+    Concat(Vec<CExpr>),
+}
+
+/// A compiled statement.
+#[derive(Debug, Clone)]
+enum CStmt {
+    Assign { lhs: usize, rhs: CExpr },
+    If { cond: CExpr, then: Vec<CStmt>, elifs: Vec<(CExpr, Vec<CStmt>)>, els: Option<Vec<CStmt>> },
+    Case { expr: CExpr, arms: Vec<(u64, Vec<CStmt>)>, default: Option<Vec<CStmt>> },
+}
+
+/// One process or continuous assignment, with its read/write footprint.
+#[derive(Debug, Clone)]
+struct CNode {
+    body: Vec<CStmt>,
+    reads: Vec<usize>,
+    writes: Vec<usize>,
+}
+
+/// The flattened transition relation of one top module.
+#[derive(Debug, Clone)]
+pub struct CompiledDesign {
+    /// Top module name.
+    pub name: String,
+    /// Every flattened signal.
+    pub signals: Vec<SignalInfo>,
+    /// Signal indices of the top-level input ports, in port order.
+    pub inputs: Vec<usize>,
+    /// Signal indices of the top-level output ports, in port order.
+    pub outputs: Vec<usize>,
+    /// Signal indices of all registers (state vector order).
+    pub registers: Vec<usize>,
+    clocked: Vec<CNode>,
+    /// Combinational nodes in evaluation order.
+    comb_order: Vec<CNode>,
+    /// Signals stuck in a combinational cycle (held at X).
+    cyclic: Vec<usize>,
+    by_name: HashMap<String, usize>,
+}
+
+impl CompiledDesign {
+    /// Flatten `top` (which must be in `modules`) into a transition relation.
+    pub fn compile(modules: &[Module], top: &str) -> Result<CompiledDesign, CompileError> {
+        let top_module = modules.iter().find(|m| m.name == top).ok_or_else(|| {
+            CompileError::UnknownModule { instance: "<top>".into(), module: top.into() }
+        })?;
+        let mut b = Builder {
+            modules,
+            signals: Vec::new(),
+            by_name: HashMap::new(),
+            clocked: Vec::new(),
+            comb: Vec::new(),
+        };
+
+        // Top ports become environment-driven inputs / observed outputs.
+        let mut scope: HashMap<String, usize> = HashMap::new();
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        for p in &top_module.ports {
+            let id = b.add_signal(p.name.clone(), p.width, None)?;
+            scope.insert(p.name.clone(), id);
+            match p.dir {
+                Dir::In => inputs.push(id),
+                Dir::Out => outputs.push(id),
+            }
+        }
+        b.instantiate(top_module, "", scope)?;
+
+        // Classify drivers.
+        let mut kinds: Vec<Kind> = b
+            .signals
+            .iter()
+            .map(|s| match s.init_const {
+                Some(v) => Kind::Const(v),
+                None => Kind::Undriven,
+            })
+            .collect();
+        for &id in &inputs {
+            kinds[id] = Kind::Input;
+        }
+        for node in &b.clocked {
+            for &w in &node.writes {
+                if kinds[w] == Kind::Comb {
+                    return Err(CompileError::MixedDrivers { name: b.signals[w].name.clone() });
+                }
+                kinds[w] = Kind::Register;
+            }
+        }
+        for node in &b.comb {
+            for &w in &node.writes {
+                if kinds[w] == Kind::Register {
+                    return Err(CompileError::MixedDrivers { name: b.signals[w].name.clone() });
+                }
+                kinds[w] = Kind::Comb;
+            }
+        }
+
+        let signals: Vec<SignalInfo> = b
+            .signals
+            .iter()
+            .zip(&kinds)
+            .map(|(s, &kind)| SignalInfo {
+                name: s.name.clone(),
+                width: s.width,
+                init: s.init,
+                kind,
+            })
+            .collect();
+        let registers: Vec<usize> =
+            (0..signals.len()).filter(|&i| matches!(signals[i].kind, Kind::Register)).collect();
+
+        // Topologically order the combinational nodes (Kahn). Nodes left
+        // over sit in a cycle: their outputs are pinned to X.
+        let producer_of: HashMap<usize, usize> = b
+            .comb
+            .iter()
+            .enumerate()
+            .flat_map(|(i, n)| n.writes.iter().map(move |&w| (w, i)))
+            .collect();
+        let n = b.comb.len();
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in b.comb.iter().enumerate() {
+            for r in &node.reads {
+                if let Some(&p) = producer_of.get(r) {
+                    if p != i {
+                        indegree[i] += 1;
+                        dependents[p].push(i);
+                    }
+                }
+            }
+        }
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for &d in &dependents[i] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        let placed: Vec<bool> = {
+            let mut v = vec![false; n];
+            for &i in &order {
+                v[i] = true;
+            }
+            v
+        };
+        let cyclic: Vec<usize> =
+            (0..n).filter(|&i| !placed[i]).flat_map(|i| b.comb[i].writes.iter().copied()).collect();
+        // Deterministic order regardless of Kahn pop order: sort by index.
+        order.sort_unstable();
+        let mut ordered = Vec::with_capacity(order.len());
+        // Re-run Kahn but pop smallest-first for stable evaluation order.
+        let mut indegree2 = vec![0usize; n];
+        for (i, node) in b.comb.iter().enumerate() {
+            for r in &node.reads {
+                if let Some(&p) = producer_of.get(r) {
+                    if p != i {
+                        indegree2[i] += 1;
+                    }
+                }
+            }
+        }
+        let mut ready: std::collections::BTreeSet<usize> =
+            (0..n).filter(|&i| indegree2[i] == 0).collect();
+        while let Some(&i) = ready.iter().next() {
+            ready.remove(&i);
+            ordered.push(b.comb[i].clone());
+            for (j, node) in b.comb.iter().enumerate() {
+                if placed[j] && node.reads.iter().any(|r| producer_of.get(r) == Some(&i) && i != j)
+                {
+                    indegree2[j] -= 1;
+                    if indegree2[j] == 0 {
+                        ready.insert(j);
+                    }
+                }
+            }
+        }
+
+        Ok(CompiledDesign {
+            name: top.into(),
+            signals,
+            inputs,
+            outputs,
+            registers,
+            clocked: b.clocked,
+            comb_order: ordered,
+            cyclic,
+            by_name: b.by_name,
+        })
+    }
+
+    /// Look a flattened signal up by name.
+    pub fn signal_id(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The power-on register state: declared init values, X otherwise.
+    pub fn initial_state(&self) -> Vec<TWord> {
+        self.registers
+            .iter()
+            .map(|&id| {
+                let s = &self.signals[id];
+                match s.init {
+                    Some(v) => TWord::known(v, s.width),
+                    None => TWord::unknown(s.width),
+                }
+            })
+            .collect()
+    }
+
+    /// Settle the full value vector for register state `state` and input
+    /// vector `inputs` (parallel to [`CompiledDesign::inputs`]).
+    pub fn eval(&self, state: &[TWord], inputs: &[TWord]) -> Vec<TWord> {
+        let mut values: Vec<TWord> = self
+            .signals
+            .iter()
+            .map(|s| match s.kind {
+                Kind::Const(v) => TWord::known(v, s.width),
+                _ => TWord::unknown(s.width),
+            })
+            .collect();
+        for (slot, &id) in self.inputs.iter().enumerate() {
+            values[id] = inputs[slot].resize(self.signals[id].width);
+        }
+        for (slot, &id) in self.registers.iter().enumerate() {
+            values[id] = state[slot].resize(self.signals[id].width);
+        }
+        for node in &self.comb_order {
+            let mut pending = HashMap::new();
+            exec_block(&node.body, &values, &mut pending, &|id| {
+                TWord::unknown(self.signals[id].width)
+            });
+            for (id, v) in pending {
+                values[id] = v.resize(self.signals[id].width);
+            }
+        }
+        for &id in &self.cyclic {
+            values[id] = TWord::unknown(self.signals[id].width);
+        }
+        values
+    }
+
+    /// One clock edge: returns the next register state. `inputs` are the
+    /// values on the input ports at the edge.
+    pub fn step(&self, state: &[TWord], inputs: &[TWord]) -> Vec<TWord> {
+        let values = self.eval(state, inputs);
+        let mut pending: HashMap<usize, TWord> = HashMap::new();
+        for node in &self.clocked {
+            // Non-blocking: every process reads the same pre-edge values;
+            // unassigned registers hold their current value.
+            exec_block(&node.body, &values, &mut pending, &|id| values[id]);
+        }
+        self.registers
+            .iter()
+            .enumerate()
+            .map(|(slot, &id)| match pending.get(&id) {
+                Some(v) => v.resize(self.signals[id].width),
+                None => state[slot],
+            })
+            .collect()
+    }
+}
+
+/// Build-time signal record.
+struct BSignal {
+    name: String,
+    width: u32,
+    init: Option<u64>,
+    init_const: Option<u64>,
+}
+
+struct Builder<'a> {
+    modules: &'a [Module],
+    signals: Vec<BSignal>,
+    by_name: HashMap<String, usize>,
+    clocked: Vec<CNode>,
+    comb: Vec<CNode>,
+}
+
+impl Builder<'_> {
+    fn add_signal(
+        &mut self,
+        name: String,
+        width: u32,
+        init: Option<u64>,
+    ) -> Result<usize, CompileError> {
+        if width > 64 {
+            return Err(CompileError::TooWide { name, width });
+        }
+        let id = self.signals.len();
+        self.by_name.insert(name.clone(), id);
+        self.signals.push(BSignal { name, width, init, init_const: None });
+        Ok(id)
+    }
+
+    /// Flatten one module body into the global tables. `scope` maps the
+    /// module's local names (ports and decls) to global signal indices.
+    fn instantiate(
+        &mut self,
+        module: &Module,
+        prefix: &str,
+        mut scope: HashMap<String, usize>,
+    ) -> Result<(), CompileError> {
+        for d in &module.decls {
+            match d {
+                Decl::Signal { name, width, init } => {
+                    let id = self.add_signal(format!("{prefix}{name}"), *width, *init)?;
+                    scope.insert(name.clone(), id);
+                }
+                Decl::Constant { name, width, value } => {
+                    let id = self.add_signal(format!("{prefix}{name}"), *width, None)?;
+                    self.signals[id].init_const = Some(*value);
+                    scope.insert(name.clone(), id);
+                }
+                Decl::Comment(_) => {}
+            }
+        }
+        for item in &module.items {
+            match item {
+                Item::Process(p) => {
+                    let mut reads = Vec::new();
+                    let mut writes = Vec::new();
+                    let body =
+                        compile_block(&p.body, &scope, &module.name, &mut reads, &mut writes)?;
+                    let node = CNode { body, reads, writes };
+                    if p.clocked {
+                        self.clocked.push(node);
+                    } else {
+                        self.comb.push(node);
+                    }
+                }
+                Item::Assign { lhs, rhs } => {
+                    let mut reads = Vec::new();
+                    let mut writes = Vec::new();
+                    let stmt = Stmt::Assign { lhs: lhs.clone(), rhs: rhs.clone() };
+                    let body = compile_block(
+                        std::slice::from_ref(&stmt),
+                        &scope,
+                        &module.name,
+                        &mut reads,
+                        &mut writes,
+                    )?;
+                    self.comb.push(CNode { body, reads, writes });
+                }
+                Item::Instance(inst) => {
+                    let child =
+                        self.modules.iter().find(|m| m.name == inst.module).ok_or_else(|| {
+                            CompileError::UnknownModule {
+                                instance: inst.label.clone(),
+                                module: inst.module.clone(),
+                            }
+                        })?;
+                    let mut child_scope: HashMap<String, usize> = HashMap::new();
+                    for port in &child.ports {
+                        let actual =
+                            inst.connections.iter().find(|(f, _)| f == &port.name).map(|(_, a)| a);
+                        let id = match actual {
+                            Some(a) => {
+                                *scope.get(a).ok_or_else(|| CompileError::UnknownSignal {
+                                    module: module.name.clone(),
+                                    name: a.clone(),
+                                })?
+                            }
+                            // Unconnected ports get a private net: inputs
+                            // float at X, outputs drive into nothing.
+                            None => self.add_signal(
+                                format!("{prefix}{}.{}", inst.label, port.name),
+                                port.width,
+                                None,
+                            )?,
+                        };
+                        child_scope.insert(port.name.clone(), id);
+                    }
+                    let child_prefix = format!("{prefix}{}.", inst.label);
+                    self.instantiate(child, &child_prefix, child_scope)?;
+                }
+                Item::Comment(_) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+fn compile_block(
+    stmts: &[Stmt],
+    scope: &HashMap<String, usize>,
+    module: &str,
+    reads: &mut Vec<usize>,
+    writes: &mut Vec<usize>,
+) -> Result<Vec<CStmt>, CompileError> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                let id = *scope.get(lhs).ok_or_else(|| CompileError::UnknownSignal {
+                    module: module.into(),
+                    name: lhs.clone(),
+                })?;
+                if !writes.contains(&id) {
+                    writes.push(id);
+                }
+                out.push(CStmt::Assign { lhs: id, rhs: compile_expr(rhs, scope, module, reads)? });
+            }
+            Stmt::If { cond, then, elifs, els } => {
+                let cond = compile_expr(cond, scope, module, reads)?;
+                let then = compile_block(then, scope, module, reads, writes)?;
+                let mut celifs = Vec::with_capacity(elifs.len());
+                for (c, b) in elifs {
+                    celifs.push((
+                        compile_expr(c, scope, module, reads)?,
+                        compile_block(b, scope, module, reads, writes)?,
+                    ));
+                }
+                let els = match els {
+                    Some(b) => Some(compile_block(b, scope, module, reads, writes)?),
+                    None => None,
+                };
+                out.push(CStmt::If { cond, then, elifs: celifs, els });
+            }
+            Stmt::Case { expr, arms, default } => {
+                let expr = compile_expr(expr, scope, module, reads)?;
+                let mut carms = Vec::with_capacity(arms.len());
+                for (v, b) in arms {
+                    carms.push((*v, compile_block(b, scope, module, reads, writes)?));
+                }
+                let default = match default {
+                    Some(b) => Some(compile_block(b, scope, module, reads, writes)?),
+                    None => None,
+                };
+                out.push(CStmt::Case { expr, arms: carms, default });
+            }
+            Stmt::Comment(_) | Stmt::Null => {}
+        }
+    }
+    Ok(out)
+}
+
+fn compile_expr(
+    e: &Expr,
+    scope: &HashMap<String, usize>,
+    module: &str,
+    reads: &mut Vec<usize>,
+) -> Result<CExpr, CompileError> {
+    Ok(match e {
+        Expr::Sig(name) => {
+            let id = *scope.get(name).ok_or_else(|| CompileError::UnknownSignal {
+                module: module.into(),
+                name: name.clone(),
+            })?;
+            if !reads.contains(&id) {
+                reads.push(id);
+            }
+            CExpr::Sig(id)
+        }
+        Expr::Lit { value, width } => CExpr::Lit(TWord::known(*value, *width)),
+        Expr::Bin { op, lhs, rhs } => CExpr::Bin {
+            op: *op,
+            lhs: Box::new(compile_expr(lhs, scope, module, reads)?),
+            rhs: Box::new(compile_expr(rhs, scope, module, reads)?),
+        },
+        Expr::Not(inner) => CExpr::Not(Box::new(compile_expr(inner, scope, module, reads)?)),
+        Expr::Slice { base, hi, lo } => CExpr::Slice {
+            base: Box::new(compile_expr(base, scope, module, reads)?),
+            hi: *hi,
+            lo: *lo,
+        },
+        Expr::Concat(parts) => {
+            let mut cp = Vec::with_capacity(parts.len());
+            for p in parts {
+                cp.push(compile_expr(p, scope, module, reads)?);
+            }
+            CExpr::Concat(cp)
+        }
+    })
+}
+
+/// Three-valued truth of a condition expression's value.
+enum Truth {
+    True,
+    False,
+    Unknown,
+}
+
+fn truth(v: &TWord) -> Truth {
+    if v.is_known() {
+        if v.bits != 0 {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    } else if v.bits != 0 {
+        // Some bit is known 1: nonzero regardless of the X bits.
+        Truth::True
+    } else {
+        Truth::Unknown
+    }
+}
+
+fn eval_expr(e: &CExpr, values: &[TWord]) -> TWord {
+    match e {
+        CExpr::Sig(id) => values[*id],
+        CExpr::Lit(v) => *v,
+        CExpr::Bin { op, lhs, rhs } => {
+            let a = eval_expr(lhs, values);
+            let b = eval_expr(rhs, values);
+            match op {
+                BinOp::Eq => a.eq(&b),
+                BinOp::Ne => a.ne(&b),
+                BinOp::Add => a.add(&b),
+                BinOp::Sub => a.sub(&b),
+                BinOp::And => a.and(&b),
+                BinOp::Or => a.or(&b),
+                BinOp::Lt => a.lt(&b),
+                BinOp::Ge => a.ge(&b),
+            }
+        }
+        CExpr::Not(inner) => eval_expr(inner, values).not(),
+        CExpr::Slice { base, hi, lo } => eval_expr(base, values).slice(*hi, *lo),
+        CExpr::Concat(parts) => {
+            let mut it = parts.iter();
+            let first = it.next().map(|p| eval_expr(p, values)).unwrap_or(TWord::known(0, 1));
+            // Most-significant part first.
+            it.fold(first, |acc, p| acc.concat(&eval_expr(p, values)))
+        }
+    }
+}
+
+/// Execute a statement block: `pending` accumulates non-blocking writes;
+/// `hold(id)` is the value a signal keeps when a branch does not assign it
+/// (the current register value in clocked processes, X in combinational
+/// ones — an unassigned combinational path is a latch, modelled as X).
+fn exec_block(
+    stmts: &[CStmt],
+    values: &[TWord],
+    pending: &mut HashMap<usize, TWord>,
+    hold: &dyn Fn(usize) -> TWord,
+) {
+    for s in stmts {
+        match s {
+            CStmt::Assign { lhs, rhs } => {
+                pending.insert(*lhs, eval_expr(rhs, values));
+            }
+            CStmt::If { cond, then, elifs, els } => {
+                let mut chain: Vec<(&CExpr, &Vec<CStmt>)> = vec![(cond, then)];
+                for (c, b) in elifs {
+                    chain.push((c, b));
+                }
+                exec_if(&chain, els.as_ref(), values, pending, hold);
+            }
+            CStmt::Case { expr, arms, default } => {
+                let sel = eval_expr(expr, values);
+                if let Some(v) = sel.value() {
+                    match arms.iter().find(|(a, _)| *a & crate::tv::mask(sel.width) == v) {
+                        Some((_, body)) => exec_block(body, values, pending, hold),
+                        None => {
+                            if let Some(d) = default {
+                                exec_block(d, values, pending, hold);
+                            }
+                        }
+                    }
+                    continue;
+                }
+                // Partially unknown selector: join every reachable arm,
+                // the default, and (when there is no default) the
+                // nothing-executes path.
+                let mut branches: Vec<Option<&Vec<CStmt>>> =
+                    arms.iter().filter(|(a, _)| sel.may_equal(*a)).map(|(_, b)| Some(b)).collect();
+                match default {
+                    Some(d) => branches.push(Some(d)),
+                    None => branches.push(None),
+                }
+                join_branches(&branches, values, pending, hold);
+            }
+        }
+    }
+}
+
+fn exec_if(
+    chain: &[(&CExpr, &Vec<CStmt>)],
+    els: Option<&Vec<CStmt>>,
+    values: &[TWord],
+    pending: &mut HashMap<usize, TWord>,
+    hold: &dyn Fn(usize) -> TWord,
+) {
+    let Some(((cond, body), rest)) = chain.split_first() else {
+        if let Some(e) = els {
+            exec_block(e, values, pending, hold);
+        }
+        return;
+    };
+    match truth(&eval_expr(cond, values)) {
+        Truth::True => exec_block(body, values, pending, hold),
+        Truth::False => exec_if(rest, els, values, pending, hold),
+        Truth::Unknown => {
+            let mut taken = pending.clone();
+            exec_block(body, values, &mut taken, hold);
+            let mut skipped = pending.clone();
+            exec_if(rest, els, values, &mut skipped, hold);
+            *pending = join_pending(&taken, &skipped, hold);
+        }
+    }
+}
+
+/// Join the pending maps of several alternative branches (None = a branch
+/// that executes nothing).
+fn join_branches(
+    branches: &[Option<&Vec<CStmt>>],
+    values: &[TWord],
+    pending: &mut HashMap<usize, TWord>,
+    hold: &dyn Fn(usize) -> TWord,
+) {
+    let mut acc: Option<HashMap<usize, TWord>> = None;
+    for b in branches {
+        let mut p = pending.clone();
+        if let Some(body) = b {
+            exec_block(body, values, &mut p, hold);
+        }
+        acc = Some(match acc {
+            None => p,
+            Some(a) => join_pending(&a, &p, hold),
+        });
+    }
+    if let Some(a) = acc {
+        *pending = a;
+    }
+}
+
+fn join_pending(
+    a: &HashMap<usize, TWord>,
+    b: &HashMap<usize, TWord>,
+    hold: &dyn Fn(usize) -> TWord,
+) -> HashMap<usize, TWord> {
+    let mut out = HashMap::new();
+    for (&id, &va) in a {
+        let vb = b.get(&id).copied().unwrap_or_else(|| hold(id));
+        out.insert(id, va.join(&vb));
+    }
+    for (&id, &vb) in b {
+        if !a.contains_key(&id) {
+            out.insert(id, hold(id).join(&vb));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_hdl::{Port, Process};
+
+    /// A 2-bit counter with an enable and a comb `is_max` flag.
+    fn counter_module(with_init: bool) -> Module {
+        let mut m = Module::new("ctr");
+        m.ports = vec![
+            Port::input("CLK", 1),
+            Port::input("RST", 1),
+            Port::input("EN", 1),
+            Port::output("IS_MAX", 1),
+        ];
+        m.decls = vec![Decl::Signal {
+            name: "count".into(),
+            width: 2,
+            init: if with_init { Some(0) } else { None },
+        }];
+        m.items.push(Item::Process(Process {
+            label: "tick".into(),
+            clocked: true,
+            body: vec![Stmt::if_else(
+                Expr::sig("RST"),
+                vec![Stmt::assign("count", Expr::lit(0, 2))],
+                vec![Stmt::if_then(
+                    Expr::sig("EN"),
+                    vec![Stmt::assign("count", Expr::sig("count").add(Expr::lit(1, 2)))],
+                )],
+            )],
+        }));
+        m.items.push(Item::Assign {
+            lhs: "IS_MAX".into(),
+            rhs: Expr::sig("count").eq(Expr::lit(3, 2)),
+        });
+        m
+    }
+
+    fn inputs(d: &CompiledDesign, pairs: &[(&str, u64)]) -> Vec<TWord> {
+        d.inputs
+            .iter()
+            .map(|&id| {
+                let s = &d.signals[id];
+                let v = pairs.iter().find(|(n, _)| *n == s.name).map(|(_, v)| *v).unwrap_or(0);
+                TWord::known(v, s.width)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counter_counts_and_comb_settles() {
+        let m = counter_module(true);
+        let d = CompiledDesign::compile(std::slice::from_ref(&m), "ctr").unwrap();
+        let mut state = d.initial_state();
+        let en = inputs(&d, &[("EN", 1)]);
+        for _ in 0..3 {
+            state = d.step(&state, &en);
+        }
+        let values = d.eval(&state, &en);
+        let count = d.signal_id("count").unwrap();
+        assert_eq!(values[count], TWord::known(3, 2));
+        assert_eq!(values[d.signal_id("IS_MAX").unwrap()], TWord::known(1, 1));
+        // Wraps.
+        state = d.step(&state, &en);
+        assert_eq!(d.eval(&state, &en)[count], TWord::known(0, 2));
+    }
+
+    #[test]
+    fn uninitialized_register_starts_x_and_reset_ignores_it() {
+        let m = counter_module(false);
+        let d = CompiledDesign::compile(std::slice::from_ref(&m), "ctr").unwrap();
+        let state = d.initial_state();
+        assert_eq!(state[0], TWord::unknown(2));
+        // Counting from X stays X (conservative add).
+        let stepped = d.step(&state, &inputs(&d, &[("EN", 1)]));
+        assert_eq!(stepped[0], TWord::unknown(2));
+        // But an explicit reset drives it to a known 0.
+        let reset = d.step(&state, &inputs(&d, &[("RST", 1)]));
+        assert_eq!(reset[0], TWord::known(0, 2));
+    }
+
+    #[test]
+    fn x_condition_joins_branches() {
+        // EN unknown: count could stay 0 or advance to 1 -> low bit X.
+        let m = counter_module(true);
+        let d = CompiledDesign::compile(std::slice::from_ref(&m), "ctr").unwrap();
+        let state = d.initial_state();
+        let mut ins = inputs(&d, &[]);
+        let en_slot = d.inputs.iter().position(|&id| d.signals[id].name == "EN").unwrap();
+        ins[en_slot] = TWord::unknown(1);
+        let next = d.step(&state, &ins);
+        assert_eq!(next[0], TWord { bits: 0, unknown: 0b01, width: 2 });
+    }
+
+    #[test]
+    fn instance_flattening_shares_parent_nets() {
+        let child = counter_module(true);
+        let mut parent = Module::new("top");
+        parent.ports = vec![
+            Port::input("CLK", 1),
+            Port::input("RST", 1),
+            Port::input("GO", 1),
+            Port::output("DONE", 1),
+        ];
+        parent.items.push(Item::Instance(splice_hdl::Instance {
+            label: "u_ctr".into(),
+            module: "ctr".into(),
+            connections: vec![
+                ("CLK".into(), "CLK".into()),
+                ("RST".into(), "RST".into()),
+                ("EN".into(), "GO".into()),
+                ("IS_MAX".into(), "DONE".into()),
+            ],
+        }));
+        let d = CompiledDesign::compile(&[child, parent], "top").unwrap();
+        assert!(d.signal_id("u_ctr.count").is_some(), "child local is prefixed");
+        let mut state = d.initial_state();
+        let go = inputs(&d, &[("GO", 1)]);
+        for _ in 0..3 {
+            state = d.step(&state, &go);
+        }
+        let done = d.signal_id("DONE").unwrap();
+        assert_eq!(d.eval(&state, &go)[done], TWord::known(1, 1));
+    }
+
+    #[test]
+    fn comb_cycle_pins_to_x() {
+        let mut m = Module::new("loopy");
+        m.ports = vec![Port::input("CLK", 1), Port::output("O", 1)];
+        m.decls = vec![
+            Decl::Signal { name: "a".into(), width: 1, init: None },
+            Decl::Signal { name: "b".into(), width: 1, init: None },
+        ];
+        m.items.push(Item::Assign { lhs: "a".into(), rhs: Expr::sig("b") });
+        m.items.push(Item::Assign { lhs: "b".into(), rhs: Expr::sig("a") });
+        m.items.push(Item::Assign { lhs: "O".into(), rhs: Expr::lit(1, 1) });
+        let d = CompiledDesign::compile(std::slice::from_ref(&m), "loopy").unwrap();
+        let values = d.eval(&d.initial_state(), &[TWord::known(0, 1)]);
+        assert_eq!(values[d.signal_id("a").unwrap()], TWord::unknown(1));
+        assert_eq!(values[d.signal_id("O").unwrap()], TWord::known(1, 1));
+    }
+
+    #[test]
+    fn case_with_unknown_selector_joins_reachable_arms() {
+        let mut m = Module::new("mux");
+        m.ports = vec![Port::input("CLK", 1), Port::input("SEL", 2), Port::output("O", 4)];
+        m.items.push(Item::Process(Process {
+            label: "mux".into(),
+            clocked: false,
+            body: vec![Stmt::Case {
+                expr: Expr::sig("SEL"),
+                arms: vec![
+                    (0, vec![Stmt::assign("O", Expr::lit(0b0101, 4))]),
+                    (1, vec![Stmt::assign("O", Expr::lit(0b0111, 4))]),
+                    (2, vec![Stmt::assign("O", Expr::lit(0b1111, 4))]),
+                ],
+                default: Some(vec![Stmt::assign("O", Expr::lit(0, 4))]),
+            }],
+        }));
+        let d = CompiledDesign::compile(std::slice::from_ref(&m), "mux").unwrap();
+        let o = d.signal_id("O").unwrap();
+        // SEL = known 1.
+        let v = d.eval(&[], &[TWord::known(0, 1), TWord::known(1, 2)]);
+        assert_eq!(v[o], TWord::known(0b0111, 4));
+        // SEL = 0b0x: arms 0 and 1 reachable, defaults too (conservative):
+        // bits where all reachable values agree stay known.
+        let sel = TWord { bits: 0, unknown: 0b01, width: 2 };
+        let v = d.eval(&[], &[TWord::known(0, 1), sel]);
+        assert!(v[o].unknown != 0, "join must produce unknowns: {:?}", v[o]);
+        assert_eq!(v[o].bits & 0b1000, 0, "bit 3 is 0 in arms 0/1 and default");
+    }
+}

@@ -1,0 +1,253 @@
+//! Exhaustive reachability over a nondeterministic SIS environment.
+//!
+//! Where the scripted runs of [`crate::env`] check directed liveness (every
+//! driver transaction completes), this module checks *safety over every
+//! reachable state*: starting from reset, the environment may drive any
+//! combination of DATA_IN_VALID / IO_ENABLE, any data value from a small
+//! domain and any FUNC_ID (this function's, the reserved status id 0, and a
+//! foreign id) on every cycle. The BFS verifies that no reachable state
+//! carries X, that DATA_OUT is defined whenever DATA_OUT_VALID is asserted,
+//! and — for composed arbiter designs — that no two function instances
+//! drive the shared return lines in the same cycle.
+//!
+//! Exploration is bounded two ways: `max_states` (a work budget whose
+//! exhaustion is reported as a warning) and `max_depth` (a horizon for
+//! designs whose counters legitimately free-run under arbitrary input,
+//! reported in the statistics only).
+
+use crate::compile::CompiledDesign;
+use crate::env::EnvPins;
+use crate::tv::TWord;
+use std::collections::HashMap;
+
+/// Nondeterministic environment and exploration bounds.
+#[derive(Debug, Clone)]
+pub struct ExploreSpec {
+    /// FUNC_ID values the environment may drive.
+    pub func_ids: Vec<u64>,
+    /// DATA_IN values the environment may drive.
+    pub data_domain: Vec<u64>,
+    /// Stop (with a warning) after this many distinct states.
+    pub max_states: usize,
+    /// Do not expand states deeper than this many steps past reset.
+    pub max_depth: u32,
+}
+
+/// A safety violation found by the BFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BfsViolation {
+    /// A register or observed output carried X after reset.
+    UnknownValue {
+        /// Flattened signal name.
+        signal: String,
+    },
+    /// DATA_OUT carried X while DATA_OUT_VALID was asserted.
+    UnknownData,
+    /// Two instances drove copies of the same shared return line at once.
+    MutexOverlap {
+        /// The shared line (`IO_DONE` or `DATA_OUT_VALID`).
+        line: String,
+        /// First asserted per-instance net.
+        a: String,
+        /// Second asserted per-instance net.
+        b: String,
+    },
+}
+
+/// Result of one exploration.
+#[derive(Debug, Clone)]
+pub struct BfsOutcome {
+    /// Number of distinct reachable register states discovered.
+    pub reachable: usize,
+    /// True when the full reachable set was closed (no cap, no budget).
+    pub complete: bool,
+    /// True when `max_states` stopped the search.
+    pub budget_exhausted: bool,
+    /// True when some states were left unexpanded at `max_depth`.
+    pub depth_capped: bool,
+    /// First violation plus the input trace reaching it (reset rows
+    /// included; the violating observation is at the final row).
+    pub violation: Option<(BfsViolation, Vec<Vec<u64>>)>,
+}
+
+/// A group of per-instance nets that must be mutually exclusive, labelled
+/// with the shared line they multiplex onto.
+#[derive(Debug, Clone)]
+pub struct MutexGroup {
+    /// The shared SIS line (`IO_DONE`, `DATA_OUT_VALID`).
+    pub line: String,
+    /// Signal ids of the per-instance copies.
+    pub members: Vec<usize>,
+}
+
+struct Stored {
+    regs: Vec<TWord>,
+    /// Input row that led here (empty for the reset state).
+    row: Vec<u64>,
+    parent: usize,
+    depth: u32,
+}
+
+/// Breadth-first search of the product of `d` and the free environment.
+pub fn explore(
+    d: &CompiledDesign,
+    pins: &EnvPins,
+    spec: &ExploreSpec,
+    mutex_groups: &[MutexGroup],
+) -> BfsOutcome {
+    let reset_row = |_: ()| -> Vec<u64> {
+        let mut r = vec![0u64; d.inputs.len()];
+        r[pins.rst] = 1;
+        r
+    };
+    let to_words = |row: &[u64]| -> Vec<TWord> {
+        d.inputs
+            .iter()
+            .enumerate()
+            .map(|(slot, &id)| TWord::known(row[slot], d.signals[id].width))
+            .collect()
+    };
+
+    // Two reset steps bring the design to its post-reset state; the reset
+    // prefix is replayed verbatim into every counterexample trace.
+    let mut state = d.initial_state();
+    for _ in 0..2 {
+        state = d.step(&state, &to_words(&reset_row(())));
+    }
+
+    let mut stored: Vec<Stored> = Vec::new();
+    let mut visited: HashMap<Vec<TWord>, usize> = HashMap::new();
+    stored.push(Stored { regs: state.clone(), row: Vec::new(), parent: 0, depth: 0 });
+    visited.insert(state, 0);
+
+    let trace_to = |stored: &[Stored], mut idx: usize, extra: Option<Vec<u64>>| -> Vec<Vec<u64>> {
+        let mut rows: Vec<Vec<u64>> = Vec::new();
+        if let Some(row) = extra {
+            rows.push(row);
+        }
+        while idx != 0 {
+            rows.push(stored[idx].row.clone());
+            idx = stored[idx].parent;
+        }
+        rows.push(reset_row(()));
+        rows.push(reset_row(()));
+        rows.reverse();
+        rows
+    };
+
+    // Check the post-reset state itself (with an idle observation row).
+    let idle = {
+        let mut r = vec![0u64; d.inputs.len()];
+        r[pins.rst] = 0;
+        r
+    };
+    if let Some(v) = check_state(d, pins, &stored[0].regs, &to_words(&idle), mutex_groups) {
+        let trace = trace_to(&stored, 0, Some(idle));
+        return BfsOutcome {
+            reachable: 1,
+            complete: false,
+            budget_exhausted: false,
+            depth_capped: false,
+            violation: Some((v, trace)),
+        };
+    }
+
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(0usize);
+    let mut budget_exhausted = false;
+    let mut depth_capped = false;
+
+    while let Some(idx) = queue.pop_front() {
+        if stored[idx].depth >= spec.max_depth {
+            depth_capped = true;
+            continue;
+        }
+        let depth = stored[idx].depth;
+        for &valid in &[0u64, 1] {
+            for &enable in &[0u64, 1] {
+                for &data in &spec.data_domain {
+                    for &func in &spec.func_ids {
+                        let mut row = vec![0u64; d.inputs.len()];
+                        row[pins.data_in] = data;
+                        row[pins.valid] = valid;
+                        row[pins.enable] = enable;
+                        row[pins.func] = func;
+                        let inputs = to_words(&row);
+                        let next = d.step(&stored[idx].regs, &inputs);
+                        if let Some(v) = check_state(d, pins, &next, &inputs, mutex_groups) {
+                            let trace = trace_to(&stored, idx, Some(row));
+                            return BfsOutcome {
+                                reachable: stored.len(),
+                                complete: false,
+                                budget_exhausted: false,
+                                depth_capped,
+                                violation: Some((v, trace)),
+                            };
+                        }
+                        if visited.contains_key(&next) {
+                            continue;
+                        }
+                        if stored.len() >= spec.max_states {
+                            budget_exhausted = true;
+                            continue;
+                        }
+                        let new_idx = stored.len();
+                        visited.insert(next.clone(), new_idx);
+                        stored.push(Stored { regs: next, row, parent: idx, depth: depth + 1 });
+                        queue.push_back(new_idx);
+                    }
+                }
+            }
+        }
+    }
+
+    BfsOutcome {
+        reachable: stored.len(),
+        complete: !budget_exhausted && !depth_capped,
+        budget_exhausted,
+        depth_capped,
+        violation: None,
+    }
+}
+
+/// Safety checks on one (state, input) edge.
+fn check_state(
+    d: &CompiledDesign,
+    pins: &EnvPins,
+    state: &[TWord],
+    inputs: &[TWord],
+    mutex_groups: &[MutexGroup],
+) -> Option<BfsViolation> {
+    for (slot, &id) in d.registers.iter().enumerate() {
+        if !state[slot].is_known() {
+            return Some(BfsViolation::UnknownValue { signal: d.signals[id].name.clone() });
+        }
+    }
+    let obs = d.eval(state, inputs);
+    for &id in &d.outputs {
+        if !obs[id].is_known() {
+            return Some(BfsViolation::UnknownValue { signal: d.signals[id].name.clone() });
+        }
+    }
+    if obs[pins.dov].is(1) && !obs[pins.data_out].is_known() {
+        return Some(BfsViolation::UnknownData);
+    }
+    for group in mutex_groups {
+        let mut first: Option<usize> = None;
+        for &m in &group.members {
+            if obs[m].is(1) {
+                match first {
+                    None => first = Some(m),
+                    Some(a) => {
+                        return Some(BfsViolation::MutexOverlap {
+                            line: group.line.clone(),
+                            a: d.signals[a].name.clone(),
+                            b: d.signals[m].name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    None
+}

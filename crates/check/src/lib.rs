@@ -1,0 +1,617 @@
+//! # splice-check — model checking of generated designs
+//!
+//! Where `splice-lint` inspects the *structure* of the generated artifacts,
+//! this crate verifies their *behaviour*: every generated HDL module is
+//! compiled into an explicit transition relation over a ternary 0/1/X
+//! domain ([`compile`]), composed with a model of the SIS master
+//! ([`env`]) or a fully nondeterministic environment ([`explore`]), and
+//! exhaustively explored from reset. The properties checked:
+//!
+//! * **SL0401** — after a complete driver round the FSM returns to a state
+//!   from which a second identical round behaves identically.
+//! * **SL0402** — every SIS request is acknowledged within a bound, and no
+//!   acknowledge line rises without a transaction in flight.
+//! * **SL0403** — no two function instances drive a shared return line in
+//!   the same cycle (arbiter composition).
+//! * **SL0404 / SL0405** — no register or observed output carries X after
+//!   reset; `DATA_OUT` is defined whenever `DATA_OUT_VALID` is asserted.
+//! * **SL0406** — (warning) the state budget ran out before the reachable
+//!   set closed.
+//!
+//! Every violation comes with a concrete input trace. When
+//! [`CheckOptions::replay`] is set the trace is replayed against the
+//! event-driven `splice-sim` kernel and the [`Counterexample`] is marked
+//! confirmed only if the violation reproduces dynamically.
+//!
+//! A second, orthogonal pass ([`driver_check`]) cross-checks the generated
+//! C driver text against the IR and the HDL address decode (SL0407–SL0410).
+
+pub mod compile;
+pub mod driver_check;
+pub mod env;
+pub mod explore;
+pub mod replay;
+pub mod tv;
+
+pub use compile::{CompileError, CompiledDesign};
+pub use driver_check::cross_check;
+
+use explore::{BfsOutcome, BfsViolation, ExploreSpec, MutexGroup};
+use splice_core::{BeatCount, DesignIr, StubState};
+use splice_hdl::Module;
+use splice_lint::{Diagnostic, Layer, LintReport, Location};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How hard to check.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOptions {
+    /// Steps a pseudo-async handshake or a status poll may take before the
+    /// run is declared stalled.
+    pub response_bound: u32,
+    /// Distinct-state budget for each exhaustive exploration.
+    pub max_states: usize,
+    /// Exploration horizon in steps past reset.
+    pub max_depth: u32,
+    /// Replay every counterexample against `splice-sim`.
+    pub replay: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> CheckOptions {
+        CheckOptions { response_bound: 16, max_states: 50_000, max_depth: 64, replay: true }
+    }
+}
+
+/// What a counterexample trace demonstrates, in checkable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Witness {
+    /// `signal` stayed low from `from_step` for `bound` + 1 steps.
+    Stall {
+        /// The unresponsive line.
+        signal: String,
+        /// Step the request was issued at.
+        from_step: usize,
+        /// The expired bound.
+        bound: u32,
+    },
+    /// `signal` was high at `step` with no transaction in flight.
+    UnsolicitedAck {
+        /// The offending line.
+        signal: String,
+        /// Trace row index.
+        step: usize,
+    },
+    /// Two per-instance nets were high at once.
+    MutexOverlap {
+        /// First net.
+        a: String,
+        /// Second net.
+        b: String,
+        /// Trace row index.
+        step: usize,
+    },
+    /// `signal` carried X at `step`.
+    UnknownValue {
+        /// Flattened signal name.
+        signal: String,
+        /// Trace row index.
+        step: usize,
+    },
+    /// DATA_OUT was unknown under DATA_OUT_VALID at `step`.
+    UnknownData {
+        /// Trace row index.
+        step: usize,
+    },
+    /// Register state at `second_end` differs from `first_end`.
+    RoundMismatch {
+        /// Round-1 snapshot step.
+        first_end: usize,
+        /// Round-2 snapshot step.
+        second_end: usize,
+    },
+}
+
+/// A concrete stimulus reproducing one violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Module the trace drives.
+    pub module: String,
+    /// The violated rule.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Input port names, in trace-column order.
+    pub inputs: Vec<String>,
+    /// One row of input values per step (reset rows included).
+    pub trace: Vec<Vec<u64>>,
+    /// The checkable claim the trace demonstrates.
+    pub witness: Witness,
+    /// `Some(true)` once the violation reproduced in `splice-sim`,
+    /// `Some(false)` if replay could not reproduce it, `None` before replay.
+    pub confirmed: Option<bool>,
+}
+
+impl Counterexample {
+    /// Render the trace as an aligned step table.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "counterexample: {} in `{}` — {}{}\n",
+            self.code,
+            self.module,
+            self.message,
+            match self.confirmed {
+                Some(true) => " (reproduced in simulation)",
+                Some(false) => " (NOT reproduced in simulation)",
+                None => "",
+            }
+        );
+        let widths: Vec<usize> = self.inputs.iter().map(|n| n.len().max(4)).collect();
+        out.push_str("  step");
+        for (name, w) in self.inputs.iter().zip(&widths) {
+            out.push_str(&format!("  {name:>w$}"));
+        }
+        out.push('\n');
+        for (i, row) in self.trace.iter().enumerate() {
+            out.push_str(&format!("  {i:>4}"));
+            for (v, w) in row.iter().zip(&widths) {
+                out.push_str(&format!("  {v:>w$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Reachability statistics for one explored module (pinned by tests to
+/// catch nondeterminism in the checker itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// Module name.
+    pub module: String,
+    /// Distinct reachable register states discovered.
+    pub reachable: usize,
+    /// True when the reachable set closed within every bound.
+    pub complete: bool,
+}
+
+/// Everything one checking run produced.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Structured findings (SL04xx).
+    pub report: LintReport,
+    /// One concrete trace per behavioural finding.
+    pub counterexamples: Vec<Counterexample>,
+    /// Per-module exploration statistics.
+    pub stats: Vec<ModuleStats>,
+}
+
+impl CheckOutcome {
+    /// Render findings, counterexamples and statistics as text.
+    pub fn render_text(&self) -> String {
+        let mut out = self.report.render_text();
+        for cex in &self.counterexamples {
+            out.push('\n');
+            out.push_str(&cex.render_text());
+        }
+        if !self.stats.is_empty() {
+            out.push('\n');
+            for s in &self.stats {
+                out.push_str(&format!(
+                    "explored `{}`: {} reachable state(s){}\n",
+                    s.module,
+                    s.reachable,
+                    if s.complete { "" } else { " (bounded)" }
+                ));
+            }
+        }
+        out
+    }
+
+    /// Render the whole outcome as one JSON document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n\"report\": ");
+        out.push_str(self.report.render_json().trim_end());
+        out.push_str(",\n\"counterexamples\": [");
+        for (i, cex) in self.counterexamples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"module\": \"{}\", \"code\": \"{}\", \"message\": \"{}\", \
+                 \"confirmed\": {}, \"inputs\": [{}], \"trace\": [{}]}}",
+                cex.module,
+                cex.code,
+                cex.message.replace('\\', "\\\\").replace('"', "\\\""),
+                match cex.confirmed {
+                    Some(b) => b.to_string(),
+                    None => "null".to_owned(),
+                },
+                cex.inputs.iter().map(|n| format!("\"{n}\"")).collect::<Vec<_>>().join(", "),
+                cex.trace
+                    .iter()
+                    .map(|row| {
+                        format!(
+                            "[{}]",
+                            row.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ));
+        }
+        out.push_str("\n],\n\"stats\": [");
+        for (i, s) in self.stats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"module\": \"{}\", \"reachable\": {}, \"complete\": {}}}",
+                s.module, s.reachable, s.complete
+            ));
+        }
+        out.push_str("\n]\n}\n");
+        out
+    }
+}
+
+/// Why a checking run could not start (defects it *finds* are reported as
+/// diagnostics, not errors).
+#[derive(Debug)]
+pub enum CheckError {
+    /// The specification did not parse or validate.
+    Spec(String),
+    /// HDL generation failed.
+    Gen(String),
+    /// A generated module could not be compiled to a transition relation.
+    Compile(CompileError),
+    /// A module is missing part of the ten-signal contract.
+    Pins(String),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Spec(e) => write!(f, "specification error: {e}"),
+            CheckError::Gen(e) => write!(f, "generation error: {e}"),
+            CheckError::Compile(e) => write!(f, "cannot compile generated HDL: {e}"),
+            CheckError::Pins(e) => write!(f, "SIS contract incomplete: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+fn input_names(d: &CompiledDesign) -> Vec<String> {
+    d.inputs.iter().map(|&id| d.signals[id].name.clone()).collect()
+}
+
+/// Map a script violation to (code, message, witness).
+fn script_witness(v: &env::ScriptViolation, step: usize) -> (&'static str, String, Witness) {
+    match v {
+        env::ScriptViolation::Stall { signal, from_step, bound } => (
+            "SL0402",
+            format!(
+                "`{signal}` did not respond within {bound} step(s) of the request at step \
+                 {from_step}"
+            ),
+            Witness::Stall { signal: (*signal).to_owned(), from_step: *from_step, bound: *bound },
+        ),
+        env::ScriptViolation::UnsolicitedAck { signal } => (
+            "SL0402",
+            format!("`{signal}` was asserted at step {step} with no transaction in flight"),
+            Witness::UnsolicitedAck { signal: (*signal).to_owned(), step },
+        ),
+        env::ScriptViolation::UnknownValue { signal } => (
+            "SL0404",
+            format!("`{signal}` carried X at step {step}"),
+            Witness::UnknownValue { signal: signal.clone(), step },
+        ),
+        env::ScriptViolation::UnknownData => (
+            "SL0405",
+            format!("DATA_OUT was unknown while DATA_OUT_VALID was asserted at step {step}"),
+            Witness::UnknownData { step },
+        ),
+        env::ScriptViolation::RoundMismatch { first_end, second_end } => (
+            "SL0401",
+            format!(
+                "register state after round 2 (step {second_end}) differs from the state after \
+                 round 1 (step {first_end}): the FSM is not reusable"
+            ),
+            Witness::RoundMismatch { first_end: *first_end, second_end: *second_end },
+        ),
+    }
+}
+
+/// Fold one BFS outcome into the report / counterexample / stats streams.
+fn record_bfs(
+    module: &str,
+    d: &CompiledDesign,
+    out: BfsOutcome,
+    opts: &CheckOptions,
+    report: &mut LintReport,
+    cexs: &mut Vec<Counterexample>,
+    stats: &mut Vec<ModuleStats>,
+) {
+    if let Some((v, trace)) = out.violation {
+        let step = trace.len().saturating_sub(1);
+        let (code, message, witness) = match v {
+            BfsViolation::UnknownValue { signal } => (
+                "SL0404",
+                format!("`{signal}` carries X in a reachable state (step {step})"),
+                Witness::UnknownValue { signal, step },
+            ),
+            BfsViolation::UnknownData => (
+                "SL0405",
+                format!(
+                    "DATA_OUT is unknown while DATA_OUT_VALID is asserted in a reachable state \
+                     (step {step})"
+                ),
+                Witness::UnknownData { step },
+            ),
+            BfsViolation::MutexOverlap { line, a, b } => (
+                "SL0403",
+                format!("`{a}` and `{b}` drive the shared `{line}` line in the same cycle"),
+                Witness::MutexOverlap { a, b, step },
+            ),
+        };
+        report.push(Diagnostic::error(code, Layer::Hdl, Location::path(module), message.clone()));
+        cexs.push(Counterexample {
+            module: module.to_owned(),
+            code,
+            message,
+            inputs: input_names(d),
+            trace,
+            witness,
+            confirmed: None,
+        });
+    }
+    if out.budget_exhausted {
+        report.push(Diagnostic::warning(
+            "SL0406",
+            Layer::Hdl,
+            Location::path(module),
+            format!(
+                "state budget exhausted after {} state(s) (max_states = {}); safety was only \
+                 verified over the explored prefix",
+                out.reachable, opts.max_states
+            ),
+        ));
+    }
+    stats.push(ModuleStats {
+        module: module.to_owned(),
+        reachable: out.reachable,
+        complete: out.complete,
+    });
+}
+
+/// Model-check the generated HDL of `ir`. `modules` must be the module set
+/// `design_modules` emitted for this IR.
+pub fn check_modules(
+    ir: &DesignIr,
+    modules: &[Module],
+    opts: &CheckOptions,
+) -> Result<CheckOutcome, CheckError> {
+    let mut report = LintReport::new();
+    let mut cexs: Vec<Counterexample> = Vec::new();
+    let mut stats: Vec<ModuleStats> = Vec::new();
+    let mut compiled: HashMap<String, CompiledDesign> = HashMap::new();
+    let id_mask = (1u64 << ir.func_id_width().min(63)) - 1;
+
+    for stub in &ir.stubs {
+        let mod_name = format!("func_{}", stub.name);
+        let d = CompiledDesign::compile(modules, &mod_name).map_err(CheckError::Compile)?;
+        let pins = env::resolve_pins(&d).map_err(CheckError::Pins)?;
+        let my_id = stub.first_func_id as u64;
+
+        // Directed liveness: the driver's own transaction scripts, across
+        // pacings (and element counts for runtime-bounded transfers).
+        let dynamic = stub.states.iter().any(|s| {
+            matches!(
+                s,
+                StubState::Input { beats: BeatCount::Dynamic { .. }, .. }
+                    | StubState::Output { beats: BeatCount::Dynamic { .. }, .. }
+            )
+        });
+        let bounds: &[u64] = if dynamic { &[1, 2] } else { &[1] };
+        'scripts: for &bound in bounds {
+            for pacing in 0..=2u32 {
+                let ops = env::stub_script(stub, ir.sis_mode, bound, 2);
+                let cfg = env::ScriptConfig {
+                    mode: ir.sis_mode,
+                    response_bound: opts.response_bound,
+                    pacing,
+                };
+                let out = env::run_script(&d, &pins, my_id, &ops, cfg);
+                if let Some((v, step)) = out.violation {
+                    let (code, message, witness) = script_witness(&v, step);
+                    report.push(Diagnostic::error(
+                        code,
+                        Layer::Hdl,
+                        Location::path(format!("{mod_name} (pacing {pacing}, bound {bound})")),
+                        message.clone(),
+                    ));
+                    cexs.push(Counterexample {
+                        module: mod_name.clone(),
+                        code,
+                        message,
+                        inputs: input_names(&d),
+                        trace: out.trace,
+                        witness,
+                        confirmed: None,
+                    });
+                    // One counterexample per stub: further pacings would
+                    // near-certainly rediscover the same defect.
+                    break 'scripts;
+                }
+            }
+        }
+
+        // Exhaustive safety under a free environment.
+        let mut func_ids = vec![my_id, env::STATUS_ID, (my_id + 1) & id_mask];
+        func_ids.sort_unstable();
+        func_ids.dedup();
+        let spec = ExploreSpec {
+            func_ids,
+            data_domain: vec![0, 1],
+            max_states: opts.max_states,
+            max_depth: opts.max_depth,
+        };
+        let out = explore::explore(&d, &pins, &spec, &[]);
+        record_bfs(&mod_name, &d, out, opts, &mut report, &mut cexs, &mut stats);
+        compiled.insert(mod_name, d);
+    }
+
+    // Composed design: the arbiter with every instance, checking that the
+    // shared return lines are driven by at most one function per cycle.
+    //
+    // The full product over every instance is exponential in the function
+    // count, but the mutex property is *pairwise*: any k-way overlap on a
+    // shared line contains a 2-way overlap. So the composition is explored
+    // once per instance pair with only that pair's ids (plus the status id)
+    // enabled — every other stub stays frozen at its reset state, which
+    // collapses the product while remaining exhaustive for SL0403. X-safety
+    // of the arbiter's own registers is checked in every run.
+    let arb_name = format!("user_{}", ir.module.params.device_name);
+    if modules.iter().any(|m| m.name == arb_name) {
+        let d = CompiledDesign::compile(modules, &arb_name).map_err(CheckError::Compile)?;
+        let pins = env::resolve_pins(&d).map_err(CheckError::Pins)?;
+        let mut groups = Vec::new();
+        for line in ["IO_DONE", "DATA_OUT_VALID"] {
+            let members: Vec<usize> = ir
+                .arbiter_entries()
+                .iter()
+                .filter_map(|&(si, _, id)| {
+                    d.signal_id(&format!("f{id}_{}_{line}", ir.stubs[si].name))
+                })
+                .collect();
+            if members.len() >= 2 {
+                groups.push(MutexGroup { line: line.to_owned(), members });
+            }
+        }
+        let ids: Vec<u64> = ir.arbiter_entries().iter().map(|&(_, _, id)| id as u64).collect();
+        let mut id_sets: Vec<Vec<u64>> = Vec::new();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                id_sets.push(vec![env::STATUS_ID, a, b]);
+            }
+        }
+        if id_sets.is_empty() {
+            // Single-instance design: one run with everything enabled.
+            let mut all = ids;
+            all.push(env::STATUS_ID);
+            all.sort_unstable();
+            all.dedup();
+            id_sets.push(all);
+        }
+        let mut total = BfsOutcome {
+            reachable: 0,
+            complete: true,
+            budget_exhausted: false,
+            depth_capped: false,
+            violation: None,
+        };
+        for func_ids in id_sets {
+            let spec = ExploreSpec {
+                func_ids,
+                data_domain: vec![0],
+                max_states: opts.max_states,
+                max_depth: opts.max_depth,
+            };
+            let out = explore::explore(&d, &pins, &spec, &groups);
+            // Aggregate: reachable counts sum over pair runs (their state
+            // sets overlap on the common idle background, so this is a
+            // determinism metric, not a distinct-state count).
+            total.reachable += out.reachable;
+            total.complete &= out.complete;
+            total.budget_exhausted |= out.budget_exhausted;
+            total.depth_capped |= out.depth_capped;
+            if out.violation.is_some() {
+                total.violation = out.violation;
+                break;
+            }
+        }
+        record_bfs(&arb_name, &d, total, opts, &mut report, &mut cexs, &mut stats);
+        compiled.insert(arb_name, d);
+    }
+
+    if opts.replay {
+        for cex in &mut cexs {
+            if let Some(d) = compiled.get(&cex.module) {
+                cex.confirmed = Some(replay::confirm(d, cex));
+            }
+        }
+    }
+
+    Ok(CheckOutcome { report, counterexamples: cexs, stats })
+}
+
+/// Check specification text end to end: parse, validate, elaborate,
+/// generate, model-check the HDL, then cross-check the generated driver
+/// against it.
+pub fn check_source(source: &str, opts: &CheckOptions) -> Result<CheckOutcome, CheckError> {
+    let validated = splice_spec::parse_and_validate(source).map_err(|errors| {
+        CheckError::Spec(errors.iter().map(|e| e.kind.to_string()).collect::<Vec<_>>().join("; "))
+    })?;
+    let ir = splice_core::elaborate(&validated.module);
+    let modules = splice_core::hdlgen::design_modules(&ir, "check")
+        .map_err(|e| CheckError::Gen(e.to_string()))?;
+    let mut outcome = check_modules(&ir, &modules, opts)?;
+
+    let p = &ir.module.params;
+    let lib_h =
+        splice_driver::macros::macro_header_with_irq(&p.bus, p.bus_width, p.base_address, p.irq);
+    let driver_c = splice_driver::cgen::driver_source(&ir.module);
+    cross_check(&ir, &modules, &lib_h, &driver_c, &mut outcome.report);
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str =
+        "%bus_type fcb\n%bus_width 32\n%device_name check_dev\nint mac(int a, int b);\n";
+
+    #[test]
+    fn clean_spec_checks_clean_end_to_end() {
+        let out = check_source(CLEAN, &CheckOptions::default()).expect("check runs");
+        assert!(out.report.is_clean(), "{}", out.render_text());
+        assert!(out.counterexamples.is_empty());
+        assert!(!out.stats.is_empty());
+        assert!(out.stats.iter().all(|s| s.reachable > 0), "{:?}", out.stats);
+    }
+
+    #[test]
+    fn checking_is_deterministic() {
+        let a = check_source(CLEAN, &CheckOptions::default()).expect("check runs");
+        let b = check_source(CLEAN, &CheckOptions::default()).expect("check runs");
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn injected_id_macro_mismatch_is_flagged() {
+        let v = splice_spec::parse_and_validate(CLEAN).expect("valid");
+        let ir = splice_core::elaborate(&v.module);
+        let modules = splice_core::hdlgen::design_modules(&ir, "check").expect("generates");
+        let p = &ir.module.params;
+        let lib_h = splice_driver::macros::macro_header_with_irq(
+            &p.bus,
+            p.bus_width,
+            p.base_address,
+            p.irq,
+        );
+        let driver_c = splice_driver::cgen::driver_source(&ir.module)
+            .replace("#define MAC_ID 1", "#define MAC_ID 7");
+        let mut report = LintReport::new();
+        cross_check(&ir, &modules, &lib_h, &driver_c, &mut report);
+        assert!(report.has("SL0407"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn spec_errors_surface_as_check_errors() {
+        let err = check_source("%bus_type fcb\nint f(int a;\n", &CheckOptions::default());
+        assert!(matches!(err, Err(CheckError::Spec(_))), "{err:?}");
+    }
+}

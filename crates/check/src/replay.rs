@@ -1,0 +1,193 @@
+//! Counterexample replay against the event-driven simulation kernel.
+//!
+//! A counterexample trace found by the static explorer is only trusted
+//! after it reproduces dynamically: the trace is played into `splice-sim`
+//! through a [`TracePlayer`] component, the compiled design executes as a
+//! [`CompiledComponent`], and the recorded signal history is checked
+//! against the witness. X values are concretized with a fill bit; witnesses
+//! about unknowns run twice (fill 0 and fill 1) and confirm on divergence.
+//!
+//! Timing bridge: the player writes trace row `t` at sim tick `t`
+//! (post-edge), the design component skips tick 0 and consumes row `t-1`
+//! at tick `t` (pre-edge) — so design step `k` of the checker corresponds
+//! to history entry `k`, and witness step indices line up directly.
+
+use crate::compile::CompiledDesign;
+use crate::tv::TWord;
+use crate::{Counterexample, Witness};
+use splice_sim::{Component, SignalId, SimulatorBuilder, TickCtx};
+
+/// Plays a fixed table of input rows onto a set of signals, one row per
+/// simulation tick.
+pub struct TracePlayer {
+    rows: Vec<Vec<u64>>,
+    ids: Vec<SignalId>,
+    t: usize,
+}
+
+impl Component for TracePlayer {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        if let Some(row) = self.rows.get(self.t) {
+            for (slot, &id) in self.ids.iter().enumerate() {
+                ctx.set(id, row[slot]);
+            }
+        }
+        self.t += 1;
+    }
+
+    fn name(&self) -> &str {
+        "trace-player"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Executes a [`CompiledDesign`] inside the simulation kernel, recording
+/// the full concrete value vector after every step.
+pub struct CompiledComponent {
+    design: CompiledDesign,
+    input_ids: Vec<SignalId>,
+    output_ids: Vec<SignalId>,
+    fill: bool,
+    started: bool,
+    state: Vec<TWord>,
+    /// `history[k][sig]` = concrete value of flattened signal `sig` at
+    /// design step `k`.
+    pub history: Vec<Vec<u64>>,
+}
+
+impl Component for CompiledComponent {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        if !self.started {
+            // Tick 0 has no player row visible yet (rows land post-edge).
+            self.started = true;
+            return;
+        }
+        let inputs: Vec<TWord> = self
+            .design
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(slot, &id)| {
+                TWord::known(ctx.get(self.input_ids[slot]), self.design.signals[id].width)
+            })
+            .collect();
+        let mut next = self.design.step(&self.state, &inputs);
+        // The kernel is two-valued: concretize any X the step produced so
+        // the run stays an honest execution of one possible universe.
+        for v in next.iter_mut() {
+            *v = TWord::known(v.filled(self.fill), v.width);
+        }
+        self.state = next;
+        let obs = self.design.eval(&self.state, &inputs);
+        self.history.push(obs.iter().map(|v| v.filled(self.fill)).collect());
+        for (slot, &id) in self.design.outputs.iter().enumerate() {
+            ctx.set(self.output_ids[slot], obs[id].filled(self.fill));
+        }
+    }
+
+    fn name(&self) -> &str {
+        "compiled-design"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Replay `trace` against `design` with X bits filled as `fill`; returns
+/// the per-step concrete signal history.
+pub fn replay(design: &CompiledDesign, trace: &[Vec<u64>], fill: bool) -> Vec<Vec<u64>> {
+    let mut b = SimulatorBuilder::new();
+    let input_ids: Vec<SignalId> = design
+        .inputs
+        .iter()
+        .map(|&id| b.sig(design.signals[id].name.clone(), design.signals[id].width.min(64)))
+        .collect();
+    let output_ids: Vec<SignalId> = design
+        .outputs
+        .iter()
+        .map(|&id| b.sig(design.signals[id].name.clone(), design.signals[id].width.min(64)))
+        .collect();
+    b.component(Box::new(TracePlayer { rows: trace.to_vec(), ids: input_ids.clone(), t: 0 }));
+    let mut state = design.initial_state();
+    for v in state.iter_mut() {
+        *v = TWord::known(v.filled(fill), v.width);
+    }
+    let cidx = b.component(Box::new(CompiledComponent {
+        design: design.clone(),
+        input_ids,
+        output_ids,
+        fill,
+        started: false,
+        state,
+        history: Vec::new(),
+    }));
+    let mut sim = b.build();
+    // Ticks 0..=n: tick 0 is the player's first write, tick k consumes
+    // row k-1, so n+1 ticks execute every row.
+    sim.run(trace.len() as u64 + 1).expect("replay simulation failed");
+    sim.component::<CompiledComponent>(cidx).expect("compiled component").history.clone()
+}
+
+/// Replay a counterexample and check that its witness reproduces in the
+/// dynamic simulation. Returns true when the violation is confirmed.
+pub fn confirm(design: &CompiledDesign, cex: &Counterexample) -> bool {
+    let sig = |name: &str| design.signal_id(name);
+    match &cex.witness {
+        Witness::Stall { signal, from_step, bound } => {
+            let h = replay(design, &cex.trace, false);
+            let Some(id) = sig(signal) else { return false };
+            let end = (*from_step + *bound as usize).min(h.len().saturating_sub(1));
+            (*from_step..=end).all(|k| h.get(k).map(|row| row[id] == 0).unwrap_or(false))
+        }
+        Witness::UnsolicitedAck { signal, step } => {
+            let h = replay(design, &cex.trace, false);
+            sig(signal).and_then(|id| h.get(*step).map(|row| row[id] == 1)).unwrap_or(false)
+        }
+        Witness::MutexOverlap { a, b, step } => {
+            let h = replay(design, &cex.trace, false);
+            match (sig(a), sig(b), h.get(*step)) {
+                (Some(a), Some(b), Some(row)) => row[a] == 1 && row[b] == 1,
+                _ => false,
+            }
+        }
+        Witness::UnknownValue { signal, step } => {
+            // An X is real when the two fill universes can be told apart.
+            let h0 = replay(design, &cex.trace, false);
+            let h1 = replay(design, &cex.trace, true);
+            let Some(id) = sig(signal) else { return false };
+            let diverges_at =
+                |k: usize| h0.get(k).zip(h1.get(k)).map(|(a, b)| a[id] != b[id]).unwrap_or(false);
+            diverges_at(*step) || (0..h0.len()).any(diverges_at)
+        }
+        Witness::UnknownData { step } => {
+            let h0 = replay(design, &cex.trace, false);
+            let h1 = replay(design, &cex.trace, true);
+            let (Some(dov), Some(data)) = (sig("DATA_OUT_VALID"), sig("DATA_OUT")) else {
+                return false;
+            };
+            match (h0.get(*step), h1.get(*step)) {
+                (Some(a), Some(b)) => a[dov] == 1 && a[data] != b[data],
+                _ => false,
+            }
+        }
+        Witness::RoundMismatch { first_end, second_end } => {
+            let h = replay(design, &cex.trace, false);
+            match (h.get(*first_end), h.get(*second_end)) {
+                (Some(a), Some(b)) => design.registers.iter().any(|&id| a[id] != b[id]),
+                _ => false,
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! The ternary value domain: bit vectors over {0, 1, X}.
+//!
+//! Model checking explores the generated designs from an uninitialized
+//! power-on state, so every signal value is a [`TWord`]: up to 64 bits,
+//! each either known-0, known-1 or unknown (X). Operations are the usual
+//! conservative three-valued extensions — a result bit is known only when
+//! the operand bits that feed it force a single outcome (e.g. `0 and X`
+//! is known 0, `1 and X` is X).
+
+/// A ternary bit vector: `bits` holds the known-1 bits, `unknown` marks the
+/// X bits. Invariant: `bits & unknown == 0` and both fit in `width` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TWord {
+    /// Known-one bits (zero where unknown).
+    pub bits: u64,
+    /// Mask of unknown (X) bits.
+    pub unknown: u64,
+    /// Vector width in bits (1..=64).
+    pub width: u32,
+}
+
+/// The low-`width` bit mask.
+pub fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+impl TWord {
+    /// A fully known value.
+    pub fn known(value: u64, width: u32) -> TWord {
+        TWord { bits: value & mask(width), unknown: 0, width }
+    }
+
+    /// An all-X value.
+    pub fn unknown(width: u32) -> TWord {
+        TWord { bits: 0, unknown: mask(width), width }
+    }
+
+    /// True when no bit is X.
+    pub fn is_known(&self) -> bool {
+        self.unknown == 0
+    }
+
+    /// The concrete value, if fully known.
+    pub fn value(&self) -> Option<u64> {
+        if self.is_known() {
+            Some(self.bits)
+        } else {
+            None
+        }
+    }
+
+    /// True when the vector is known to equal `v`.
+    pub fn is(&self, v: u64) -> bool {
+        self.value() == Some(v & mask(self.width))
+    }
+
+    /// Replace every X bit with `fill` (0 or 1) — used to concretize a
+    /// state for replay.
+    pub fn filled(&self, fill: bool) -> u64 {
+        if fill {
+            self.bits | self.unknown
+        } else {
+            self.bits
+        }
+    }
+
+    /// Zero-extend or truncate to `width`. Truncation drops high bits;
+    /// extension adds known-0 bits (hardware zero-extension semantics).
+    pub fn resize(&self, width: u32) -> TWord {
+        TWord { bits: self.bits & mask(width), unknown: self.unknown & mask(width), width }
+    }
+
+    /// Bitwise AND: known-0 dominates on either side.
+    pub fn and(&self, other: &TWord) -> TWord {
+        let w = self.width.max(other.width);
+        let (a, b) = (self.resize(w), other.resize(w));
+        // A result bit is X only when neither side forces a 0.
+        let known0 = (!a.bits & !a.unknown) | (!b.bits & !b.unknown);
+        let bits = a.bits & b.bits;
+        let unknown = !bits & !known0 & mask(w);
+        TWord { bits, unknown, width: w }
+    }
+
+    /// Bitwise OR: known-1 dominates on either side.
+    pub fn or(&self, other: &TWord) -> TWord {
+        let w = self.width.max(other.width);
+        let (a, b) = (self.resize(w), other.resize(w));
+        let bits = a.bits | b.bits;
+        let unknown = (a.unknown | b.unknown) & !bits & mask(w);
+        TWord { bits, unknown, width: w }
+    }
+
+    /// Bitwise NOT: known bits flip, X stays X.
+    pub fn not(&self) -> TWord {
+        let m = mask(self.width);
+        TWord { bits: !self.bits & !self.unknown & m, unknown: self.unknown, width: self.width }
+    }
+
+    /// Three-valued equality (1-bit result): known 1/0 when the comparison
+    /// is forced, X when any differing decision rests on an unknown bit.
+    pub fn eq(&self, other: &TWord) -> TWord {
+        let w = self.width.max(other.width);
+        let (a, b) = (self.resize(w), other.resize(w));
+        // Any pair of *known* differing bits forces inequality.
+        let known = !a.unknown & !b.unknown;
+        if (a.bits ^ b.bits) & known != 0 {
+            return TWord::known(0, 1);
+        }
+        if a.unknown | b.unknown != 0 {
+            return TWord::unknown(1);
+        }
+        TWord::known(1, 1)
+    }
+
+    /// Three-valued inequality.
+    pub fn ne(&self, other: &TWord) -> TWord {
+        self.eq(other).not()
+    }
+
+    /// Wrapping addition; conservative all-X when any operand bit is X.
+    pub fn add(&self, other: &TWord) -> TWord {
+        let w = self.width.max(other.width);
+        match (self.value(), other.value()) {
+            (Some(a), Some(b)) => TWord::known(a.wrapping_add(b), w),
+            _ => TWord::unknown(w),
+        }
+    }
+
+    /// Wrapping subtraction; conservative all-X when any operand bit is X.
+    pub fn sub(&self, other: &TWord) -> TWord {
+        let w = self.width.max(other.width);
+        match (self.value(), other.value()) {
+            (Some(a), Some(b)) => TWord::known(a.wrapping_sub(b), w),
+            _ => TWord::unknown(w),
+        }
+    }
+
+    /// Unsigned less-than; X when either side has unknown bits.
+    pub fn lt(&self, other: &TWord) -> TWord {
+        match (self.value(), other.value()) {
+            (Some(a), Some(b)) => TWord::known((a < b) as u64, 1),
+            _ => TWord::unknown(1),
+        }
+    }
+
+    /// Unsigned greater-or-equal; X when either side has unknown bits.
+    pub fn ge(&self, other: &TWord) -> TWord {
+        match (self.value(), other.value()) {
+            (Some(a), Some(b)) => TWord::known((a >= b) as u64, 1),
+            _ => TWord::unknown(1),
+        }
+    }
+
+    /// Bit slice `[hi..=lo]`.
+    pub fn slice(&self, hi: u32, lo: u32) -> TWord {
+        let w = hi.saturating_sub(lo) + 1;
+        TWord {
+            bits: (self.bits >> lo) & mask(w),
+            unknown: (self.unknown >> lo) & mask(w),
+            width: w,
+        }
+    }
+
+    /// Concatenate with `low` below this word (self becomes the high part).
+    pub fn concat(&self, low: &TWord) -> TWord {
+        let w = self.width + low.width;
+        debug_assert!(w <= 64, "concatenation exceeds the 64-bit model domain");
+        TWord {
+            bits: (self.bits << low.width) | low.bits,
+            unknown: (self.unknown << low.width) | low.unknown,
+            width: w,
+        }
+    }
+
+    /// Branch-merge join: bits that agree and are known on both sides stay
+    /// known; everything else becomes X. This is the value of a signal
+    /// after an `if` whose condition is unknown.
+    pub fn join(&self, other: &TWord) -> TWord {
+        let w = self.width.max(other.width);
+        let (a, b) = (self.resize(w), other.resize(w));
+        let unknown = (a.unknown | b.unknown | (a.bits ^ b.bits)) & mask(w);
+        TWord { bits: a.bits & b.bits & !unknown, unknown, width: w }
+    }
+
+    /// Could this vector equal the concrete value `v`? (X bits are free.)
+    pub fn may_equal(&self, v: u64) -> bool {
+        let v = v & mask(self.width);
+        (self.bits ^ v) & !self.unknown == 0
+    }
+
+    /// Render as a binary string with `x` for unknown bits (LSB last).
+    pub fn render(&self) -> String {
+        let mut s = String::with_capacity(self.width as usize);
+        for i in (0..self.width).rev() {
+            let m = 1u64 << i;
+            s.push(if self.unknown & m != 0 {
+                'x'
+            } else if self.bits & m != 0 {
+                '1'
+            } else {
+                '0'
+            });
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: u64 = 1;
+    const F: u64 = 0;
+
+    fn x() -> TWord {
+        TWord::unknown(1)
+    }
+    fn b(v: u64) -> TWord {
+        TWord::known(v, 1)
+    }
+
+    #[test]
+    fn and_truth_table_with_x() {
+        // 0 dominates; 1 and X = X; X and X = X.
+        assert_eq!(b(F).and(&x()), b(F));
+        assert_eq!(x().and(&b(F)), b(F));
+        assert_eq!(b(T).and(&x()), x());
+        assert_eq!(x().and(&b(T)), x());
+        assert_eq!(x().and(&x()), x());
+        assert_eq!(b(T).and(&b(T)), b(T));
+        assert_eq!(b(T).and(&b(F)), b(F));
+    }
+
+    #[test]
+    fn or_truth_table_with_x() {
+        // 1 dominates; 0 or X = X; X or X = X.
+        assert_eq!(b(T).or(&x()), b(T));
+        assert_eq!(x().or(&b(T)), b(T));
+        assert_eq!(b(F).or(&x()), x());
+        assert_eq!(x().or(&b(F)), x());
+        assert_eq!(x().or(&x()), x());
+        assert_eq!(b(F).or(&b(F)), b(F));
+    }
+
+    #[test]
+    fn not_truth_table_with_x() {
+        assert_eq!(b(T).not(), b(F));
+        assert_eq!(b(F).not(), b(T));
+        assert_eq!(x().not(), x());
+    }
+
+    #[test]
+    fn eq_is_three_valued() {
+        let a = TWord::known(0b1010, 4);
+        assert_eq!(a.eq(&TWord::known(0b1010, 4)), b(T));
+        assert_eq!(a.eq(&TWord::known(0b1011, 4)), b(F));
+        // One X bit but a known differing bit still decides.
+        let partial = TWord { bits: 0b0010, unknown: 0b0001, width: 4 };
+        assert_eq!(a.eq(&partial), b(F), "bit 3 differs and is known on both sides");
+        // X only where values otherwise agree: undecidable.
+        let agree = TWord { bits: 0b1010, unknown: 0b0100, width: 4 };
+        assert_eq!(TWord::known(0b1010, 4).eq(&agree), x());
+        assert_eq!(TWord::known(0b1010, 4).ne(&agree), x());
+    }
+
+    #[test]
+    fn arith_and_compare_go_all_x_on_any_unknown() {
+        let k = TWord::known(3, 4);
+        let p = TWord { bits: 0b0010, unknown: 0b0001, width: 4 };
+        assert_eq!(k.add(&p), TWord::unknown(4));
+        assert_eq!(k.sub(&p), TWord::unknown(4));
+        assert_eq!(k.lt(&p), x());
+        assert_eq!(k.ge(&p), x());
+        assert_eq!(k.add(&TWord::known(14, 4)), TWord::known(1, 4), "wraps in-width");
+    }
+
+    #[test]
+    fn slice_and_concat_track_unknown_bits() {
+        let v = TWord { bits: 0b1000, unknown: 0b0010, width: 4 };
+        assert_eq!(v.slice(3, 2), TWord::known(0b10, 2));
+        assert_eq!(v.slice(1, 0), TWord { bits: 0, unknown: 0b10, width: 2 });
+        let c = v.slice(3, 2).concat(&v.slice(1, 0));
+        assert_eq!(c, TWord { bits: 0b1000, unknown: 0b0010, width: 4 });
+    }
+
+    #[test]
+    fn join_merges_branches_conservatively() {
+        let a = TWord::known(0b1100, 4);
+        let z = TWord::known(0b1010, 4);
+        let j = a.join(&z);
+        assert_eq!(j, TWord { bits: 0b1000, unknown: 0b0110, width: 4 });
+        assert_eq!(a.join(&a), a, "agreeing branches stay known");
+        assert_eq!(a.join(&TWord::unknown(4)), TWord::unknown(4));
+    }
+
+    #[test]
+    fn may_equal_respects_unknown_freedom() {
+        let p = TWord { bits: 0b100, unknown: 0b001, width: 3 };
+        assert!(p.may_equal(0b100));
+        assert!(p.may_equal(0b101));
+        assert!(!p.may_equal(0b110));
+        assert!(!p.may_equal(0b000));
+    }
+
+    #[test]
+    fn filled_concretizes_both_ways() {
+        let p = TWord { bits: 0b100, unknown: 0b011, width: 3 };
+        assert_eq!(p.filled(false), 0b100);
+        assert_eq!(p.filled(true), 0b111);
+    }
+
+    #[test]
+    fn render_marks_x_bits() {
+        let p = TWord { bits: 0b100, unknown: 0b010, width: 3 };
+        assert_eq!(p.render(), "1x0");
+    }
+}

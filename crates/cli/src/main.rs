@@ -13,10 +13,15 @@
 //! promotes warnings for CI. `splice lint <spec>` (or `--lint`) runs the
 //! analysis alone without generating anything.
 //!
+//! `splice check <spec>` (or `--check` during generation) goes further
+//! than lint: it model-checks the generated FSMs against the SIS protocol
+//! (`splice-check`) and cross-checks the C driver against the HDL.
+//!
 //! ```text
 //! USAGE:
 //!   splice [OPTIONS] <spec-file>
 //!   splice lint [OPTIONS] <spec-file>
+//!   splice check [OPTIONS] <spec-file>
 //!
 //! OPTIONS:
 //!   -o, --out <dir>     parent directory for the device subdirectory (default .)
@@ -49,6 +54,9 @@ struct Options {
     linux: bool,
     metrics: Option<PathBuf>,
     lint_only: bool,
+    check_only: bool,
+    check: bool,
+    check_opts: splice_check::CheckOptions,
     deny_warnings: bool,
     json: bool,
 }
@@ -59,21 +67,30 @@ splice — a standardized peripheral logic and interface creation engine
 USAGE:
   splice [OPTIONS] <spec-file>        generate HDL + drivers (lints first)
   splice lint [OPTIONS] <spec-file>   static analysis only, no generation
+  splice check [OPTIONS] <spec-file>  model-check the generated design, no output
 
 OPTIONS:
   -o, --out <dir>       parent directory for the device subdirectory (default .)
   -f, --force           overwrite an existing device directory without asking
   -n, --dry-run         print what would be generated without writing files
       --lint            lint only: report SLxxxx diagnostics, generate nothing
-      --deny-warnings   treat lint warnings as errors (CI)
-      --json            render the lint report as JSON (lint mode)
+      --check           model-check the design before generating (see `splice check`)
+      --deny-warnings   treat lint/check warnings as errors (CI)
+      --json            render the lint/check report as JSON
       --resources       print the estimated FPGA resource bill
       --linux           also emit splice_lib_linux.h (mmap-based user-space driver)
       --metrics <f>     write generation-pipeline metrics to <f> as JSON
       --list-buses      list the registered bus libraries and exit
   -h, --help            show this help
 
-Lint rule codes are catalogued in docs/lint.md.
+CHECK OPTIONS (check mode / --check):
+      --bound <n>       handshake response bound in steps (default 16)
+      --max-states <n>  distinct-state budget per exploration (default 50000)
+      --max-depth <n>   exploration horizon past reset (default 64)
+      --no-replay       skip replaying counterexamples against splice-sim
+
+Lint rule codes are catalogued in docs/lint.md; the model-checking
+properties (SL04xx) in docs/model-checking.md.
 ";
 
 fn main() -> ExitCode {
@@ -96,20 +113,38 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut linux = false;
     let mut metrics = None;
     let mut lint_only = false;
+    let mut check_only = false;
+    let mut check = false;
+    let mut check_opts = splice_check::CheckOptions::default();
     let mut deny_warnings = false;
     let mut json = false;
-    // `splice lint <spec>` is sugar for `splice --lint <spec>`.
+    // `splice lint <spec>` / `splice check <spec>` are sugar for the flags.
     let args = match args.first().map(String::as_str) {
         Some("lint") => {
             lint_only = true;
             &args[1..]
         }
+        Some("check") => {
+            check_only = true;
+            &args[1..]
+        }
         _ => args,
+    };
+    let num = |it: &mut std::slice::Iter<String>, opt: &str| -> Result<u64, String> {
+        it.next()
+            .ok_or_else(|| format!("{opt} needs a numeric argument"))?
+            .parse::<u64>()
+            .map_err(|e| format!("{opt}: {e}"))
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--lint" => lint_only = true,
+            "--check" => check = true,
+            "--no-replay" => check_opts.replay = false,
+            "--bound" => check_opts.response_bound = num(&mut it, "--bound")? as u32,
+            "--max-states" => check_opts.max_states = num(&mut it, "--max-states")? as usize,
+            "--max-depth" => check_opts.max_depth = num(&mut it, "--max-depth")? as u32,
             "--deny-warnings" => deny_warnings = true,
             "--json" => json = true,
             "-h" | "--help" => {
@@ -156,9 +191,36 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         linux,
         metrics,
         lint_only,
+        check_only,
+        check,
+        check_opts,
         deny_warnings,
         json,
     }))
+}
+
+/// Run the model checker over spec text and render its outcome. Returns the
+/// process exit code: success, failure (findings), or 2 when the run could
+/// not start at all.
+fn run_check(source: &str, opts: &Options) -> ExitCode {
+    match splice_check::check_source(source, &opts.check_opts) {
+        Ok(outcome) => {
+            if opts.json {
+                print!("{}", outcome.render_json());
+            } else {
+                print!("{}", outcome.render_text());
+            }
+            if outcome.report.fails(opts.deny_warnings) {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("splice check: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -187,6 +249,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         });
     }
 
+    // Check-only mode: model-check the generated design and report.
+    if opts.check_only {
+        return Ok(run_check(&source, &opts));
+    }
+
     // Front end: parse + validate against the registered bus libraries.
     let spec = match splice_spec::parser::parse(&source) {
         Ok(s) => s,
@@ -211,13 +278,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let ir = elaborate(&module);
     let markers = lib.markers(&ir);
     let hw = generate_hardware(&ir, &lib.interface_template(&ir), &markers, &gen_date())
-        .map_err(|e| format!("template expansion failed: {e}"))?;
+        .map_err(|e| format!("hardware generation failed: {e}"))?;
     // Post-generation lint: generated designs must satisfy the same rules
     // a hand-written design would. Errors abort before anything is written.
     let mut lint = splice_lint::LintReport::new();
     splice_lint::lint_spec(&spec, &source, &libs.spec_registry(), &mut lint);
     splice_lint::lint_ir(&ir, &mut lint);
-    splice_lint::lint_modules(&splice_core::hdlgen::design_modules(&ir, &gen_date()), &mut lint);
+    let modules = splice_core::hdlgen::design_modules(&ir, &gen_date())
+        .map_err(|e| format!("hardware generation failed: {e}"))?;
+    splice_lint::lint_modules(&modules, &mut lint);
     if !lint.is_clean() {
         eprint!("{}", lint.render_text());
     }
@@ -227,6 +296,36 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             lint.error_count(),
             lint.warning_count()
         ));
+    }
+
+    // Optional model check (--check): verify FSM behaviour and the
+    // driver/HDL contract before writing anything.
+    if opts.check {
+        let mut outcome = splice_check::check_modules(&ir, &modules, &opts.check_opts)
+            .map_err(|e| format!("model check failed to run: {e}"))?;
+        let lib_h = splice_driver::macros::macro_header_with_irq(
+            &module.params.bus,
+            module.params.bus_width,
+            module.params.base_address,
+            module.params.irq,
+        );
+        splice_check::cross_check(
+            &ir,
+            &modules,
+            &lib_h,
+            &driver_source(&module),
+            &mut outcome.report,
+        );
+        if !outcome.report.is_clean() {
+            eprint!("{}", outcome.render_text());
+        }
+        if outcome.report.fails(opts.deny_warnings) {
+            return Err(format!(
+                "model check reported {} error(s) and {} warning(s); nothing generated",
+                outcome.report.error_count(),
+                outcome.report.warning_count()
+            ));
+        }
     }
 
     let dev = module.params.device_name.clone();

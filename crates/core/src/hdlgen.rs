@@ -14,6 +14,7 @@
 
 use crate::ir::{BeatCount, DesignIr, FunctionStub, StubState};
 use crate::template::{expand, MarkerSet, TemplateError};
+use splice_driver::lower::TransferShape;
 use splice_hdl::{emit, Decl, Expr, Hdl, Instance, Item, Module, Port, Process, Stmt};
 use splice_spec::validate::TargetHdl;
 
@@ -24,6 +25,50 @@ pub struct GeneratedFile {
     pub name: String,
     /// Full source text.
     pub text: String,
+}
+
+/// Why structural HDL generation failed. Generation is driven by an
+/// elaborated [`DesignIr`]; these errors flag an IR whose stub table and
+/// validated function list disagree (a pipeline bug or a hand-built IR),
+/// reported structurally instead of panicking mid-generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HdlGenError {
+    /// Marker expansion of the bus interface template failed.
+    Template(TemplateError),
+    /// A stub names a function absent from the validated module.
+    MissingFunction {
+        /// The stub's function name.
+        stub: String,
+    },
+    /// A stub state references an input index the function does not have.
+    MissingInput {
+        /// The stub's function name.
+        stub: String,
+        /// The out-of-range input index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for HdlGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HdlGenError::Template(e) => write!(f, "template expansion failed: {e}"),
+            HdlGenError::MissingFunction { stub } => {
+                write!(f, "stub `{stub}` has no matching function in the validated module")
+            }
+            HdlGenError::MissingInput { stub, index } => {
+                write!(f, "stub `{stub}` references input #{index}, which does not exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HdlGenError {}
+
+impl From<TemplateError> for HdlGenError {
+    fn from(e: TemplateError) -> HdlGenError {
+        HdlGenError::Template(e)
+    }
 }
 
 /// The target HDL of a design, as a `splice-hdl` selector.
@@ -42,7 +87,7 @@ pub fn generate_hardware(
     interface_template: &str,
     extra_markers: &MarkerSet,
     gen_date: &str,
-) -> Result<Vec<GeneratedFile>, TemplateError> {
+) -> Result<Vec<GeneratedFile>, HdlGenError> {
     let hdl = hdl_of(ir);
     let ext = hdl.extension();
     let mut files = Vec::with_capacity(ir.stubs.len() + 2);
@@ -65,7 +110,7 @@ pub fn generate_hardware(
 
     // 3. One stub per declaration.
     for stub in &ir.stubs {
-        let m = stub_module(ir, stub, gen_date);
+        let m = stub_module(ir, stub, gen_date)?;
         files
             .push(GeneratedFile { name: format!("func_{}.{ext}", stub.name), text: emit(&m, hdl) });
     }
@@ -92,17 +137,21 @@ pub fn standard_markers(ir: &DesignIr, gen_date: &str) -> MarkerSet {
 }
 
 /// The per-function markers of Fig 7.1 for one stub.
-pub fn function_markers(ir: &DesignIr, stub: &FunctionStub, gen_date: &str) -> MarkerSet {
+pub fn function_markers(
+    ir: &DesignIr,
+    stub: &FunctionStub,
+    gen_date: &str,
+) -> Result<MarkerSet, HdlGenError> {
     let hdl = hdl_of(ir);
     let mut m = standard_markers(ir, gen_date);
     m.set("FUNC_NAME", stub.name.clone());
     m.set("MY_FUNC_ID", stub.first_func_id.to_string());
     m.set("FUNC_INSTS", stub.instances.to_string());
-    m.set("FUNC_CONSTS", render_decls(&stub_constants(ir, stub), hdl));
+    m.set("FUNC_CONSTS", render_decls(&stub_constants(ir, stub)?, hdl));
     m.set("FUNC_SIGNALS", render_decls(&stub_signals(ir, stub), hdl));
     m.set("FUNC_FSM", render_items(&[Item::Process(smb_process(stub))], hdl));
-    m.set("FUNC_STUB", render_items(&[Item::Process(icob_process(ir, stub))], hdl));
-    m
+    m.set("FUNC_STUB", render_items(&[Item::Process(icob_process(ir, stub)?)], hdl));
+    Ok(m)
 }
 
 // ---------------------------------------------------------------------
@@ -131,17 +180,38 @@ fn sis_ports(bus_width: u32, func_id_width: u32, irq: bool) -> Vec<Port> {
     ports
 }
 
-fn state_const_name(stub: &FunctionStub, ir: &DesignIr, idx: usize) -> String {
-    let f = ir.module.function(&stub.name).expect("stub has a function");
-    match &stub.states[idx] {
-        StubState::Input { io, .. } => format!("IN_{}", f.inputs[*io].name),
+/// Look up the function a stub was elaborated from, or report the IR as
+/// inconsistent.
+fn stub_function<'a>(
+    ir: &'a DesignIr,
+    stub: &FunctionStub,
+) -> Result<&'a splice_spec::validate::ValidatedFunction, HdlGenError> {
+    ir.module
+        .function(&stub.name)
+        .ok_or_else(|| HdlGenError::MissingFunction { stub: stub.name.clone() })
+}
+
+/// Look up a stub input by ICOB state index, or report the IR as
+/// inconsistent.
+fn stub_input<'a>(
+    f: &'a splice_spec::validate::ValidatedFunction,
+    stub: &FunctionStub,
+    io: usize,
+) -> Result<&'a splice_spec::validate::ValidatedIo, HdlGenError> {
+    f.inputs.get(io).ok_or_else(|| HdlGenError::MissingInput { stub: stub.name.clone(), index: io })
+}
+
+fn state_const_name(stub: &FunctionStub, ir: &DesignIr, idx: usize) -> Result<String, HdlGenError> {
+    let f = stub_function(ir, stub)?;
+    Ok(match &stub.states[idx] {
+        StubState::Input { io, .. } => format!("IN_{}", stub_input(f, stub, *io)?.name),
         StubState::Calc => "CALC_STATE".into(),
         StubState::Output { .. } => "OUT_RESULT".into(),
         StubState::PseudoOutput => "OUT_SYNC".into(),
-    }
+    })
 }
 
-fn stub_constants(ir: &DesignIr, stub: &FunctionStub) -> Vec<Decl> {
+fn stub_constants(ir: &DesignIr, stub: &FunctionStub) -> Result<Vec<Decl>, HdlGenError> {
     let mut decls = Vec::new();
     decls.push(Decl::Comment(format!(
         "Function identifier assigned to `{}` (instances {})",
@@ -155,18 +225,18 @@ fn stub_constants(ir: &DesignIr, stub: &FunctionStub) -> Vec<Decl> {
     let sb = stub.state_bits();
     for (i, _) in stub.states.iter().enumerate() {
         decls.push(Decl::Constant {
-            name: state_const_name(stub, ir, i),
+            name: state_const_name(stub, ir, i)?,
             width: sb,
             value: i as u64,
         });
     }
     // Tracker bound constants for statically bounded multi-beat transfers
     // (inputs and the `result` output alike).
-    let f = ir.module.function(&stub.name).expect("function");
+    let f = stub_function(ir, stub)?;
     for st in &stub.states {
         let (name, n) = match st {
             StubState::Input { io, beats: BeatCount::Static(n), .. } if *n > 1 => {
-                (f.inputs[*io].name.as_str(), *n)
+                (stub_input(f, stub, *io)?.name.as_str(), *n)
             }
             StubState::Output { beats: BeatCount::Static(n), .. } if *n > 1 => ("result", *n),
             _ => continue,
@@ -177,7 +247,7 @@ fn stub_constants(ir: &DesignIr, stub: &FunctionStub) -> Vec<Decl> {
             value: n - 1,
         });
     }
-    decls
+    Ok(decls)
 }
 
 fn stub_signals(ir: &DesignIr, stub: &FunctionStub) -> Vec<Decl> {
@@ -204,8 +274,22 @@ fn stub_signals(ir: &DesignIr, stub: &FunctionStub) -> Vec<Decl> {
             });
         }
     }
+    if has_read_state(stub) {
+        decls.push(Decl::Comment(
+            "Read-request latch: a one-cycle IO_ENABLE strobe that lands during \
+             the state-commit lag (§5.3.2) is remembered here until served"
+                .into(),
+        ));
+        decls.push(Decl::Signal { name: "pending_read".into(), width: 1, init: Some(0) });
+    }
     let _ = ir;
     decls
+}
+
+/// Whether the stub ever serves a read (a result transfer or a blocking
+/// completion handshake).
+fn has_read_state(stub: &FunctionStub) -> bool {
+    stub.states.iter().any(|s| matches!(s, StubState::Output { .. } | StubState::PseudoOutput))
 }
 
 /// The State Machine Block: advances `cur_state` to `next_state` each clock
@@ -267,37 +351,92 @@ fn counted_advance(
 }
 
 /// The latch of a dynamic transfer's element count: `<array>_bound` takes
-/// the low bits of `DATA_IN` while the index parameter's beat is accepted.
-fn bound_latch(stub: &FunctionStub, array: &str, bus_width: u32) -> Stmt {
+/// the *beat* count derived from `DATA_IN` while the index parameter's beat
+/// is accepted. The tracker counts bus beats, so the element count on the
+/// wire must be mapped through the transfer shape: packed transfers carry
+/// `per_beat` elements per beat (round up), split transfers need
+/// `beats_per_elem` beats per element. Both factors are powers of two, so
+/// the mapping is a shift built from slices and concatenation.
+fn bound_latch(stub: &FunctionStub, array: &str, shape: TransferShape, bus_width: u32) -> Stmt {
     let w = stub
         .trackers
         .iter()
         .find(|t| t.for_io == array)
         .map(|t| t.comparator_bits)
         .unwrap_or(bus_width);
-    let rhs = if w >= bus_width {
-        Expr::sig("DATA_IN")
-    } else {
-        Expr::Slice { base: Box::new(Expr::sig("DATA_IN")), hi: w - 1, lo: 0 }
+    let take = |e: Expr, avail: u32| {
+        // Resize `e` (of `avail` bits) to exactly `w` bits.
+        match avail.cmp(&w) {
+            std::cmp::Ordering::Equal => e,
+            std::cmp::Ordering::Greater => Expr::Slice { base: Box::new(e), hi: w - 1, lo: 0 },
+            std::cmp::Ordering::Less => Expr::Concat(vec![Expr::lit(0, w - avail), e]),
+        }
+    };
+    let rhs = match shape {
+        TransferShape::Direct => take(Expr::sig("DATA_IN"), bus_width),
+        // Non-power-of-two factors would need a divider/multiplier; keep the
+        // raw element count as before (the lint layer flags such trackers).
+        TransferShape::Packed { per_beat } if !per_beat.is_power_of_two() => {
+            take(Expr::sig("DATA_IN"), bus_width)
+        }
+        TransferShape::Split { beats_per_elem } if !beats_per_elem.is_power_of_two() => {
+            take(Expr::sig("DATA_IN"), bus_width)
+        }
+        TransferShape::Packed { per_beat } => {
+            // beats = ceil(elems / per_beat) = (elems + per_beat - 1) >> s.
+            let s = per_beat.trailing_zeros();
+            let sum = Expr::sig("DATA_IN").add(Expr::lit(u64::from(per_beat) - 1, bus_width));
+            let hi = (s + w - 1).min(bus_width - 1);
+            take(Expr::Slice { base: Box::new(sum), hi, lo: s }, hi - s + 1)
+        }
+        TransferShape::Split { beats_per_elem } => {
+            // beats = elems << s.
+            let s = beats_per_elem.trailing_zeros();
+            if s == 0 || s >= w {
+                take(Expr::sig("DATA_IN"), bus_width)
+            } else {
+                let kept = Expr::Slice {
+                    base: Box::new(Expr::sig("DATA_IN")),
+                    hi: (w - s - 1).min(bus_width - 1),
+                    lo: 0,
+                };
+                let avail = (w - s).min(bus_width) + s;
+                take(Expr::Concat(vec![kept, Expr::lit(0, s)]), avail)
+            }
+        }
     };
     Stmt::assign(format!("{array}_bound"), rhs)
 }
 
 /// The Input-Calculation-Output Block (§5.3.1): all bus interaction for the
 /// function, with a blank calculation state.
-fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
-    let f = ir.module.function(&stub.name).expect("function");
+fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Result<Process, HdlGenError> {
+    let f = stub_function(ir, stub)?;
     let p = &ir.module.params;
     let sb = stub.state_bits();
     let n_states = stub.states.len();
+    let serves_reads = has_read_state(stub);
     let mut arms: Vec<(u64, Vec<Stmt>)> = Vec::with_capacity(n_states);
 
     let addressed = Expr::sig("FUNC_ID").eq(Expr::sig("MY_FUNC_ID"));
+    // A read request is served when either the strobe is live this cycle or
+    // a strobe was latched into `pending_read` while the FSM's state commit
+    // was still in flight (§5.3.2): without the latch a one-cycle IO_ENABLE
+    // pulse that lands during the commit lag is silently dropped and the
+    // master stalls forever waiting for IO_DONE.
+    let read_req = |live_only: bool| {
+        let strobe = if serves_reads && !live_only {
+            Expr::sig("IO_ENABLE").or(Expr::sig("pending_read"))
+        } else {
+            Expr::sig("IO_ENABLE")
+        };
+        strobe.and(Expr::sig("DATA_IN_VALID").not()).and(addressed.clone())
+    };
     for (i, st) in stub.states.iter().enumerate() {
         let next = ((i + 1) % n_states) as u64;
         let body = match st {
             StubState::Input { io, beats, ignore_tail_bits } => {
-                let name = &f.inputs[*io].name;
+                let name = &stub_input(f, stub, *io)?.name;
                 let mut b = vec![Stmt::Comment(format!(
                     "Handling input `{name}`{}",
                     if *ignore_tail_bits > 0 {
@@ -308,13 +447,18 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
                         String::new()
                     }
                 ))];
-                let accept = Expr::sig("DATA_IN_VALID").and(addressed.clone());
+                // A write beat is accepted only while the strobe is live:
+                // without the IO_ENABLE term the master's hold cycle (data
+                // and valid still driven, enable deasserted) would be
+                // accepted a second time.
+                let accept =
+                    Expr::sig("IO_ENABLE").and(Expr::sig("DATA_IN_VALID")).and(addressed.clone());
                 let mut on_accept = vec![
                     Stmt::Comment(format!("TODO(user): store DATA_IN for `{name}` here")),
                     Stmt::assign("IO_DONE", Expr::lit(1, 1)),
                 ];
                 if let BeatCount::Dynamic { index_input, .. } = beats {
-                    let idx_name = &f.inputs[*index_input].name;
+                    let idx_name = &stub_input(f, stub, *index_input)?.name;
                     on_accept.insert(
                         0,
                         Stmt::Comment(format!(
@@ -326,18 +470,21 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
                 // transfers: latch its value into their `<array>_bound`
                 // storage registers (§5.3.1's storage register).
                 for st2 in &stub.states {
-                    let array = match st2 {
+                    let (array, shape) = match st2 {
                         StubState::Input {
                             io: a,
-                            beats: BeatCount::Dynamic { index_input, .. },
+                            beats: BeatCount::Dynamic { index_input, shape },
                             ..
-                        } if *index_input == *io => f.inputs[*a].name.as_str(),
+                        } if *index_input == *io => {
+                            (stub_input(f, stub, *a)?.name.as_str(), *shape)
+                        }
                         StubState::Output {
-                            beats: BeatCount::Dynamic { index_input, .. }, ..
-                        } if *index_input == *io => "result",
+                            beats: BeatCount::Dynamic { index_input, shape },
+                            ..
+                        } if *index_input == *io => ("result", *shape),
                         _ => continue,
                     };
-                    on_accept.push(bound_latch(stub, array, p.bus_width));
+                    on_accept.push(bound_latch(stub, array, shape, p.bus_width));
                 }
                 on_accept.extend(counted_advance(
                     stub,
@@ -353,6 +500,15 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
                     Stmt::Comment("TODO(user): calculation logic goes here (§5.3.1)".into()),
                     Stmt::assign("next_state", Expr::lit(next, sb)),
                 ];
+                if serves_reads {
+                    // Remember an early read strobe: the master may issue it
+                    // while `cur_state` still shows the calculation state
+                    // (the SMB commits one edge behind the ICOB's request).
+                    b.push(Stmt::if_then(
+                        read_req(true),
+                        vec![Stmt::assign("pending_read", Expr::lit(1, 1))],
+                    ));
+                }
                 if p.irq && stub.nowait {
                     // Fire-and-forget functions signal completion with a
                     // one-cycle IRQ pulse instead of an output transfer.
@@ -361,9 +517,6 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
                 b
             }
             StubState::Output { beats, .. } => {
-                let read_req = Expr::sig("IO_ENABLE")
-                    .and(Expr::sig("DATA_IN_VALID").not())
-                    .and(addressed.clone());
                 let mut on_final = vec![
                     Stmt::assign("CALC_DONE", Expr::lit(0, 1)),
                     Stmt::assign("next_state", Expr::lit(next, sb)),
@@ -375,29 +528,28 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
                     Stmt::Comment("TODO(user): drive DATA_OUT with the result".into()),
                     Stmt::assign("DATA_OUT_VALID", Expr::lit(1, 1)),
                     Stmt::assign("IO_DONE", Expr::lit(1, 1)),
+                    Stmt::assign("pending_read", Expr::lit(0, 1)),
                 ];
                 on_read.extend(counted_advance(stub, "result", beats, on_final));
                 vec![
                     Stmt::Comment("Output state: hold CALC_DONE until read (§5.3.1)".into()),
                     Stmt::assign("CALC_DONE", Expr::lit(1, 1)),
-                    Stmt::if_then(read_req, on_read),
+                    Stmt::if_then(read_req(false), on_read),
                 ]
             }
             StubState::PseudoOutput => {
-                let read_req = Expr::sig("IO_ENABLE")
-                    .and(Expr::sig("DATA_IN_VALID").not())
-                    .and(addressed.clone());
                 vec![
                     Stmt::Comment(
                         "Pseudo output state: report completion to the blocking driver".into(),
                     ),
                     Stmt::assign("CALC_DONE", Expr::lit(1, 1)),
                     Stmt::if_then(
-                        read_req,
+                        read_req(false),
                         vec![
                             Stmt::assign("DATA_OUT_VALID", Expr::lit(1, 1)),
                             Stmt::assign("IO_DONE", Expr::lit(1, 1)),
                             Stmt::assign("CALC_DONE", Expr::lit(0, 1)),
+                            Stmt::assign("pending_read", Expr::lit(0, 1)),
                             Stmt::assign("next_state", Expr::lit(next, sb)),
                         ],
                     ),
@@ -424,11 +576,15 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Process {
         arms,
         default: Some(vec![Stmt::assign("next_state", Expr::lit(0, sb))]),
     });
-    Process { label: "icob".into(), clocked: true, body }
+    Ok(Process { label: "icob".into(), clocked: true, body })
 }
 
 /// Build the complete `func_<name>` module.
-pub fn stub_module(ir: &DesignIr, stub: &FunctionStub, gen_date: &str) -> Module {
+pub fn stub_module(
+    ir: &DesignIr,
+    stub: &FunctionStub,
+    gen_date: &str,
+) -> Result<Module, HdlGenError> {
     let p = &ir.module.params;
     let mut m = Module::new(format!("func_{}", stub.name));
     m.header = vec![
@@ -441,23 +597,23 @@ pub fn stub_module(ir: &DesignIr, stub: &FunctionStub, gen_date: &str) -> Module
         "Fill in the TODO(user) calculation sections; all bus handshaking is complete.".into(),
     ];
     m.ports = sis_ports(p.bus_width, p.func_id_width, p.irq);
-    m.decls = stub_constants(ir, stub);
+    m.decls = stub_constants(ir, stub)?;
     m.decls.extend(stub_signals(ir, stub));
     m.items.push(Item::Process(smb_process(stub)));
-    m.items.push(Item::Process(icob_process(ir, stub)));
-    m
+    m.items.push(Item::Process(icob_process(ir, stub)?));
+    Ok(m)
 }
 
 /// Every structurally generated module of a design — the arbiter plus one
 /// stub per declaration. This is exactly the set the HDL-level lint rules
 /// analyze (the native bus interface is template text, not a [`Module`]).
-pub fn design_modules(ir: &DesignIr, gen_date: &str) -> Vec<Module> {
+pub fn design_modules(ir: &DesignIr, gen_date: &str) -> Result<Vec<Module>, HdlGenError> {
     let mut out = Vec::with_capacity(ir.stubs.len() + 1);
     out.push(arbiter_module(ir, gen_date));
     for stub in &ir.stubs {
-        out.push(stub_module(ir, stub, gen_date));
+        out.push(stub_module(ir, stub, gen_date)?);
     }
-    out
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------
@@ -513,6 +669,28 @@ pub fn arbiter_module(ir: &DesignIr, gen_date: &str) -> Module {
         if p.irq {
             m.decls.push(Decl::Signal { name: format!("{base}_IRQ"), width: 1, init: None });
         }
+        // Replicated functions share one stub module, whose internal
+        // address decode compares against the *first* instance's id. Each
+        // extra copy therefore gets a remapped FUNC_ID: its own id is
+        // translated to the stub's constant, every other id to the reserved
+        // status id (which a stub never answers). Without this every copy
+        // would answer instance 1's id and ignore its own.
+        let func_id_net = if stub.instances > 1 {
+            let net = format!("{base}_FUNC_ID");
+            m.decls.push(Decl::Signal { name: net.clone(), width: p.func_id_width, init: None });
+            m.items.push(Item::Process(Process {
+                label: format!("remap_{base}"),
+                clocked: false,
+                body: vec![Stmt::if_else(
+                    Expr::sig("FUNC_ID").eq(Expr::lit(u64::from(id), p.func_id_width)),
+                    vec![Stmt::assign(&net, Expr::lit(stub.first_func_id as u64, p.func_id_width))],
+                    vec![Stmt::assign(&net, Expr::lit(0, p.func_id_width))],
+                )],
+            }));
+            net
+        } else {
+            "FUNC_ID".into()
+        };
         m.items.push(Item::Comment(format!(
             "instance {inst} of `{}` answering to FUNC_ID {id}",
             stub.name
@@ -526,7 +704,7 @@ pub fn arbiter_module(ir: &DesignIr, gen_date: &str) -> Module {
                 ("DATA_IN".into(), "DATA_IN".into()),
                 ("DATA_IN_VALID".into(), "DATA_IN_VALID".into()),
                 ("IO_ENABLE".into(), "IO_ENABLE".into()),
-                ("FUNC_ID".into(), "FUNC_ID".into()),
+                ("FUNC_ID".into(), func_id_net),
                 ("DATA_OUT".into(), format!("{base}_DATA_OUT")),
                 ("DATA_OUT_VALID".into(), format!("{base}_DATA_OUT_VALID")),
                 ("IO_DONE".into(), format!("{base}_IO_DONE")),
@@ -578,8 +756,8 @@ fn one_hot(bit: u32, width: u32) -> Expr {
     if bit > 0 {
         parts.push(Expr::lit(0, bit));
     }
-    if parts.len() == 1 {
-        parts.pop().expect("one part")
+    if let [single] = parts.as_slice() {
+        single.clone()
     } else {
         Expr::Concat(parts)
     }
@@ -590,17 +768,25 @@ fn one_hot(bit: u32, width: u32) -> Expr {
 /// the CPU's IRQ_ACK clears the whole vector.
 fn irq_latch_process(ir: &DesignIr) -> Process {
     let w = ir.total_instances() + 1;
-    let mut body = vec![Stmt::if_then(
+    let mut on_run = vec![Stmt::if_then(
         Expr::sig("IRQ_ACK"),
         vec![Stmt::assign("irq_vector_i", Expr::lit(0, w))],
     )];
     for (si, _inst, id) in ir.arbiter_entries() {
         let stub = &ir.stubs[si];
-        body.push(Stmt::if_then(
+        on_run.push(Stmt::if_then(
             Expr::sig(format!("f{id}_{}_IRQ", stub.name)),
             vec![Stmt::assign("irq_vector_i", Expr::sig("irq_vector_i").or(one_hot(id, w)))],
         ));
     }
+    // The vector must clear on RST: the per-function IRQ nets are undefined
+    // until each stub's first clock edge, and without a reset clause that
+    // power-up garbage would be latched and survive past reset.
+    let body = vec![Stmt::if_else(
+        Expr::sig("RST"),
+        vec![Stmt::assign("irq_vector_i", Expr::lit(0, w))],
+        on_run,
+    )];
     Process { label: "irq_latch".into(), clocked: true, body }
 }
 
@@ -768,7 +954,7 @@ mod tests {
     fn stub_module_has_sis_ports_and_states() {
         let ir = timer_design();
         let stub = ir.stub("set_threshold").unwrap();
-        let m = stub_module(&ir, stub, "today");
+        let m = stub_module(&ir, stub, "today").unwrap();
         let port_names: Vec<&str> = m.ports.iter().map(|p| p.name.as_str()).collect();
         for want in [
             "CLK",
@@ -796,7 +982,7 @@ mod tests {
     fn stub_emits_in_both_hdls() {
         let ir = timer_design();
         let stub = ir.stub("get_status").unwrap();
-        let m = stub_module(&ir, stub, "today");
+        let m = stub_module(&ir, stub, "today").unwrap();
         let vhdl = emit(&m, Hdl::Vhdl);
         let verilog = emit(&m, Hdl::Verilog);
         assert!(vhdl.contains("entity func_get_status is"));
@@ -866,7 +1052,7 @@ mod tests {
     fn function_markers_cover_fig_7_1() {
         let ir = timer_design();
         let stub = ir.stub("set_threshold").unwrap();
-        let m = function_markers(&ir, stub, "now");
+        let m = function_markers(&ir, stub, "now").unwrap();
         assert_eq!(m.get("FUNC_NAME"), Some("set_threshold"));
         assert_eq!(m.get("MY_FUNC_ID"), Some("3"));
         assert_eq!(m.get("FUNC_INSTS"), Some("1"));
@@ -892,7 +1078,41 @@ mod tests {
     fn unknown_template_marker_is_reported() {
         let ir = design("long f();", "");
         let err = generate_hardware(&ir, "%NO_SUCH_MARKER%", &MarkerSet::new(), "d").unwrap_err();
-        assert!(matches!(err, TemplateError::UnknownMarker { .. }));
+        assert!(matches!(err, HdlGenError::Template(TemplateError::UnknownMarker { .. })));
+    }
+
+    #[test]
+    fn inconsistent_ir_is_reported_not_panicked() {
+        let mut ir = design("long f();", "");
+        // Sever the stub from its function: generation must fail cleanly.
+        ir.stubs[0].name = "ghost".into();
+        let err = stub_module(&ir, &ir.stubs[0], "d").unwrap_err();
+        assert!(matches!(err, HdlGenError::MissingFunction { ref stub } if stub == "ghost"));
+        assert!(design_modules(&ir, "d").is_err());
+        let msg = err.to_string();
+        assert!(msg.contains("ghost"), "{msg}");
+    }
+
+    #[test]
+    fn stub_accept_requires_live_strobe_and_read_latch_exists() {
+        let ir = timer_design();
+        let stub = ir.stub("get_clock").unwrap();
+        let m = stub_module(&ir, stub, "today").unwrap();
+        let text = emit(&m, Hdl::Vhdl);
+        // Bug guard: write acceptance must include the live IO_ENABLE strobe
+        // so the master's hold cycle is not double-counted...
+        let set = ir.stub("set_threshold").unwrap();
+        let wtext = emit(&stub_module(&ir, set, "today").unwrap(), Hdl::Vhdl);
+        assert!(
+            wtext.contains("IO_ENABLE = '1' and DATA_IN_VALID = '1'"),
+            "write accept must check IO_ENABLE:\n{wtext}"
+        );
+        // ...and read-serving stubs must latch early strobes.
+        assert!(text.contains("pending_read"), "{text}");
+        assert!(
+            text.contains("(IO_ENABLE = '1' or pending_read = '1')"),
+            "read must honor the latch: {text}"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ fn stub_emissions_share_structure() {
         let module = parse_and_validate(&spec).unwrap().module;
         let ir = elaborate(&module);
         for stub in &ir.stubs {
-            let m = stub_module(&ir, stub, "parity");
+            let m = stub_module(&ir, stub, "parity").expect("stub generates");
             let vhdl = emit(&m, Hdl::Vhdl);
             let verilog = emit(&m, Hdl::Verilog);
             // Same module name.
@@ -86,7 +86,7 @@ fn registered_bits_are_backend_independent() {
         let module = parse_and_validate(&spec).unwrap().module;
         let ir = elaborate(&module);
         for stub in &ir.stubs {
-            let m = stub_module(&ir, stub, "parity");
+            let m = stub_module(&ir, stub, "parity").expect("stub generates");
             // registered_bits is an IR property: rendering cannot change it.
             let bits_before = m.registered_bits();
             let _ = emit(&m, Hdl::Vhdl);

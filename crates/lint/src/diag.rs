@@ -35,6 +35,8 @@ pub enum Layer {
     Ir,
     /// The generated HDL module ASTs.
     Hdl,
+    /// The generated C driver sources cross-checked against the hardware.
+    Driver,
 }
 
 impl fmt::Display for Layer {
@@ -43,6 +45,7 @@ impl fmt::Display for Layer {
             Layer::Spec => "spec",
             Layer::Ir => "ir",
             Layer::Hdl => "hdl",
+            Layer::Driver => "driver",
         })
     }
 }

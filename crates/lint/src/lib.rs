@@ -67,6 +67,19 @@ pub const CODES: &[(&str, &str)] = &[
     ("SL0311", "identifier is a VHDL or Verilog reserved word"),
     ("SL0312", "identifier is referenced but never declared"),
     ("SL0313", "output port is read back inside the module"),
+    ("SL0401", "FSM does not return to a reusable configuration after a round"),
+    (
+        "SL0402",
+        "SIS request not acknowledged within the response bound, or acknowledged unsolicited",
+    ),
+    ("SL0403", "two function instances drive a shared SIS return line in the same cycle"),
+    ("SL0404", "a register or output carries X after reset"),
+    ("SL0405", "DATA_OUT is unknown while DATA_OUT_VALID is asserted"),
+    ("SL0406", "state-space budget exhausted before the reachable set closed"),
+    ("SL0407", "driver function-id macro disagrees with the HDL address decode"),
+    ("SL0408", "driver address macros disagree with the bus register map"),
+    ("SL0409", "driver transfer beat count disagrees with the FSM schedule"),
+    ("SL0410", "driver macro usage disagrees with the bus capabilities"),
 ];
 
 /// Convert pipeline errors (parse/validate failures) into `SL0100`
@@ -88,9 +101,23 @@ fn push_spec_errors(errors: &[SpecError], source: &str, report: &mut LintReport)
 pub fn lint_design(ir: &DesignIr) -> LintReport {
     let mut report = LintReport::new();
     lint_ir(ir, &mut report);
-    let modules = design_modules(ir, "lint");
-    lint_modules(&modules, &mut report);
+    lint_generated_hdl(ir, &mut report);
     report
+}
+
+/// Run the HDL pass over the module set generation would emit. If the IR is
+/// too inconsistent to generate from, report that as `SL0203` instead of
+/// aborting the whole lint run.
+fn lint_generated_hdl(ir: &DesignIr, report: &mut LintReport) {
+    match design_modules(ir, "lint") {
+        Ok(modules) => lint_modules(&modules, report),
+        Err(e) => report.push(Diagnostic::error(
+            "SL0203",
+            Layer::Ir,
+            Location::None,
+            format!("HDL generation is impossible: {e}"),
+        )),
+    }
 }
 
 /// Lint specification text end to end with the builtin bus registry:
@@ -119,8 +146,7 @@ pub fn lint_source_with(source: &str, registry: &BusRegistry) -> LintReport {
     };
     let ir = splice_core::elaborate(&validated.module);
     lint_ir(&ir, &mut report);
-    let modules = design_modules(&ir, "lint");
-    lint_modules(&modules, &mut report);
+    lint_generated_hdl(&ir, &mut report);
     report
 }
 

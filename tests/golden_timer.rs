@@ -3,10 +3,9 @@
 //! the generators must update these files (regenerate with the snippet in
 //! this file's docs) — unintentional drift fails here first.
 //!
-//! Regenerate after an intentional generator change:
-//! run the generation sequence below with `std::fs::write` against
-//! `tests/golden/` (see the git history of this file for a ready-made
-//! helper), then review the diff like any other code change.
+//! Regenerate after an intentional generator change with
+//! `SPLICE_BLESS=1 cargo test --test golden_timer`, then review the diff
+//! like any other code change.
 
 use splice_buses::library_for;
 use splice_core::api::BusLibrary;
@@ -23,6 +22,11 @@ fn golden(name: &str) -> String {
 }
 
 fn assert_matches_golden(name: &str, actual: &str) {
+    if std::env::var_os("SPLICE_BLESS").is_some() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name);
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("blessing {name}: {e}"));
+        return;
+    }
     let expected = golden(name);
     assert!(
         expected == actual,

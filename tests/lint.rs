@@ -76,7 +76,7 @@ fn dirty_fixture_report_matches_golden() {
 fn mac_modules() -> Vec<splice_hdl::Module> {
     let source = std::fs::read_to_string(repo_path("examples/specs/mac.splice")).unwrap();
     let validated = splice_spec::parse_and_validate(&source).expect("example is valid");
-    design_modules(&elaborate(&validated.module), "lint-test")
+    design_modules(&elaborate(&validated.module), "lint-test").expect("example generates")
 }
 
 #[test]
