@@ -14,32 +14,56 @@
 //! Both modes must simulate the *same number of cycles* — the scheduler is
 //! an optimization, not a semantics change — and the harness asserts that.
 //!
-//! Usage: `cargo run --release -p splice-bench --bin perf [-- --smoke|--eager]`
+//! Usage: `cargo run --release -p splice-bench --bin perf [-- OPTIONS]`
 //!
 //! * `--smoke` — tiny iteration counts plus a hard assert that the Fig 9.2
 //!   cycle table still matches the pinned seed values (CI regression gate).
 //! * `--eager` — measure only the eager fallback (no comparison table).
+//! * `--compare <baseline.json>` — after measuring, compare against the
+//!   checked-in `BENCH_PERF.json` and exit nonzero when any workload's
+//!   `cycles_per_sec` dropped more than the tolerance (perf-regression
+//!   gate; see `splice_bench::compare`).
+//! * `--tolerance <pct>` — allowed drop for `--compare` (default 20).
+//! * `--trace-out <f>` — write a Chrome trace-event JSON of the bench run
+//!   (one span per workload × mode, with throughput attrs).
 //!
 //! Writes `BENCH_PERF.json` into the working directory.
 
+use splice_bench::compare::{compare, parse_perf_json, PerfEntry};
 use splice_bench::table;
 use splice_buses::system::SplicedSystem;
 use splice_core::simbuild::{CalcLogic, CalcResult, FuncInputs};
 use splice_devices::eval::{fig_9_2, InterpImpl, InterpRunner};
 use splice_devices::interp::Scenario;
 use splice_driver::program::CallArgs;
+use splice_obs::trace;
+use splice_sim::RunStats;
 use splice_spec::parse_and_validate;
 use std::time::{Duration, Instant};
 
-/// One timed measurement: simulated cycles vs wall clock.
+/// One timed measurement: simulated cycles vs wall clock, plus the kernel's
+/// own accounting when the workload runs through `Simulator::run*`.
 struct Meas {
     sim_cycles: u64,
     wall: Duration,
+    /// Tick/idle attribution for the tracked stretch (idle sweep only —
+    /// fig 9.2 drives the system through driver calls, which don't expose
+    /// per-run stats).
+    stats: Option<RunStats>,
 }
 
 impl Meas {
     fn cps(&self) -> f64 {
         self.sim_cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn idle_pct(&self) -> String {
+        match &self.stats {
+            Some(s) if s.cycles > 0 => {
+                format!("{:.1}%", s.idle_cycles as f64 / s.cycles as f64 * 100.0)
+            }
+            _ => "-".into(),
+        }
     }
 }
 
@@ -64,7 +88,7 @@ fn bench_fig9_2(eager: bool, iters: u32) -> Meas {
     }
     let wall = start.elapsed();
     let cycles_after: u64 = runners.iter().map(|r| r.sim().cycle()).sum();
-    Meas { sim_cycles: cycles_after - cycles_before, wall }
+    Meas { sim_cycles: cycles_after - cycles_before, wall, stats: None }
 }
 
 /// Calculation whose latency walks a fixed 512–2000-cycle pattern, so the
@@ -100,17 +124,21 @@ fn bench_idle_sweep(eager: bool, rounds: u32) -> Meas {
     sys.wait_irq("crunch", 0).expect("warmup ack");
 
     let cycles_before = sys.sim().cycle();
+    let mut stats = RunStats::default();
     let start = Instant::now();
     for r in 0..rounds {
         let out = sys.call("crunch", &CallArgs::scalars(&[u64::from(r)])).expect("call");
         assert!(out.bus_cycles < 50, "nowait call should return fast");
         // Ride out the idle calculation on the signal-indexed fast wait,
         // then consume the latched interrupt (immediate) to clear the bit.
-        sys.sim_mut().run_until_high("sweep irq", vector, 1_000_000).expect("irq");
+        let wait = sys.sim_mut().run_until_high("sweep irq", vector, 1_000_000).expect("irq");
+        stats.cycles += wait.cycles;
+        stats.ticks += wait.ticks;
+        stats.idle_cycles += wait.idle_cycles;
         sys.wait_irq("crunch", 0).expect("ack");
     }
     let wall = start.elapsed();
-    Meas { sim_cycles: sys.sim().cycle() - cycles_before, wall }
+    Meas { sim_cycles: sys.sim().cycle() - cycles_before, wall, stats: Some(stats) }
 }
 
 fn fmt_mcps(m: &Meas) -> String {
@@ -122,21 +150,92 @@ fn fmt_ms(m: &Meas) -> String {
 }
 
 fn json_meas(m: &Meas) -> String {
-    format!(
-        "{{\"sim_cycles\":{},\"wall_ms\":{:.3},\"cycles_per_sec\":{:.0}}}",
+    let mut json = format!(
+        "{{\"sim_cycles\":{},\"wall_ms\":{:.3},\"cycles_per_sec\":{:.0}",
         m.sim_cycles,
         m.wall.as_secs_f64() * 1e3,
         m.cps()
-    )
+    );
+    if let Some(s) = &m.stats {
+        json.push_str(&format!(",\"ticks\":{},\"idle_cycles\":{}", s.ticks, s.idle_cycles));
+    }
+    json.push('}');
+    json
+}
+
+/// Record one measurement as a span on the bench trace, when tracing.
+fn trace_meas(name: &str, mode: &str, m: &Meas) {
+    let _sp = trace::span("bench.workload");
+    trace::attr("workload", name);
+    trace::attr("mode", mode);
+    trace::attr("sim_cycles", m.sim_cycles);
+    trace::attr("wall_ms", format!("{:.3}", m.wall.as_secs_f64() * 1e3).as_str());
+    trace::attr("mcycles_per_sec", format!("{:.2}", m.cps() / 1e6).as_str());
+    if let Some(s) = &m.stats {
+        trace::attr("ticks", s.ticks);
+        trace::attr("idle_cycles", s.idle_cycles);
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let eager_only = args.iter().any(|a| a == "--eager");
-    if let Some(bad) = args.iter().find(|a| *a != "--smoke" && *a != "--eager") {
-        eprintln!("unknown flag {bad}; usage: perf [--smoke] [--eager]");
-        std::process::exit(2);
+    let mut smoke = false;
+    let mut eager_only = false;
+    let mut compare_path: Option<String> = None;
+    let mut tolerance = 20.0f64;
+    let mut trace_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--eager" => eager_only = true,
+            "--compare" => match it.next() {
+                Some(p) => compare_path = Some(p.clone()),
+                None => {
+                    eprintln!("--compare needs a baseline file argument");
+                    std::process::exit(2);
+                }
+            },
+            "--tolerance" => match it.next().and_then(|p| p.parse::<f64>().ok()) {
+                Some(p) => tolerance = p,
+                None => {
+                    eprintln!("--tolerance needs a numeric percentage");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p.clone()),
+                None => {
+                    eprintln!("--trace-out needs a file argument");
+                    std::process::exit(2);
+                }
+            },
+            bad => {
+                eprintln!(
+                    "unknown flag {bad}; usage: perf [--smoke] [--eager] \
+                     [--compare <baseline.json>] [--tolerance <pct>] [--trace-out <f>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Read the baseline up front: the run overwrites `BENCH_PERF.json` in
+    // the working directory, which is often the very file being compared
+    // against — reading it afterwards would compare the run to itself.
+    let baseline = compare_path.as_ref().map(|path| {
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_perf_json(&src).unwrap_or_else(|e| {
+            eprintln!("perf: cannot parse baseline {path}: {e}");
+            std::process::exit(2);
+        })
+    });
+
+    if trace_out.is_some() {
+        trace::start();
     }
 
     if smoke {
@@ -154,6 +253,7 @@ fn main() {
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json_workloads: Vec<String> = Vec::new();
+    let mut current: Vec<PerfEntry> = Vec::new();
 
     for (name, run) in [
         ("fig9_2", bench_fig9_2 as fn(bool, u32) -> Meas),
@@ -161,18 +261,26 @@ fn main() {
     ] {
         let iters = if name == "fig9_2" { fig_iters } else { sweep_rounds };
         let eager = run(true, iters);
+        trace_meas(name, "eager", &eager);
         rows.push(vec![
             name.into(),
             "eager".into(),
             eager.sim_cycles.to_string(),
             fmt_ms(&eager),
             fmt_mcps(&eager),
+            eager.idle_pct(),
         ]);
+        current.push(PerfEntry {
+            workload: name.into(),
+            mode: "eager".into(),
+            cycles_per_sec: eager.cps(),
+        });
         if eager_only {
             json_workloads.push(format!("{{\"name\":\"{name}\",\"eager\":{}}}", json_meas(&eager)));
             continue;
         }
         let gated = run(false, iters);
+        trace_meas(name, "gated", &gated);
         assert_eq!(
             gated.sim_cycles, eager.sim_cycles,
             "{name}: gated scheduler changed the simulated cycle count"
@@ -184,10 +292,16 @@ fn main() {
             gated.sim_cycles.to_string(),
             fmt_ms(&gated),
             fmt_mcps(&gated),
+            gated.idle_pct(),
         ]);
         rows.push(vec![name.into(), "speedup".into(), String::new(), String::new(), {
             format!("{speedup:.2}x")
         }]);
+        current.push(PerfEntry {
+            workload: name.into(),
+            mode: "gated".into(),
+            cycles_per_sec: gated.cps(),
+        });
         json_workloads.push(format!(
             "{{\"name\":\"{name}\",\"eager\":{},\"gated\":{},\"speedup\":{speedup:.3}}}",
             json_meas(&eager),
@@ -195,7 +309,7 @@ fn main() {
         ));
     }
 
-    let headers = ["workload", "mode", "sim cycles", "wall ms", "Mcycles/s"];
+    let headers = ["workload", "mode", "sim cycles", "wall ms", "Mcycles/s", "idle"];
     println!("\nKernel throughput — event-driven scheduler vs eager fallback");
     println!("(fig9_2 x{fig_iters} passes, sweep x{sweep_rounds} rounds)\n");
     print!("{}", table(&headers, &rows));
@@ -209,4 +323,23 @@ fn main() {
     );
     std::fs::write("BENCH_PERF.json", &json).expect("write BENCH_PERF.json");
     println!("\nwrote BENCH_PERF.json");
+
+    if let Some(path) = &trace_out {
+        if let Some(data) = trace::finish() {
+            std::fs::write(path, data.to_chrome_json("splice-bench perf")).expect("write trace");
+            println!("trace written to {path}");
+        }
+    }
+
+    // The regression gate: measured throughput must stay within the
+    // tolerance of the checked-in baseline.
+    if let Some(baseline) = &baseline {
+        let path = compare_path.as_deref().unwrap_or("?");
+        let report = compare(&current, baseline, tolerance);
+        println!("\nBaseline comparison against {path} (tolerance -{tolerance:.0}%):\n");
+        print!("{}", report.render_text());
+        if report.failed() {
+            std::process::exit(1);
+        }
+    }
 }

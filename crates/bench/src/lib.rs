@@ -6,6 +6,12 @@
 
 use std::fmt::Write as _;
 
+pub mod compare;
+
+/// Escape a string for embedding in a JSON document (the workspace-shared
+/// implementation from `splice-obs`, re-exported for the bench bins).
+pub use splice_obs::json::escape as json_escape;
+
 /// Render a simple aligned table.
 pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -30,25 +36,6 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
             let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
         }
         out.push('\n');
-    }
-    out
-}
-
-/// Escape a string for embedding in a JSON document.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
     }
     out
 }

@@ -65,6 +65,10 @@ pub struct BfsOutcome {
     pub budget_exhausted: bool,
     /// True when some states were left unexpanded at `max_depth`.
     pub depth_capped: bool,
+    /// Largest number of states ever waiting in the BFS frontier — a proxy
+    /// for the design's branching factor (and the search's memory high-water
+    /// mark).
+    pub frontier_peak: usize,
     /// First violation plus the input trace reaching it (reset rows
     /// included; the violating observation is at the final row).
     pub violation: Option<(BfsViolation, Vec<Vec<u64>>)>,
@@ -148,6 +152,7 @@ pub fn explore(
             complete: false,
             budget_exhausted: false,
             depth_capped: false,
+            frontier_peak: 0,
             violation: Some((v, trace)),
         };
     }
@@ -156,6 +161,7 @@ pub fn explore(
     queue.push_back(0usize);
     let mut budget_exhausted = false;
     let mut depth_capped = false;
+    let mut frontier_peak = queue.len();
 
     while let Some(idx) = queue.pop_front() {
         if stored[idx].depth >= spec.max_depth {
@@ -181,6 +187,7 @@ pub fn explore(
                                 complete: false,
                                 budget_exhausted: false,
                                 depth_capped,
+                                frontier_peak,
                                 violation: Some((v, trace)),
                             };
                         }
@@ -195,6 +202,7 @@ pub fn explore(
                         visited.insert(next.clone(), new_idx);
                         stored.push(Stored { regs: next, row, parent: idx, depth: depth + 1 });
                         queue.push_back(new_idx);
+                        frontier_peak = frontier_peak.max(queue.len());
                     }
                 }
             }
@@ -206,6 +214,7 @@ pub fn explore(
         complete: !budget_exhausted && !depth_capped,
         budget_exhausted,
         depth_capped,
+        frontier_peak,
         violation: None,
     }
 }

@@ -173,6 +173,8 @@ pub struct ModuleStats {
     pub reachable: usize,
     /// True when the reachable set closed within every bound.
     pub complete: bool,
+    /// Peak BFS frontier size across this module's exploration runs.
+    pub frontier_peak: usize,
 }
 
 /// Everything one checking run produced.
@@ -198,9 +200,10 @@ impl CheckOutcome {
             out.push('\n');
             for s in &self.stats {
                 out.push_str(&format!(
-                    "explored `{}`: {} reachable state(s){}\n",
+                    "explored `{}`: {} reachable state(s), frontier peak {}{}\n",
                     s.module,
                     s.reachable,
+                    s.frontier_peak,
                     if s.complete { "" } else { " (bounded)" }
                 ));
             }
@@ -218,11 +221,11 @@ impl CheckOutcome {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n  {{\"module\": \"{}\", \"code\": \"{}\", \"message\": \"{}\", \
+                "\n  {{\"module\": {}, \"code\": {}, \"message\": {}, \
                  \"confirmed\": {}, \"inputs\": [{}], \"trace\": [{}]}}",
-                cex.module,
-                cex.code,
-                cex.message.replace('\\', "\\\\").replace('"', "\\\""),
+                splice_obs::json::quote(&cex.module),
+                splice_obs::json::quote(cex.code),
+                splice_obs::json::quote(&cex.message),
                 match cex.confirmed {
                     Some(b) => b.to_string(),
                     None => "null".to_owned(),
@@ -246,8 +249,9 @@ impl CheckOutcome {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n  {{\"module\": \"{}\", \"reachable\": {}, \"complete\": {}}}",
-                s.module, s.reachable, s.complete
+                "\n  {{\"module\": \"{}\", \"reachable\": {}, \"complete\": {}, \
+                 \"frontier_peak\": {}}}",
+                s.module, s.reachable, s.complete, s.frontier_peak
             ));
         }
         out.push_str("\n]\n}\n");
@@ -382,6 +386,7 @@ fn record_bfs(
         module: module.to_owned(),
         reachable: out.reachable,
         complete: out.complete,
+        frontier_peak: out.frontier_peak,
     });
 }
 
@@ -457,7 +462,14 @@ pub fn check_modules(
             max_states: opts.max_states,
             max_depth: opts.max_depth,
         };
-        let out = explore::explore(&d, &pins, &spec, &[]);
+        let out = {
+            let _sp = splice_obs::trace::span("check.explore");
+            splice_obs::trace::attr("module", mod_name.as_str());
+            let out = explore::explore(&d, &pins, &spec, &[]);
+            splice_obs::trace::attr("reachable", out.reachable as u64);
+            splice_obs::trace::attr("frontier_peak", out.frontier_peak as u64);
+            out
+        };
         record_bfs(&mod_name, &d, out, opts, &mut report, &mut cexs, &mut stats);
         compiled.insert(mod_name, d);
     }
@@ -509,8 +521,11 @@ pub fn check_modules(
             complete: true,
             budget_exhausted: false,
             depth_capped: false,
+            frontier_peak: 0,
             violation: None,
         };
+        let _sp = splice_obs::trace::span("check.explore");
+        splice_obs::trace::attr("module", arb_name.as_str());
         for func_ids in id_sets {
             let spec = ExploreSpec {
                 func_ids,
@@ -526,11 +541,15 @@ pub fn check_modules(
             total.complete &= out.complete;
             total.budget_exhausted |= out.budget_exhausted;
             total.depth_capped |= out.depth_capped;
+            total.frontier_peak = total.frontier_peak.max(out.frontier_peak);
             if out.violation.is_some() {
                 total.violation = out.violation;
                 break;
             }
         }
+        splice_obs::trace::attr("reachable", total.reachable as u64);
+        splice_obs::trace::attr("frontier_peak", total.frontier_peak as u64);
+        drop(_sp);
         record_bfs(&arb_name, &d, total, opts, &mut report, &mut cexs, &mut stats);
         compiled.insert(arb_name, d);
     }

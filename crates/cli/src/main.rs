@@ -17,30 +17,30 @@
 //! than lint: it model-checks the generated FSMs against the SIS protocol
 //! (`splice-check`) and cross-checks the C driver against the HDL.
 //!
+//! `splice profile <spec>` builds the generated design into a live
+//! simulation, drives one driver call per declared function, and prints
+//! the kernel's per-component profile (ticks, wake causes, awake/asleep
+//! attribution). With `--trace-out <f>` both the generation pipeline's
+//! span tree and the kernel's per-component lanes land in one Chrome
+//! trace-event JSON file, loadable in Perfetto; `--trace-out` also works
+//! on plain generation runs (pipeline spans only).
+//!
 //! ```text
 //! USAGE:
 //!   splice [OPTIONS] <spec-file>
 //!   splice lint [OPTIONS] <spec-file>
 //!   splice check [OPTIONS] <spec-file>
-//!
-//! OPTIONS:
-//!   -o, --out <dir>     parent directory for the device subdirectory (default .)
-//!   -f, --force         overwrite an existing device directory without asking
-//!   -n, --dry-run       print what would be generated without writing files
-//!       --lint            lint only: report diagnostics, generate nothing
-//!       --deny-warnings   treat lint warnings as errors
-//!       --json            render the lint report as JSON (lint mode)
-//!       --resources     print the estimated FPGA resource bill
-//!       --list-buses    list the registered bus libraries and exit
-//!   -h, --help          show this help
+//!   splice profile [OPTIONS] <spec-file>
 //! ```
 
+use splice::pipeline::{run_pipeline, PipelineError, PipelineOptions, PipelineOutput};
+use splice::prelude::*;
 use splice_buses::builtin_libraries;
 use splice_core::api::BusLibraryRegistry;
-use splice_core::elaborate::elaborate;
-use splice_core::hdlgen::generate_hardware;
-use splice_driver::cgen::{driver_header, driver_source};
+use splice_driver::program::CallValue;
+use splice_obs::trace;
 use splice_resources::design_cost;
+use splice_spec::validate::{IoBound, ValidatedFunction};
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -55,19 +55,25 @@ struct Options {
     metrics: Option<PathBuf>,
     lint_only: bool,
     check_only: bool,
+    profile_only: bool,
     check: bool,
     check_opts: splice_check::CheckOptions,
     deny_warnings: bool,
     json: bool,
+    trace_out: Option<PathBuf>,
+    /// Workload rounds for `splice profile`.
+    calls: u64,
 }
 
 const USAGE: &str = "\
 splice — a standardized peripheral logic and interface creation engine
 
 USAGE:
-  splice [OPTIONS] <spec-file>        generate HDL + drivers (lints first)
-  splice lint [OPTIONS] <spec-file>   static analysis only, no generation
-  splice check [OPTIONS] <spec-file>  model-check the generated design, no output
+  splice [OPTIONS] <spec-file>          generate HDL + drivers (lints first)
+  splice lint [OPTIONS] <spec-file>     static analysis only, no generation
+  splice check [OPTIONS] <spec-file>    model-check the generated design, no output
+  splice profile [OPTIONS] <spec-file>  simulate a per-function workload and
+                                        print the kernel's component profile
 
 OPTIONS:
   -o, --out <dir>       parent directory for the device subdirectory (default .)
@@ -80,6 +86,9 @@ OPTIONS:
       --resources       print the estimated FPGA resource bill
       --linux           also emit splice_lib_linux.h (mmap-based user-space driver)
       --metrics <f>     write generation-pipeline metrics to <f> as JSON
+      --trace-out <f>   write a Chrome trace-event JSON (Perfetto) of the
+                        generation pipeline — and, in profile mode, of the
+                        simulation kernel's per-component lanes
       --list-buses      list the registered bus libraries and exit
   -h, --help            show this help
 
@@ -89,8 +98,13 @@ CHECK OPTIONS (check mode / --check):
       --max-depth <n>   exploration horizon past reset (default 64)
       --no-replay       skip replaying counterexamples against splice-sim
 
+PROFILE OPTIONS (profile mode):
+      --calls <n>       workload rounds (one driver call per function each
+                        round; default 1)
+
 Lint rule codes are catalogued in docs/lint.md; the model-checking
-properties (SL04xx) in docs/model-checking.md.
+properties (SL04xx) in docs/model-checking.md; tracing and profiling in
+docs/observability.md.
 ";
 
 fn main() -> ExitCode {
@@ -114,11 +128,15 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut metrics = None;
     let mut lint_only = false;
     let mut check_only = false;
+    let mut profile_only = false;
     let mut check = false;
     let mut check_opts = splice_check::CheckOptions::default();
     let mut deny_warnings = false;
     let mut json = false;
-    // `splice lint <spec>` / `splice check <spec>` are sugar for the flags.
+    let mut trace_out = None;
+    let mut calls = 1u64;
+    // `splice lint <spec>` / `splice check <spec>` / `splice profile <spec>`
+    // are sugar for the flags.
     let args = match args.first().map(String::as_str) {
         Some("lint") => {
             lint_only = true;
@@ -126,6 +144,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         }
         Some("check") => {
             check_only = true;
+            &args[1..]
+        }
+        Some("profile") => {
+            profile_only = true;
             &args[1..]
         }
         _ => args,
@@ -147,6 +169,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--max-depth" => check_opts.max_depth = num(&mut it, "--max-depth")? as u32,
             "--deny-warnings" => deny_warnings = true,
             "--json" => json = true,
+            "--calls" => calls = num(&mut it, "--calls")?.max(1),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return Ok(None);
@@ -171,6 +194,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 let file = it.next().ok_or("--metrics needs a file argument")?;
                 metrics = Some(PathBuf::from(file));
             }
+            "--trace-out" => {
+                let file = it.next().ok_or("--trace-out needs a file argument")?;
+                trace_out = Some(PathBuf::from(file));
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n{USAGE}"));
             }
@@ -192,10 +219,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         metrics,
         lint_only,
         check_only,
+        profile_only,
         check,
         check_opts,
         deny_warnings,
         json,
+        trace_out,
+        calls,
     }))
 }
 
@@ -223,6 +253,55 @@ fn run_check(source: &str, opts: &Options) -> ExitCode {
     }
 }
 
+/// Run the pipeline, translating its error shape into the CLI's
+/// stderr-plus-message convention.
+fn pipeline(source: &str, spec_path: &str, opts: &Options) -> Result<PipelineOutput, String> {
+    let popts = PipelineOptions {
+        gen_date: gen_date(),
+        linux: opts.linux,
+        check: opts.check.then_some(opts.check_opts),
+        deny_warnings: opts.deny_warnings,
+    };
+    match run_pipeline(source, spec_path, &popts) {
+        Ok(out) => Ok(out),
+        Err(PipelineError::Spec(errors)) => {
+            for e in &errors {
+                eprintln!("{e}");
+            }
+            Err(format!("{} specification error(s); nothing generated", errors.len()))
+        }
+        Err(PipelineError::Phase(msg)) => Err(msg),
+    }
+}
+
+/// Apply the lint / check gates exactly as generation does: render findings
+/// to stderr, fail with a summary message.
+fn gate_reports(out: &PipelineOutput, opts: &Options) -> Result<(), String> {
+    if !out.lint.is_clean() {
+        eprint!("{}", out.lint.render_text());
+    }
+    if out.lint.fails(opts.deny_warnings) {
+        return Err(format!(
+            "lint reported {} error(s) and {} warning(s); nothing generated",
+            out.lint.error_count(),
+            out.lint.warning_count()
+        ));
+    }
+    if let Some(check) = &out.check {
+        if !check.report.is_clean() {
+            eprint!("{}", check.render_text());
+        }
+        if check.report.fails(opts.deny_warnings) {
+            return Err(format!(
+                "model check reported {} error(s) and {} warning(s); nothing generated",
+                check.report.error_count(),
+                check.report.warning_count()
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(opts) = parse_args(args)? else {
         return Ok(ExitCode::SUCCESS);
@@ -232,10 +311,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         .map_err(|e| format!("cannot read {}: {e}", opts.spec_file.display()))?;
     let spec_path = opts.spec_file.display().to_string();
 
-    let libs = builtin_libraries();
-
     // Lint-only mode: run the full three-layer analysis and report.
     if opts.lint_only {
+        let libs = builtin_libraries();
         let report = splice_lint::lint_source_with(&source, &libs.spec_registry());
         if opts.json {
             print!("{}", report.render_json());
@@ -254,104 +332,28 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return Ok(run_check(&source, &opts));
     }
 
-    // Front end: parse + validate against the registered bus libraries.
-    let spec = match splice_spec::parser::parse(&source) {
-        Ok(s) => s,
-        Err(errors) => {
-            for e in &errors {
-                eprintln!("{}", e.render_at(&source, &spec_path));
-            }
-            return Err(format!("{} specification error(s); nothing generated", errors.len()));
-        }
-    };
-    let validated = splice_spec::validate::validate(&spec, &libs.spec_registry())
-        .map_err(|e| e.render_at(&source, &spec_path))?;
-    let module = validated.module;
-
-    // Bus library parameter check (§7.1.2).
-    let bus_name = module.params.bus.kind.name().to_owned();
-    let lib =
-        libs.get(&bus_name).ok_or_else(|| format!("no interface library for bus `{bus_name}`"))?;
-    lib.check_params(&module).map_err(|e| format!("bus library rejected the design: {e}"))?;
-
-    // Elaborate and generate.
-    let ir = elaborate(&module);
-    let markers = lib.markers(&ir);
-    let hw = generate_hardware(&ir, &lib.interface_template(&ir), &markers, &gen_date())
-        .map_err(|e| format!("hardware generation failed: {e}"))?;
-    // Post-generation lint: generated designs must satisfy the same rules
-    // a hand-written design would. Errors abort before anything is written.
-    let mut lint = splice_lint::LintReport::new();
-    splice_lint::lint_spec(&spec, &source, &libs.spec_registry(), &mut lint);
-    splice_lint::lint_ir(&ir, &mut lint);
-    let modules = splice_core::hdlgen::design_modules(&ir, &gen_date())
-        .map_err(|e| format!("hardware generation failed: {e}"))?;
-    splice_lint::lint_modules(&modules, &mut lint);
-    if !lint.is_clean() {
-        eprint!("{}", lint.render_text());
-    }
-    if lint.fails(opts.deny_warnings) {
-        return Err(format!(
-            "lint reported {} error(s) and {} warning(s); nothing generated",
-            lint.error_count(),
-            lint.warning_count()
-        ));
+    // Profile mode: generate, simulate a workload, print the profile.
+    if opts.profile_only {
+        return run_profile(&source, &spec_path, &opts);
     }
 
-    // Optional model check (--check): verify FSM behaviour and the
-    // driver/HDL contract before writing anything.
-    if opts.check {
-        let mut outcome = splice_check::check_modules(&ir, &modules, &opts.check_opts)
-            .map_err(|e| format!("model check failed to run: {e}"))?;
-        let lib_h = splice_driver::macros::macro_header_with_irq(
-            &module.params.bus,
-            module.params.bus_width,
-            module.params.base_address,
-            module.params.irq,
-        );
-        splice_check::cross_check(
-            &ir,
-            &modules,
-            &lib_h,
-            &driver_source(&module),
-            &mut outcome.report,
-        );
-        if !outcome.report.is_clean() {
-            eprint!("{}", outcome.render_text());
-        }
-        if outcome.report.fails(opts.deny_warnings) {
-            return Err(format!(
-                "model check reported {} error(s) and {} warning(s); nothing generated",
-                outcome.report.error_count(),
-                outcome.report.warning_count()
-            ));
+    if opts.trace_out.is_some() {
+        trace::start();
+    }
+    let out = pipeline(&source, &spec_path, &opts)?;
+    gate_reports(&out, &opts)?;
+    if let Some(path) = &opts.trace_out {
+        if let Some(data) = trace::finish() {
+            write_file(path, &data.to_chrome_json("splice pipeline"))?;
+            println!("pipeline trace written to {}", path.display());
         }
     }
 
+    let module = &out.module;
+    let ir = &out.ir;
+    let hw = &out.hw;
+    let sw = &out.sw;
     let dev = module.params.device_name.clone();
-    let mut sw: Vec<(String, String)> = vec![
-        (
-            "splice_lib.h".into(),
-            splice_driver::macros::macro_header_with_irq(
-                &module.params.bus,
-                module.params.bus_width,
-                module.params.base_address,
-                module.params.irq,
-            ),
-        ),
-        (format!("{dev}_driver.h"), driver_header(&module)),
-        (format!("{dev}_driver.c"), driver_source(&module)),
-    ];
-    if opts.linux {
-        sw.push((
-            "splice_lib_linux.h".into(),
-            splice_driver::macros::linux_macro_header(
-                &module.params.bus,
-                module.params.bus_width,
-                module.params.base_address,
-            ),
-        ));
-    }
 
     for note in &ir.notes {
         println!("note: {note}");
@@ -367,12 +369,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         reg.gauge_set("gen.notes", ir.notes.len() as u64);
         reg.gauge_set("gen.hw_files", hw.len() as u64);
         reg.gauge_set("gen.sw_files", sw.len() as u64);
-        reg.gauge_set("gen.resource_slices", design_cost(&ir).total().slices() as u64);
-        for f in &hw {
+        reg.gauge_set("gen.resource_slices", design_cost(ir).total().slices() as u64);
+        for f in hw {
             reg.counter_add("gen.hw_bytes", f.text.len() as u64);
             reg.observe("gen.file_bytes", f.text.len() as u64);
         }
-        for (_, text) in &sw {
+        for (_, text) in sw {
             reg.counter_add("gen.sw_bytes", text.len() as u64);
             reg.observe("gen.file_bytes", text.len() as u64);
         }
@@ -381,7 +383,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
 
     if opts.resources {
-        let report = design_cost(&ir);
+        let report = design_cost(ir);
         println!("estimated FPGA resources:");
         for (name, cost) in &report.items {
             println!("  {name:28} {cost}");
@@ -392,10 +394,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let device_dir = opts.out_dir.join(&dev);
     if opts.dry_run {
         println!("would generate into {}:", device_dir.display());
-        for f in &hw {
+        for f in hw {
             println!("  {} ({} bytes)", f.name, f.text.len());
         }
-        for (name, text) in &sw {
+        for (name, text) in sw {
             println!("  {} ({} bytes)", name, text.len());
         }
         return Ok(ExitCode::SUCCESS);
@@ -418,15 +420,132 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         .map_err(|e| format!("cannot create {}: {e}", device_dir.display()))?;
 
     let mut written = 0usize;
-    for f in &hw {
+    for f in hw {
         write_file(&device_dir.join(&f.name), &f.text)?;
         written += 1;
     }
-    for (name, text) in &sw {
+    for (name, text) in sw {
         write_file(&device_dir.join(name), text)?;
         written += 1;
     }
     println!("generated {written} files for device `{dev}` into {}", device_dir.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Synthesize plausible arguments for one driver call to `f`: scalars get
+/// small distinct values, arrays get ramps sized from their bound (implicit
+/// bounds use a few elements, with the index parameter set to match).
+fn synth_args(f: &ValidatedFunction) -> CallArgs {
+    // Element count for the implicit array indexed by parameter `i`, if any
+    // (searching the output too — `int f(int n)` returning `*:n`).
+    let implicit_len = |i: usize| -> Option<u64> {
+        f.inputs.iter().map(|io| &io.bound).chain(f.output.iter().map(|io| &io.bound)).find_map(
+            |b| match *b {
+                IoBound::Implicit { index_param, max_hint } if index_param == i => {
+                    Some(max_hint.clamp(1, 4))
+                }
+                _ => None,
+            },
+        )
+    };
+    let values = f
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(i, io)| {
+            if io.is_pointer {
+                let n = match io.bound {
+                    IoBound::Scalar => 1,
+                    IoBound::Explicit(n) => n,
+                    IoBound::Implicit { max_hint, .. } => max_hint.clamp(1, 4),
+                };
+                CallValue::Array((1..=n).collect())
+            } else if io.used_as_index {
+                CallValue::Scalar(implicit_len(i).unwrap_or(1))
+            } else {
+                CallValue::Scalar(i as u64 + 1)
+            }
+        })
+        .collect();
+    CallArgs::new(values)
+}
+
+/// `splice profile <spec>`: run the pipeline, bring the design to life with
+/// the default calculation logic, drive one call per function (times
+/// `--calls`), and print the kernel's per-component attribution.
+fn run_profile(source: &str, spec_path: &str, opts: &Options) -> Result<ExitCode, String> {
+    trace::start();
+    let out = pipeline(source, spec_path, opts).inspect_err(|_| {
+        trace::finish();
+    })?;
+    if let Err(e) = gate_reports(&out, opts) {
+        trace::finish();
+        return Err(e);
+    }
+    let module = &out.module;
+
+    let _workload = trace::span("workload");
+    let mut sys = SplicedSystem::build(module, |_, _| Box::new(DefaultCalc));
+    sys.sim_mut().enable_profiler();
+
+    let irq = module.params.irq;
+    let mut calls = 0u64;
+    for round in 0..opts.calls {
+        for f in &module.functions {
+            let _sp = trace::span("call");
+            trace::attr("function", f.name.as_str());
+            trace::attr("round", round);
+            let start_cycle = sys.sim().cycle();
+            let outcome = sys
+                .call(&f.name, &synth_args(f))
+                .map_err(|e| format!("driver call `{}` failed: {e}", f.name))?;
+            let mut cycles = outcome.bus_cycles;
+            if f.nowait && irq {
+                // The call returned before completion; wait for its IRQ so
+                // the profile covers the background computation too.
+                cycles += sys
+                    .wait_irq(&f.name, 0)
+                    .map_err(|e| format!("wait_irq `{}` failed: {e}", f.name))?;
+            }
+            trace::cycles(start_cycle, sys.sim().cycle());
+            trace::attr("bus_cycles", cycles);
+            calls += 1;
+        }
+    }
+    // Let any remaining background computation (nowait without IRQ) drain,
+    // and show the idle fast path in the profile.
+    sys.sim_mut().run(200).map_err(|e| format!("drain run failed: {e}"))?;
+    let end_cycle = sys.sim().cycle();
+    trace::cycles(0, end_cycle);
+    drop(_workload);
+
+    let profile = sys.sim_mut().take_profile().expect("profiler was enabled");
+    let stats = splice_sim::RunStats {
+        cycles: profile.steps,
+        ticks: profile.components.iter().map(|c| c.ticks).sum(),
+        idle_cycles: profile.idle_cycles,
+    };
+
+    println!(
+        "profiled `{}`: {} driver call(s), {} cycles, {} ticks ({:.2} ticks/cycle), {} idle",
+        module.params.device_name,
+        calls,
+        stats.cycles,
+        stats.ticks,
+        stats.ticks_per_cycle(),
+        stats.idle_cycles,
+    );
+    print!("{}", profile.render_text());
+
+    let data = trace::finish().expect("tracer was started");
+    if let Some(path) = &opts.trace_out {
+        let mut t = splice_obs::ChromeTrace::new();
+        t.process_name(1, "splice pipeline");
+        data.add_chrome_events(&mut t, 1, 1);
+        profile.add_chrome_lanes(&mut t, 2);
+        write_file(path, &t.to_json())?;
+        println!("trace written to {} ({} events)", path.display(), t.len());
+    }
     Ok(ExitCode::SUCCESS)
 }
 

@@ -6,6 +6,7 @@
 //! a message and an optional suggestion. A [`LintReport`] collects them and
 //! renders either aligned text for humans or JSON for tooling.
 
+use splice_obs::json::quote as json_str;
 use std::fmt;
 
 /// How serious a finding is.
@@ -263,25 +264,6 @@ impl LintReport {
         ));
         out
     }
-}
-
-/// Minimal JSON string escaping.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,215 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the subset of the [Trace Event Format] that Perfetto and
+//! `chrome://tracing` load directly: `"X"` *complete* events (a name, a
+//! process/thread lane, a microsecond timestamp and duration, optional
+//! `args`) plus `"M"` *metadata* events naming processes and threads. The
+//! whole document is written with the shared [`crate::json`] writer — no
+//! serialization dependency — and is deterministic in call order.
+//!
+//! Conventions used across the workspace:
+//!
+//! * **pid 1 / tid 1** — the pipeline span tree (wall-clock axis, µs);
+//! * **pid 2, one tid per component** — simulation-kernel component lanes,
+//!   drawn on the *sim-cycle* axis (1 cycle = 1 µs), so a component's lane
+//!   shows exactly the cycles it was awake.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! ```
+//! use splice_obs::chrome::ChromeTrace;
+//! let mut t = ChromeTrace::new();
+//! t.process_name(1, "pipeline");
+//! t.complete(1, 1, "parse", 0.0, 120.5, &[("bytes".into(), 512u64.into())]);
+//! let json = t.to_json();
+//! assert!(json.starts_with("{\"traceEvents\":["));
+//! ```
+
+use crate::json::JsonWriter;
+use crate::trace::{AttrValue, TraceData};
+
+/// A Chrome trace-event document under construction.
+///
+/// Events are stored pre-rendered; [`to_json`](Self::to_json) only joins
+/// them, so building interleaved lanes stays cheap.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+fn attr_json(w: &mut JsonWriter, v: &AttrValue) {
+    match v {
+        AttrValue::Str(s) => {
+            w.string(s);
+        }
+        AttrValue::Int(n) => {
+            w.number_u64(*n);
+        }
+        AttrValue::Float(x) => {
+            w.number_f64(*x, 3);
+        }
+    }
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Name a process lane (`"M"` metadata event).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("ph", "M")
+            .field_str("name", "process_name")
+            .field_u64("pid", pid.into())
+            .field_u64("tid", 0)
+            .key("args")
+            .begin_object()
+            .field_str("name", name)
+            .end_object()
+            .end_object();
+        self.events.push(w.finish());
+    }
+
+    /// Name a thread lane within a process (`"M"` metadata event).
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("ph", "M")
+            .field_str("name", "thread_name")
+            .field_u64("pid", pid.into())
+            .field_u64("tid", tid.into())
+            .key("args")
+            .begin_object()
+            .field_str("name", name)
+            .end_object()
+            .end_object();
+        self.events.push(w.finish());
+    }
+
+    /// Record a complete (`"X"`) event: `ts`/`dur` are microseconds.
+    pub fn complete(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: &[(String, AttrValue)],
+    ) {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("ph", "X")
+            .field_str("name", name)
+            .field_u64("pid", pid.into())
+            .field_u64("tid", tid.into());
+        w.key("ts").number_f64(ts_us, 3);
+        w.key("dur").number_f64(dur_us, 3);
+        if !args.is_empty() {
+            w.key("args").begin_object();
+            for (k, v) in args {
+                w.key(k);
+                attr_json(&mut w, v);
+            }
+            w.end_object();
+        }
+        w.end_object();
+        self.events.push(w.finish());
+    }
+
+    /// Render the document: `{"traceEvents":[...],"displayTimeUnit":"ms"}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(e);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+impl TraceData {
+    /// Append this span tree to `t` as complete events on `pid`/`tid`.
+    ///
+    /// Wall-clock nanoseconds become microsecond timestamps; span
+    /// attributes (plus the sim-cycle window, when present) become `args`.
+    pub fn add_chrome_events(&self, t: &mut ChromeTrace, pid: u32, tid: u32) {
+        for s in &self.spans {
+            let mut args: Vec<(String, AttrValue)> = Vec::new();
+            if let (Some(a), Some(b)) = (s.start_cycle, s.end_cycle) {
+                args.push(("start_cycle".into(), AttrValue::Int(a)));
+                args.push(("end_cycle".into(), AttrValue::Int(b)));
+            }
+            args.extend(s.attrs.iter().cloned());
+            t.complete(pid, tid, &s.name, s.start_ns as f64 / 1e3, s.dur_ns as f64 / 1e3, &args);
+        }
+    }
+
+    /// Convenience: a standalone single-lane Chrome trace of this tree.
+    pub fn to_chrome_json(&self, process: &str) -> String {
+        let mut t = ChromeTrace::new();
+        t.process_name(1, process);
+        self.add_chrome_events(&mut t, 1, 1);
+        t.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use crate::trace;
+
+    #[test]
+    fn events_render_parseable_json() {
+        let mut t = ChromeTrace::new();
+        t.process_name(1, "pipeline");
+        t.thread_name(2, 3, "sis.adapter");
+        t.complete(1, 1, "parse", 0.0, 10.5, &[("n".into(), 3u64.into())]);
+        t.complete(2, 3, "awake", 7.0, 2.0, &[]);
+        let v = JsonValue::parse(&t.to_json()).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(events[2].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[2].get("dur").unwrap().as_f64(), Some(10.5));
+        assert_eq!(events[2].get("args").unwrap().get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(events[3].get("tid").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn span_tree_exports_with_cycles_as_args() {
+        trace::start_with_step(1_000); // 1 µs per clock reading
+        {
+            let _a = trace::span("sim");
+            trace::cycles(0, 99);
+            trace::attr("calls", 4u64);
+        }
+        let data = trace::finish().unwrap();
+        let json = data.to_chrome_json("test");
+        let v = JsonValue::parse(&json).unwrap();
+        let ev = &v.get("traceEvents").unwrap().as_array().unwrap()[1];
+        assert_eq!(ev.get("name").unwrap().as_str(), Some("sim"));
+        assert_eq!(ev.get("ts").unwrap().as_f64(), Some(0.0));
+        assert_eq!(ev.get("dur").unwrap().as_f64(), Some(1.0));
+        assert_eq!(ev.get("args").unwrap().get("start_cycle").unwrap().as_u64(), Some(0));
+        assert_eq!(ev.get("args").unwrap().get("end_cycle").unwrap().as_u64(), Some(99));
+        assert_eq!(ev.get("args").unwrap().get("calls").unwrap().as_u64(), Some(4));
+    }
+}

@@ -1,0 +1,454 @@
+//! Hierarchical span tracing.
+//!
+//! A *span* is a named stretch of work with a wall-clock duration, an
+//! optional simulated-cycle window, and key/value attributes; spans nest,
+//! forming one tree per traced run (parse → elaborate → hdlgen …, or a
+//! benchmark's phases). The tracer is **thread-local** — each thread that
+//! calls [`start`] gets its own span tree, so parallel sweeps and the test
+//! harness never contend or interleave — and **zero-overhead when off**:
+//! while no thread in the process has a tracer installed, every tracing
+//! call short-circuits on one relaxed atomic load without allocating,
+//! locking, or touching thread-local storage (pinned by the
+//! `tests/zero_alloc.rs` counting-allocator test).
+//!
+//! ```
+//! splice_obs::trace::start();
+//! {
+//!     let _outer = splice_obs::trace::span("pipeline");
+//!     let _inner = splice_obs::trace::span("parse");
+//!     splice_obs::trace::attr("functions", 7u64);
+//! }
+//! let data = splice_obs::trace::finish().unwrap();
+//! assert_eq!(data.spans[1].name, "parse");
+//! assert_eq!(data.spans[1].parent, Some(0));
+//! ```
+//!
+//! Timestamps come from a monotonic [`Instant`] by default; golden tests
+//! install a deterministic fixed-step clock via [`start_with_step`], under
+//! which every timestamp is a pure function of the call sequence.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Number of threads with an installed tracer. The fast path for every
+/// tracing call is `ACTIVE_TRACERS == 0`.
+static ACTIVE_TRACERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Monotonic tracer-instance id, so a [`SpanGuard`] that outlives its
+/// tracer cannot close spans of a later one.
+static NEXT_GENERATION: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    static TRACER: RefCell<Option<TracerState>> = const { RefCell::new(None) };
+}
+
+/// An attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A string attribute.
+    Str(String),
+    /// An unsigned integer attribute.
+    Int(u64),
+    /// A float attribute.
+    Float(f64),
+}
+
+impl std::fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttrValue::Str(s) => write!(f, "{s}"),
+            AttrValue::Int(n) => write!(f, "{n}"),
+            AttrValue::Float(x) => write!(f, "{x:.3}"),
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_owned())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(n: u64) -> Self {
+        AttrValue::Int(n)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(n: u32) -> Self {
+        AttrValue::Int(n.into())
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(n: usize) -> Self {
+        AttrValue::Int(n as u64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(x: f64) -> Self {
+        AttrValue::Float(x)
+    }
+}
+
+/// One completed (or still-open) span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (a phase: `"parse"`, `"elaborate"`, …).
+    pub name: String,
+    /// Index of the enclosing span in [`TraceData::spans`], if nested.
+    pub parent: Option<u32>,
+    /// Nesting depth (roots are 0).
+    pub depth: u32,
+    /// Wall-clock start, ns since the tracer started.
+    pub start_ns: u64,
+    /// Wall-clock duration in ns (0 until the span ends).
+    pub dur_ns: u64,
+    /// First simulated cycle covered, if [`cycles`] was called.
+    pub start_cycle: Option<u64>,
+    /// Last simulated cycle covered, if [`cycles`] was called.
+    pub end_cycle: Option<u64>,
+    /// Key/value attributes in insertion order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+enum ClockSource {
+    Real(Instant),
+    /// Deterministic test clock: each reading advances by `step_ns`.
+    Fixed {
+        now_ns: u64,
+        step_ns: u64,
+    },
+}
+
+impl ClockSource {
+    fn now_ns(&mut self) -> u64 {
+        match self {
+            ClockSource::Real(start) => start.elapsed().as_nanos() as u64,
+            ClockSource::Fixed { now_ns, step_ns } => {
+                let t = *now_ns;
+                *now_ns += *step_ns;
+                t
+            }
+        }
+    }
+}
+
+struct TracerState {
+    gen: usize,
+    clock: ClockSource,
+    spans: Vec<SpanRecord>,
+    /// Indices of currently open spans, outermost first.
+    stack: Vec<u32>,
+}
+
+/// The completed span tree of one traced run, in span *start* order.
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    /// All spans; children always appear after their parent.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Install a real-clock tracer on this thread, replacing (and discarding)
+/// any previous one.
+pub fn start() {
+    install(ClockSource::Real(Instant::now()));
+}
+
+/// Install a deterministic tracer whose clock advances by `step_ns` per
+/// reading — every timestamp becomes a pure function of the call sequence,
+/// which is what the golden Chrome-trace test pins.
+pub fn start_with_step(step_ns: u64) {
+    install(ClockSource::Fixed { now_ns: 0, step_ns });
+}
+
+fn install(clock: ClockSource) {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.is_none() {
+            ACTIVE_TRACERS.fetch_add(1, Ordering::Relaxed);
+        }
+        let gen = NEXT_GENERATION.fetch_add(1, Ordering::Relaxed);
+        *t = Some(TracerState { gen, clock, spans: Vec::new(), stack: Vec::new() });
+    });
+}
+
+/// Whether this thread currently has a tracer installed.
+pub fn is_active() -> bool {
+    if ACTIVE_TRACERS.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    TRACER.with(|t| t.borrow().is_some())
+}
+
+/// Uninstall this thread's tracer and return everything it recorded.
+/// Still-open spans are closed at the current clock reading. Returns
+/// `None` if no tracer was installed.
+pub fn finish() -> Option<TraceData> {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        let mut state = t.take()?;
+        ACTIVE_TRACERS.fetch_sub(1, Ordering::Relaxed);
+        let now = state.clock.now_ns();
+        while let Some(idx) = state.stack.pop() {
+            let s = &mut state.spans[idx as usize];
+            s.dur_ns = now.saturating_sub(s.start_ns);
+        }
+        Some(TraceData { spans: state.spans })
+    })
+}
+
+/// Open a span. It ends when the returned guard drops; spans opened while
+/// it is live become its children. A no-op (returning an inert guard) when
+/// no tracer is installed.
+#[must_use = "the span ends when the guard drops"]
+pub fn span(name: &str) -> SpanGuard {
+    if ACTIVE_TRACERS.load(Ordering::Relaxed) == 0 {
+        return SpanGuard { idx: None, gen: 0 };
+    }
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        let Some(state) = t.as_mut() else {
+            return SpanGuard { idx: None, gen: 0 };
+        };
+        let start_ns = state.clock.now_ns();
+        let parent = state.stack.last().copied();
+        let idx = state.spans.len() as u32;
+        state.spans.push(SpanRecord {
+            name: name.to_owned(),
+            parent,
+            depth: parent.map_or(0, |p| state.spans[p as usize].depth + 1),
+            start_ns,
+            dur_ns: 0,
+            start_cycle: None,
+            end_cycle: None,
+            attrs: Vec::new(),
+        });
+        state.stack.push(idx);
+        SpanGuard { idx: Some(idx), gen: state.gen }
+    })
+}
+
+/// Attach a key/value attribute to the innermost open span. No-op when no
+/// tracer is installed or no span is open; the value conversion only runs
+/// on the active path.
+pub fn attr(key: &str, value: impl Into<AttrValue>) {
+    if ACTIVE_TRACERS.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        let Some(state) = t.as_mut() else { return };
+        let Some(&idx) = state.stack.last() else { return };
+        state.spans[idx as usize].attrs.push((key.to_owned(), value.into()));
+    });
+}
+
+/// Record the simulated-cycle window `[start, end]` covered by the
+/// innermost open span (drawn on the sim-cycle axis in the trace view).
+pub fn cycles(start: u64, end: u64) {
+    if ACTIVE_TRACERS.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        let Some(state) = t.as_mut() else { return };
+        let Some(&idx) = state.stack.last() else { return };
+        let s = &mut state.spans[idx as usize];
+        s.start_cycle = Some(start);
+        s.end_cycle = Some(end);
+    });
+}
+
+/// RAII guard returned by [`span`]; dropping it ends the span.
+///
+/// Guards nest like scopes. Dropping a guard out of order (an outer guard
+/// before an inner one) also closes every span opened after it — spans
+/// cannot outlive their parent.
+pub struct SpanGuard {
+    idx: Option<u32>,
+    gen: usize,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(idx) = self.idx else { return };
+        TRACER.with(|t| {
+            let mut t = t.borrow_mut();
+            let Some(state) = t.as_mut() else { return };
+            if state.gen != self.gen {
+                return; // guard outlived its tracer
+            }
+            // Close this span and any still-open descendants.
+            while let Some(open) = state.stack.pop() {
+                let now = state.clock.now_ns();
+                let s = &mut state.spans[open as usize];
+                s.dur_ns = now.saturating_sub(s.start_ns);
+                if open == idx {
+                    break;
+                }
+            }
+        });
+    }
+}
+
+/// Format a nanosecond duration for the text report.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl TraceData {
+    /// The first span with this name, if any.
+    pub fn span_named(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Render the span tree as an indented text report:
+    ///
+    /// ```text
+    /// pipeline                      12.40ms
+    ///   parse                        1.02ms  functions=7
+    ///   simulate                     8.91ms  [cycles 0..680]
+    /// ```
+    pub fn render_tree(&self) -> String {
+        let name_width = self
+            .spans
+            .iter()
+            .map(|s| 2 * s.depth as usize + s.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(20);
+        let mut out = String::new();
+        for s in &self.spans {
+            let indent = "  ".repeat(s.depth as usize);
+            let label = format!("{indent}{}", s.name);
+            out.push_str(&format!("{label:<name_width$}  {:>9}", fmt_ns(s.dur_ns)));
+            if let (Some(a), Some(b)) = (s.start_cycle, s.end_cycle) {
+                out.push_str(&format!("  [cycles {a}..{b}]"));
+            }
+            for (k, v) in &s.attrs {
+                out.push_str(&format!("  {k}={v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test runs on its own thread under the default harness, and the
+    // tracer is thread-local, so tests never interfere.
+
+    #[test]
+    fn spans_nest_and_record_in_start_order() {
+        start_with_step(10);
+        {
+            let _a = span("a");
+            attr("k", "v");
+            {
+                let _b = span("b");
+                cycles(5, 17);
+            }
+            let _c = span("c");
+        }
+        let data = finish().unwrap();
+        let names: Vec<&str> = data.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(data.spans[0].parent, None);
+        assert_eq!(data.spans[1].parent, Some(0));
+        assert_eq!(data.spans[2].parent, Some(0));
+        assert_eq!(data.spans[0].depth, 0);
+        assert_eq!(data.spans[1].depth, 1);
+        assert_eq!(data.spans[0].attrs, vec![("k".into(), AttrValue::Str("v".into()))]);
+        assert_eq!(data.spans[1].start_cycle, Some(5));
+        assert_eq!(data.spans[1].end_cycle, Some(17));
+    }
+
+    #[test]
+    fn fixed_clock_makes_timing_deterministic() {
+        let run = || {
+            start_with_step(100);
+            {
+                let _a = span("a");
+                let _b = span("b");
+            }
+            finish().unwrap()
+        };
+        let (d1, d2) = (run(), run());
+        let stamps =
+            |d: &TraceData| d.spans.iter().map(|s| (s.start_ns, s.dur_ns)).collect::<Vec<_>>();
+        assert_eq!(stamps(&d1), stamps(&d2));
+        // a starts at t=0; b at t=100; b ends at 200, a at 300.
+        assert_eq!(stamps(&d1), vec![(0, 300), (100, 100)]);
+    }
+
+    #[test]
+    fn dropping_an_outer_guard_closes_descendants() {
+        start_with_step(1);
+        let a = span("a");
+        let _b = span("b"); // deliberately leaked past a's drop
+        drop(a);
+        let _c = span("c"); // c is a root, not a child of the closed b
+        drop(_c);
+        let data = finish().unwrap();
+        assert_eq!(data.spans[1].parent, Some(0));
+        assert!(data.spans[1].dur_ns > 0, "b was closed when a dropped");
+        assert_eq!(data.spans[2].parent, None);
+    }
+
+    #[test]
+    fn inactive_tracer_records_nothing() {
+        assert!(!is_active());
+        {
+            let _g = span("ignored");
+            attr("k", 1u64);
+            cycles(0, 10);
+        }
+        assert!(finish().is_none());
+    }
+
+    #[test]
+    fn finish_closes_open_spans() {
+        start_with_step(7);
+        let _leaked = span("open");
+        let data = finish().unwrap();
+        assert_eq!(data.spans[0].dur_ns, 7);
+        // The leaked guard's later drop must not touch the next tracer.
+        start_with_step(1);
+        drop(_leaked);
+        let data2 = finish().unwrap();
+        assert!(data2.spans.is_empty());
+    }
+
+    #[test]
+    fn tree_rendering_shows_hierarchy_and_attrs() {
+        start_with_step(1_000_000);
+        {
+            let _a = span("pipeline");
+            let _b = span("parse");
+            attr("functions", 7u64);
+            cycles(0, 42);
+        }
+        let text = finish().unwrap().render_tree();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("pipeline"));
+        assert!(lines[1].starts_with("  parse"));
+        assert!(lines[1].contains("functions=7"));
+        assert!(lines[1].contains("[cycles 0..42]"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Pins the "zero-overhead when disabled" contract: with no tracer
+//! installed, span/attr/cycles calls must not allocate at all.
+//!
+//! This test binary installs a counting global allocator, so it contains
+//! exactly one test (other tests in the same binary would race the
+//! counter from parallel threads).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_tracer_does_not_allocate() {
+    // Warm up lazy TLS/atomic machinery outside the measured window.
+    assert!(!splice_obs::trace::is_active());
+    {
+        let _g = splice_obs::trace::span("warmup");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1_000u64 {
+        let _g = splice_obs::trace::span("phase");
+        splice_obs::trace::attr("iteration", i);
+        splice_obs::trace::attr("label", "busy");
+        splice_obs::trace::cycles(i, i + 10);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled tracing allocated {} times", after - before);
+
+    // Sanity check of the counter itself: enabling the tracer allocates.
+    splice_obs::trace::start_with_step(1);
+    {
+        let _g = splice_obs::trace::span("recorded");
+    }
+    let data = splice_obs::trace::finish().unwrap();
+    assert_eq!(data.spans.len(), 1);
+    assert!(ALLOCATIONS.load(Ordering::Relaxed) > after, "active tracing must allocate");
+}

@@ -51,6 +51,11 @@ pub struct TickCtx<'a> {
     pub(crate) metrics: &'a mut MetricsRegistry,
     /// This component's earliest pending timed wake (absolute cycle).
     pub(crate) wake: &'a mut u64,
+    /// Why the pending wake (if any) was scheduled; one of the
+    /// [`WakeCause`](crate::profile::WakeCause) discriminants. Overwritten
+    /// whenever something lowers `wake`, consumed by the profiler when the
+    /// wake fires.
+    pub(crate) wake_cause: &'a mut u8,
 }
 
 impl<'a> TickCtx<'a> {
@@ -109,6 +114,7 @@ impl<'a> TickCtx<'a> {
         let target = self.cycle + n.max(1);
         if target < *self.wake {
             *self.wake = target;
+            *self.wake_cause = crate::profile::WakeCause::Timer as u8;
         }
     }
 

@@ -12,10 +12,39 @@
 
 use crate::component::{Component, Sensitivity, TickCtx};
 use crate::metrics::{Event, MetricsRegistry};
+use crate::profile::{SimProfile, WakeCause};
 use crate::signal::{SignalDecl, SignalId, Word};
 use crate::trace::Trace;
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
+
+/// Summary of one `run*` call (all counts are deltas for that call, not
+/// lifetime totals).
+///
+/// Returned by [`Simulator::run`] and friends so harnesses and benchmarks
+/// can report scheduler efficiency without enabling the profiler: the
+/// underlying counters are always on and cost two integer adds per step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Clock edges stepped.
+    pub cycles: u64,
+    /// Component `tick` invocations across those edges.
+    pub ticks: u64,
+    /// Edges that took the idle fast path (every component asleep).
+    pub idle_cycles: u64,
+}
+
+impl RunStats {
+    /// `ticks / cycles` — mean number of components evaluated per edge.
+    pub fn ticks_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ticks as f64 / self.cycles as f64
+        }
+    }
+}
 
 /// Errors raised while building or running a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,11 +157,15 @@ impl SimulatorBuilder {
             num_always,
             // Every component ticks at cycle 0 (it must observe reset).
             wake_at: vec![0; nc],
+            wake_cause: vec![WakeCause::External as u8; nc],
             min_wake: 0,
             eager: false,
             cycle: 0,
+            total_ticks: 0,
+            idle_fast_hits: 0,
             traces: Vec::new(),
             metrics: MetricsRegistry::from_env(),
+            profiler: None,
         }
     }
 }
@@ -159,14 +192,23 @@ pub struct Simulator {
     num_always: usize,
     /// Per-component earliest cycle it must next tick (`u64::MAX` = asleep).
     wake_at: Vec<u64>,
+    /// Per-component [`WakeCause`] discriminant for the pending wake;
+    /// overwritten by whichever site last lowered `wake_at`.
+    wake_cause: Vec<u8>,
     /// Minimum over `wake_at` — gate for the idle fast path.
     min_wake: u64,
     /// Force every component to tick every cycle (the pre-event-driven
     /// behaviour, kept for comparison benchmarks).
     eager: bool,
     cycle: u64,
+    /// Lifetime `tick` invocations (always on; feeds [`RunStats`]).
+    total_ticks: u64,
+    /// Lifetime idle fast-path steps (always on; feeds [`RunStats`]).
+    idle_fast_hits: u64,
     traces: Vec<Trace>,
     metrics: MetricsRegistry,
+    /// Per-component profiler, boxed to keep the disabled case one word.
+    profiler: Option<Box<SimProfile>>,
 }
 
 impl Simulator {
@@ -216,10 +258,34 @@ impl Simulator {
     pub fn wake_component(&mut self, idx: usize) {
         if self.wake_at[idx] > self.cycle {
             self.wake_at[idx] = self.cycle;
+            self.wake_cause[idx] = WakeCause::External as u8;
         }
         if self.min_wake > self.cycle {
             self.min_wake = self.cycle;
         }
+    }
+
+    /// Start per-component profiling from the current cycle (see
+    /// [`SimProfile`]). Unlike metrics collection this does *not* force
+    /// eager evaluation — the profiler observes the gated scheduler as-is.
+    /// Enabling again discards any profile collected so far.
+    pub fn enable_profiler(&mut self) {
+        let names = self.components.iter().map(|c| c.name().to_owned()).collect();
+        self.profiler = Some(Box::new(SimProfile::new(names, self.cycle)));
+    }
+
+    /// Whether [`enable_profiler`](Self::enable_profiler) is in effect.
+    pub fn profiler_enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// Stop profiling and return the collected profile (None if profiling
+    /// was never enabled).
+    pub fn take_profile(&mut self) -> Option<SimProfile> {
+        self.profiler.take().map(|mut p| {
+            p.finish();
+            *p
+        })
     }
 
     /// Attach a trace capturing the named signals each cycle.
@@ -272,6 +338,10 @@ impl Simulator {
         // tick can write anything, so the cycle is a counter increment.
         if !eager && self.num_always == 0 && self.min_wake > self.cycle {
             self.cycle += 1;
+            self.idle_fast_hits += 1;
+            if let Some(p) = &mut self.profiler {
+                p.on_idle_step();
+            }
             return Ok(());
         }
 
@@ -290,6 +360,7 @@ impl Simulator {
         }
         let mut conflict: Option<(SignalId, u32, u32)> = None;
         let cycle = self.cycle;
+        let mut ticked = 0u64;
         {
             let Simulator {
                 components,
@@ -301,17 +372,32 @@ impl Simulator {
                 written,
                 sens_always,
                 wake_at,
+                wake_cause,
                 metrics,
                 epoch,
+                profiler,
                 ..
             } = self;
             for (i, comp) in components.iter_mut().enumerate() {
                 if !(eager || sens_always[i] || wake_at[i] <= cycle) {
                     continue;
                 }
-                if wake_at[i] <= cycle {
+                // Attribute the tick: a due wake carries the cause recorded
+                // by whichever site scheduled it; otherwise the component
+                // ran only because of eager/`Always` scheduling.
+                let cause = if wake_at[i] <= cycle {
                     wake_at[i] = u64::MAX; // consume the wake
-                }
+                    match wake_cause[i] {
+                        c if c == WakeCause::Signal as u8 => WakeCause::Signal,
+                        c if c == WakeCause::Timer as u8 => WakeCause::Timer,
+                        _ => WakeCause::External,
+                    }
+                } else {
+                    WakeCause::Eager
+                };
+                ticked += 1;
+                let writes_before = written.len();
+                let t0 = profiler.as_ref().map(|_| Instant::now());
                 let mut ctx = TickCtx {
                     cur,
                     next,
@@ -325,10 +411,17 @@ impl Simulator {
                     conflict: &mut conflict,
                     metrics,
                     wake: &mut wake_at[i],
+                    wake_cause: &mut wake_cause[i],
                 };
                 comp.tick(&mut ctx);
+                if let Some(p) = profiler.as_deref_mut() {
+                    p.on_tick(i, cycle, cause);
+                    let wall_ns = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+                    p.add_tick_cost(i, wall_ns, (written.len() - writes_before) as u64);
+                }
             }
         }
+        self.total_ticks += ticked;
         if verbose {
             // Only written signals can have changed; emit edges in signal
             // order, exactly as the eager kernel's full diff did.
@@ -363,7 +456,7 @@ impl Simulator {
         // the watchers of every signal that actually changed.
         let wake_cycle = cycle + 1;
         {
-            let Simulator { cur, next, written, watchers, wake_at, .. } = self;
+            let Simulator { cur, next, written, watchers, wake_at, wake_cause, .. } = self;
             for &i in written.iter() {
                 let i = i as usize;
                 if next[i] != cur[i] {
@@ -372,36 +465,56 @@ impl Simulator {
                         let w = w as usize;
                         if wake_at[w] > wake_cycle {
                             wake_at[w] = wake_cycle;
+                            wake_cause[w] = WakeCause::Signal as u8;
                         }
                     }
                 }
             }
+        }
+        if let Some(p) = &mut self.profiler {
+            p.on_step(self.written.len() as u64);
         }
         self.min_wake = self.wake_at.iter().copied().min().unwrap_or(u64::MAX);
         self.cycle += 1;
         Ok(())
     }
 
+    /// Snapshot of the always-on counters, for delta-based [`RunStats`].
+    fn stats_mark(&self) -> RunStats {
+        RunStats { cycles: self.cycle, ticks: self.total_ticks, idle_cycles: self.idle_fast_hits }
+    }
+
+    fn stats_since(&self, mark: RunStats) -> RunStats {
+        RunStats {
+            cycles: self.cycle - mark.cycles,
+            ticks: self.total_ticks - mark.ticks,
+            idle_cycles: self.idle_fast_hits - mark.idle_cycles,
+        }
+    }
+
     /// Advance `n` clock edges.
-    pub fn run(&mut self, n: u64) -> Result<(), SimError> {
+    pub fn run(&mut self, n: u64) -> Result<RunStats, SimError> {
+        let mark = self.stats_mark();
         for _ in 0..n {
             self.step()?;
         }
-        Ok(())
+        Ok(self.stats_since(mark))
     }
 
     /// Step until `pred` returns true (checked after each edge), up to
-    /// `max_cycles` edges. Returns the number of edges stepped.
+    /// `max_cycles` edges. The returned [`RunStats::cycles`] is the number
+    /// of edges stepped.
     pub fn run_until(
         &mut self,
         what: &str,
         max_cycles: u64,
         mut pred: impl FnMut(&Simulator) -> bool,
-    ) -> Result<u64, SimError> {
-        for stepped in 1..=max_cycles {
+    ) -> Result<RunStats, SimError> {
+        let mark = self.stats_mark();
+        for _ in 1..=max_cycles {
             self.step()?;
             if pred(self) {
-                return Ok(stepped);
+                return Ok(self.stats_since(mark));
             }
         }
         Err(SimError::Timeout { after: max_cycles, what: what.into() })
@@ -415,12 +528,13 @@ impl Simulator {
         what: &str,
         sig: SignalId,
         max_cycles: u64,
-    ) -> Result<u64, SimError> {
+    ) -> Result<RunStats, SimError> {
+        let mark = self.stats_mark();
         let i = sig.index();
-        for stepped in 1..=max_cycles {
+        for _ in 1..=max_cycles {
             self.step()?;
             if self.cur[i] != 0 {
-                return Ok(stepped);
+                return Ok(self.stats_since(mark));
             }
         }
         Err(SimError::Timeout { after: max_cycles, what: what.into() })
@@ -433,12 +547,13 @@ impl Simulator {
         sig: SignalId,
         val: Word,
         max_cycles: u64,
-    ) -> Result<u64, SimError> {
+    ) -> Result<RunStats, SimError> {
+        let mark = self.stats_mark();
         let i = sig.index();
-        for stepped in 1..=max_cycles {
+        for _ in 1..=max_cycles {
             self.step()?;
             if self.cur[i] == val {
-                return Ok(stepped);
+                return Ok(self.stats_since(mark));
             }
         }
         Err(SimError::Timeout { after: max_cycles, what: what.into() })
@@ -610,7 +725,7 @@ mod tests {
         b.component(Box::new(Counter { out: c }));
         let mut sim = b.build();
         let n = sim.run_until("count==4", 100, |s| s.value(c) == 4).unwrap();
-        assert_eq!(n, 4);
+        assert_eq!(n.cycles, 4);
         let err = sim.run_until("count==3", 10, |s| s.value(c) == 3).unwrap_err();
         assert!(matches!(err, SimError::Timeout { after: 10, .. }));
     }
@@ -621,8 +736,8 @@ mod tests {
         let c = b.sig("count", 16);
         b.component(Box::new(Counter { out: c }));
         let mut sim = b.build();
-        assert_eq!(sim.run_until_high("count!=0", c, 100).unwrap(), 1);
-        assert_eq!(sim.run_until_eq("count==4", c, 4, 100).unwrap(), 3);
+        assert_eq!(sim.run_until_high("count!=0", c, 100).unwrap().cycles, 1);
+        assert_eq!(sim.run_until_eq("count==4", c, 4, 100).unwrap().cycles, 3);
         let err = sim.run_until_eq("count==2", c, 2, 10).unwrap_err();
         assert!(matches!(err, SimError::Timeout { after: 10, .. }));
     }
@@ -861,5 +976,137 @@ mod tests {
         sim.set_eager(true);
         sim.run(10).unwrap();
         assert_eq!(sim.component::<GatedReg>(idx).unwrap().ticks, 10);
+    }
+
+    // --- RunStats and the per-component profiler ----------------------
+
+    /// pulse-at-10 one-shot + gated echo reg: the standard two-component
+    /// gated fixture used by the scheduler tests above.
+    fn pulse_echo_sim() -> Simulator {
+        let mut b = SimulatorBuilder::new();
+        let pulse = b.sig("pulse", 1);
+        let echo = b.sig("echo", 1);
+        b.component(Box::new(OneShot { out: pulse, at: 10, fired_at: None }));
+        b.component(Box::new(GatedReg { input: pulse, output: echo, ticks: 0 }));
+        b.build()
+    }
+
+    #[test]
+    fn run_stats_count_cycles_ticks_and_idle_fast_path() {
+        let mut sim = pulse_echo_sim();
+        // Cycle 0: both tick (reset). Cycles 1..=9: all asleep but the
+        // one-shot's wake at 10 blocks the fast path only at cycle 10.
+        let stats = sim.run(12).unwrap();
+        assert_eq!(stats.cycles, 12);
+        // Ticks: both at cycle 0, one-shot at 10, reg at 11 (pulse edge).
+        assert_eq!(stats.ticks, 4);
+        // Idle fast path: cycles 1..=9 and... cycle 11 wakes reg, cycle 10
+        // wakes one-shot, so 12 − (3 active steps) = 9 idle.
+        assert_eq!(stats.idle_cycles, 9);
+        assert!((stats.ticks_per_cycle() - 4.0 / 12.0).abs() < 1e-12);
+
+        // Deltas, not lifetime totals: a fully-idle follow-up run.
+        let stats2 = sim.run(5).unwrap();
+        assert_eq!(stats2, RunStats { cycles: 5, ticks: 0, idle_cycles: 5 });
+    }
+
+    #[test]
+    fn run_until_returns_stats_for_the_waited_window() {
+        let mut sim = pulse_echo_sim();
+        let echo = sim.signal_id("echo").unwrap();
+        let stats = sim.run_until_high("echo", echo, 100).unwrap();
+        assert_eq!(stats.cycles, 12); // echo commits on edge 11
+        assert_eq!(stats.ticks, 4);
+    }
+
+    #[test]
+    fn profiler_attributes_wake_causes_and_intervals() {
+        let mut sim = pulse_echo_sim();
+        sim.enable_profiler();
+        sim.run(12).unwrap();
+        let p = sim.take_profile().unwrap();
+        assert_eq!(p.steps, 12);
+        assert_eq!(p.idle_cycles, 9);
+
+        let shot = &p.components[0];
+        assert_eq!(shot.name, "one-shot");
+        assert_eq!(shot.ticks, 2);
+        // Cycle 0 is the reset tick (External), cycle 10 its wake_after.
+        assert_eq!(shot.wake_external, 1);
+        assert_eq!(shot.wake_timer, 1);
+        assert_eq!(shot.wake_signal, 0);
+        assert_eq!(shot.intervals, vec![(0, 1), (10, 11)]);
+        assert_eq!(shot.writes, 1); // wake request isn't a write; pulse is set at 10
+
+        let reg = &p.components[1];
+        assert_eq!(reg.ticks, 2);
+        assert_eq!(reg.wake_external, 1); // reset tick
+        assert_eq!(reg.wake_signal, 1); // pulse edge wakes it at 11
+        assert_eq!(reg.intervals, vec![(0, 1), (11, 12)]);
+        assert_eq!(p.asleep_cycles(1), 10);
+
+        // Rendered table mentions both components and the idle count.
+        let text = p.render_text();
+        assert!(text.contains("one-shot") && text.contains("gated-reg"), "{text}");
+        assert!(text.contains("9 idle fast-path"), "{text}");
+    }
+
+    #[test]
+    fn profiler_marks_eager_ticks_and_always_components() {
+        let mut b = SimulatorBuilder::new();
+        let c = b.sig("count", 16);
+        b.component(Box::new(Counter { out: c }));
+        let mut sim = b.build();
+        sim.enable_profiler();
+        sim.run(5).unwrap();
+        let p = sim.take_profile().unwrap();
+        let counter = &p.components[0];
+        assert_eq!(counter.ticks, 5);
+        // Cycle 0 consumes the initial wake (External); the rest are pure
+        // `Always` scheduling.
+        assert_eq!(counter.wake_external, 1);
+        assert_eq!(counter.wake_eager, 4);
+        assert_eq!(counter.intervals, vec![(0, 5)]);
+        assert_eq!(p.idle_cycles, 0);
+    }
+
+    #[test]
+    fn profiler_does_not_force_eager_and_take_is_one_shot() {
+        let mut sim = pulse_echo_sim();
+        sim.enable_profiler();
+        assert!(sim.profiler_enabled());
+        assert!(!sim.is_eager(), "profiling must not force eager evaluation");
+        sim.run(3).unwrap();
+        let p = sim.take_profile().unwrap();
+        assert!(p.idle_cycles > 0, "gated scheduler stayed gated under profiling");
+        assert!(sim.take_profile().is_none());
+        assert!(!sim.profiler_enabled());
+    }
+
+    #[test]
+    fn profile_chrome_lanes_use_the_cycle_axis() {
+        let mut sim = pulse_echo_sim();
+        sim.enable_profiler();
+        sim.run(12).unwrap();
+        let p = sim.take_profile().unwrap();
+        let mut t = splice_obs::ChromeTrace::new();
+        p.add_chrome_lanes(&mut t, 2);
+        let v = splice_obs::JsonValue::parse(&t.to_json()).expect("valid chrome JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // One process_name + per component: thread_name + summary + awake
+        // intervals (2 each) = 1 + 2*(1+1+2).
+        assert_eq!(events.len(), 9);
+        let awake: Vec<(u64, u64, u64)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("awake"))
+            .map(|e| {
+                (
+                    e.get("tid").unwrap().as_u64().unwrap(),
+                    e.get("ts").unwrap().as_u64().unwrap(),
+                    e.get("dur").unwrap().as_u64().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(awake, vec![(1, 0, 1), (1, 10, 1), (2, 0, 1), (2, 11, 1)]);
     }
 }

@@ -31,17 +31,23 @@
 //! A [`metrics::MetricsRegistry`] rides along with every simulation:
 //! counters, gauges, latency histograms, and a cycle-stamped event log
 //! that components reach through [`TickCtx`] (near-zero cost while
-//! disabled; see `docs/observability.md`).
+//! disabled; see `docs/observability.md`). For scheduler-level questions —
+//! which components are awake, why, and what each tick costs — enable the
+//! per-component [`profile::SimProfile`] profiler
+//! ([`Simulator::enable_profiler`]); every `run*` call also returns cheap
+//! always-on [`kernel::RunStats`].
 
 pub mod component;
 pub mod kernel;
 pub mod metrics;
+pub mod profile;
 pub mod signal;
 pub mod trace;
 pub mod vcd;
 
 pub use component::{Component, LazyCounter, LazyHistogram, Sensitivity, TickCtx};
-pub use kernel::{SimError, Simulator, SimulatorBuilder};
+pub use kernel::{RunStats, SimError, Simulator, SimulatorBuilder};
 pub use metrics::{CounterId, Event, EventLog, Histogram, HistogramId, MetricsRegistry};
+pub use profile::{ComponentProfile, SimProfile, WakeCause};
 pub use signal::{SignalDecl, SignalId, Word};
 pub use trace::Trace;

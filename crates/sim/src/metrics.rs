@@ -27,6 +27,7 @@
 //! `docs/observability.md` is exactly what this file emits.
 
 use crate::signal::Word;
+use splice_obs::json::escape;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -69,7 +70,7 @@ impl Histogram {
         }
     }
 
-    fn observe(&mut self, value: u64) {
+    pub(crate) fn observe(&mut self, value: u64) {
         self.count += 1;
         self.sum += value;
         self.min = self.min.min(value);
@@ -632,24 +633,6 @@ fn event_json(out: &mut String, ev: &Event) {
         }
     }
     out.push('}');
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -52,17 +52,22 @@
 //! [`splice_sis`], [`splice_sim`], [`splice_buses`], [`splice_resources`],
 //! [`splice_devices`], [`splice_lint`].
 
+pub mod pipeline;
+
 pub use splice_buses as buses;
+pub use splice_check as check;
 pub use splice_core as core_engine;
 pub use splice_devices as devices;
 pub use splice_driver as driver;
 pub use splice_hdl as hdl;
 pub use splice_lint as lint;
+pub use splice_obs as obs;
 pub use splice_resources as resources;
 pub use splice_sim as sim;
 pub use splice_sis as sis;
 pub use splice_spec as spec;
 
+pub use pipeline::{run_pipeline, PipelineError, PipelineOptions, PipelineOutput};
 pub use splice_spec::{parse, parse_and_validate};
 
 /// The names most programs need.

@@ -1,0 +1,284 @@
+//! The end-to-end generation pipeline as a library.
+//!
+//! `splice` (the CLI), `splice profile`, and the trace golden tests all run
+//! the same sequence — parse → validate → elaborate → hdlgen → lint →
+//! (check) → drivergen — so it lives here once, instrumented with
+//! [`splice_obs::trace`] spans. When a tracer is active
+//! (`splice_obs::trace::start()`), every phase becomes a span carrying the
+//! load-bearing numbers of that phase (function/instance counts, file
+//! sizes, lint verdicts, exploration statistics); when no tracer is
+//! installed the instrumentation costs one relaxed atomic load per span.
+//!
+//! The pipeline itself never prints and never decides policy: lint and
+//! check findings come back in [`PipelineOutput`] and the caller chooses
+//! what fails the run (`--deny-warnings` etc.). The one gate it does apply
+//! mirrors the CLI's long-standing behaviour: the model checker only runs
+//! when lint passed, since checking a design that lint already rejected
+//! wastes the (comparatively expensive) exploration.
+
+use splice_buses::builtin_libraries;
+use splice_check::{CheckOptions, CheckOutcome};
+use splice_core::elaborate::elaborate;
+use splice_core::hdlgen::{design_modules, generate_hardware, GeneratedFile};
+use splice_core::DesignIr;
+use splice_driver::cgen::{driver_header, driver_source};
+use splice_hdl::ast::Module;
+use splice_lint::LintReport;
+use splice_obs::trace;
+use splice_spec::validate::ModuleSpec;
+
+/// What to run and how, beyond the always-on phases.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// The `%GEN_DATE%` stamp embedded in generated files.
+    pub gen_date: String,
+    /// Also emit the mmap-based Linux user-space header.
+    pub linux: bool,
+    /// Run the model checker (with these bounds) after lint.
+    pub check: Option<CheckOptions>,
+    /// Treat lint warnings as failures when gating the check phase.
+    pub deny_warnings: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            gen_date: "splice build".into(),
+            linux: false,
+            check: None,
+            deny_warnings: false,
+        }
+    }
+}
+
+/// Everything a successful pipeline run produced.
+pub struct PipelineOutput {
+    /// The validated device module.
+    pub module: ModuleSpec,
+    /// The elaborated design.
+    pub ir: DesignIr,
+    /// Generated HDL files.
+    pub hw: Vec<GeneratedFile>,
+    /// The design's module ASTs (what lint/check analysed).
+    pub modules: Vec<Module>,
+    /// Generated software files as `(name, text)`.
+    pub sw: Vec<(String, String)>,
+    /// The post-generation lint report (callers decide what fails).
+    pub lint: LintReport,
+    /// Model-check outcome; `None` when not requested or when lint failed.
+    pub check: Option<CheckOutcome>,
+}
+
+/// Why the pipeline stopped before producing output.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Parse or validation errors, each already rendered against the
+    /// source text (with the spec path in the location lines).
+    Spec(Vec<String>),
+    /// A later phase failed outright; the message names the phase.
+    Phase(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Spec(errs) => {
+                write!(f, "{} specification error(s)", errs.len())
+            }
+            PipelineError::Phase(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Run the generation pipeline over `source` (read from `spec_path`, used
+/// only for diagnostics).
+pub fn run_pipeline(
+    source: &str,
+    spec_path: &str,
+    opts: &PipelineOptions,
+) -> Result<PipelineOutput, PipelineError> {
+    let _root = trace::span("pipeline");
+    trace::attr("spec", spec_path);
+
+    let libs = builtin_libraries();
+
+    let spec = {
+        let _sp = trace::span("parse");
+        trace::attr("bytes", source.len() as u64);
+        splice_spec::parser::parse(source).map_err(|errors| {
+            PipelineError::Spec(errors.iter().map(|e| e.render_at(source, spec_path)).collect())
+        })?
+    };
+
+    let module = {
+        let _sp = trace::span("validate");
+        let validated = splice_spec::validate::validate(&spec, &libs.spec_registry())
+            .map_err(|e| PipelineError::Spec(vec![e.render_at(source, spec_path)]))?;
+        let module = validated.module;
+        trace::attr("device", module.params.device_name.as_str());
+        trace::attr("bus", module.params.bus.kind.name());
+        trace::attr("functions", module.functions.len() as u64);
+        module
+    };
+    trace::attr("device", module.params.device_name.as_str());
+    trace::attr("bus", module.params.bus.kind.name());
+
+    // Bus library parameter check (§7.1.2) rides with validation.
+    let bus_name = module.params.bus.kind.name().to_owned();
+    let lib = libs.get(&bus_name).ok_or_else(|| {
+        PipelineError::Phase(format!("no interface library for bus `{bus_name}`"))
+    })?;
+    lib.check_params(&module)
+        .map_err(|e| PipelineError::Phase(format!("bus library rejected the design: {e}")))?;
+
+    let ir = {
+        let _sp = trace::span("elaborate");
+        let ir = elaborate(&module);
+        trace::attr("instances", ir.total_instances() as u64);
+        trace::attr("notes", ir.notes.len() as u64);
+        ir
+    };
+
+    let (hw, modules) = {
+        let _sp = trace::span("hdlgen");
+        let markers = lib.markers(&ir);
+        let hw = generate_hardware(&ir, &lib.interface_template(&ir), &markers, &opts.gen_date)
+            .map_err(|e| PipelineError::Phase(format!("hardware generation failed: {e}")))?;
+        let modules = design_modules(&ir, &opts.gen_date)
+            .map_err(|e| PipelineError::Phase(format!("hardware generation failed: {e}")))?;
+        trace::attr("files", hw.len() as u64);
+        trace::attr("bytes", hw.iter().map(|f| f.text.len() as u64).sum::<u64>());
+        trace::attr("modules", modules.len() as u64);
+        (hw, modules)
+    };
+
+    // Post-generation lint: generated designs must satisfy the same rules a
+    // hand-written design would.
+    let lint = {
+        let _sp = trace::span("lint");
+        let mut lint = LintReport::new();
+        splice_lint::lint_spec(&spec, source, &libs.spec_registry(), &mut lint);
+        splice_lint::lint_ir(&ir, &mut lint);
+        splice_lint::lint_modules(&modules, &mut lint);
+        trace::attr("errors", lint.error_count() as u64);
+        trace::attr("warnings", lint.warning_count() as u64);
+        lint
+    };
+
+    let check = match &opts.check {
+        Some(check_opts) if !lint.fails(opts.deny_warnings) => {
+            let _sp = trace::span("check");
+            let mut outcome = splice_check::check_modules(&ir, &modules, check_opts)
+                .map_err(|e| PipelineError::Phase(format!("model check failed to run: {e}")))?;
+            let p = &module.params;
+            let lib_h = splice_driver::macros::macro_header_with_irq(
+                &p.bus,
+                p.bus_width,
+                p.base_address,
+                p.irq,
+            );
+            splice_check::cross_check(
+                &ir,
+                &modules,
+                &lib_h,
+                &driver_source(&module),
+                &mut outcome.report,
+            );
+            trace::attr("errors", outcome.report.error_count() as u64);
+            trace::attr("warnings", outcome.report.warning_count() as u64);
+            trace::attr(
+                "states_visited",
+                outcome.stats.iter().map(|s| s.reachable as u64).sum::<u64>(),
+            );
+            trace::attr(
+                "frontier_peak",
+                outcome.stats.iter().map(|s| s.frontier_peak as u64).max().unwrap_or(0),
+            );
+            Some(outcome)
+        }
+        _ => None,
+    };
+
+    let sw = {
+        let _sp = trace::span("drivergen");
+        let p = &module.params;
+        let dev = p.device_name.clone();
+        let mut sw: Vec<(String, String)> = vec![
+            (
+                "splice_lib.h".into(),
+                splice_driver::macros::macro_header_with_irq(
+                    &p.bus,
+                    p.bus_width,
+                    p.base_address,
+                    p.irq,
+                ),
+            ),
+            (format!("{dev}_driver.h"), driver_header(&module)),
+            (format!("{dev}_driver.c"), driver_source(&module)),
+        ];
+        if opts.linux {
+            sw.push((
+                "splice_lib_linux.h".into(),
+                splice_driver::macros::linux_macro_header(&p.bus, p.bus_width, p.base_address),
+            ));
+        }
+        trace::attr("files", sw.len() as u64);
+        trace::attr("bytes", sw.iter().map(|(_, t)| t.len() as u64).sum::<u64>());
+        sw
+    };
+
+    Ok(PipelineOutput { module, ir, hw, modules, sw, lint, check })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "%device_name pipedev\n%bus_type plb\n%bus_width 32\n\
+                        %base_address 0x80000000\nint mac(int a, int b);\n";
+
+    #[test]
+    fn pipeline_produces_hw_sw_and_a_clean_lint() {
+        let out = run_pipeline(SPEC, "test.spec", &PipelineOptions::default()).unwrap();
+        assert_eq!(out.module.params.device_name, "pipedev");
+        assert!(!out.hw.is_empty());
+        assert!(out.sw.iter().any(|(n, _)| n == "pipedev_driver.c"));
+        assert!(out.lint.is_clean(), "{}", out.lint.render_text());
+        assert!(out.check.is_none());
+    }
+
+    #[test]
+    fn pipeline_emits_one_span_per_phase() {
+        splice_obs::trace::start_with_step(1);
+        let opts =
+            PipelineOptions { check: Some(CheckOptions::default()), ..PipelineOptions::default() };
+        run_pipeline(SPEC, "test.spec", &opts).unwrap();
+        let data = splice_obs::trace::finish().unwrap();
+        for phase in
+            ["pipeline", "parse", "validate", "elaborate", "hdlgen", "lint", "check", "drivergen"]
+        {
+            assert!(data.span_named(phase).is_some(), "missing span `{phase}`");
+        }
+        // check.explore spans nest under check, one per explored module.
+        let check_idx = data.spans.iter().position(|s| s.name == "check").unwrap() as u32;
+        let explores: Vec<_> = data.spans.iter().filter(|s| s.name == "check.explore").collect();
+        assert!(!explores.is_empty());
+        assert!(explores.iter().all(|s| s.parent == Some(check_idx)));
+    }
+
+    #[test]
+    fn parse_errors_come_back_rendered() {
+        let Err(err) = run_pipeline("%bogus\n", "bad.spec", &PipelineOptions::default()) else {
+            panic!("bogus spec must not pass");
+        };
+        match err {
+            PipelineError::Spec(msgs) => {
+                assert!(!msgs.is_empty());
+                assert!(msgs[0].contains("bad.spec"), "{}", msgs[0]);
+            }
+            other => panic!("expected spec error, got {other:?}"),
+        }
+    }
+}

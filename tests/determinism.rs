@@ -121,7 +121,7 @@ fn run_until_high_observes_gated_interrupt_delivery() {
     assert!(fire.bus_cycles < 50, "nowait returned in {}", fire.bus_cycles);
 
     let vector = sys.sim().signal_id("sis.IRQ_VECTOR").unwrap();
-    let waited = sys.sim_mut().run_until_high("completion irq", vector, 5_000).unwrap();
+    let waited = sys.sim_mut().run_until_high("completion irq", vector, 5_000).unwrap().cycles;
     assert!(waited > 80 && waited < 300, "irq after the calc: waited {waited}");
 
     // And run_until_eq pins the exact vector value: instance 0 latches

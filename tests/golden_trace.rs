@@ -1,0 +1,103 @@
+//! Golden-file test for the Chrome trace-event export: the pipeline trace
+//! for a pinned spec is byte-for-byte stable under a fixed-step test clock.
+//!
+//! The tracer's deterministic clock (`start_with_step`) replaces wall time
+//! with a fixed increment per event, and the pipeline itself is
+//! deterministic for a fixed spec and gen-date, so the exported JSON is too
+//! — any drift in span structure, naming, attribute sets, or the exporter's
+//! encoding fails here first.
+//!
+//! Regenerate after an intentional change with
+//! `SPLICE_BLESS=1 cargo test --test golden_trace`, then review the diff.
+
+use splice::obs::json::JsonValue;
+use splice::obs::trace;
+use splice::pipeline::{run_pipeline, PipelineOptions};
+
+const SPEC: &str = "%device_name tracedev\n%bus_type plb\n%bus_width 32\n\
+                    %base_address 0x80000000\n%irq_support true\n\
+                    int mac(int a, int b);\nnowait preload(int acc);\n";
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace").join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("SPLICE_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("blessing {name}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden trace {name}: {e}; bless with SPLICE_BLESS=1"));
+    assert!(
+        expected == actual,
+        "trace `{name}` drifted from tests/golden/trace/{name};\n\
+         if the change is intentional, regenerate with SPLICE_BLESS=1.\n\
+         --- generated ---\n{actual}"
+    );
+}
+
+fn pinned_pipeline_trace() -> String {
+    // 1000 ns per clock reading = 1 µs per timestamp in the export.
+    trace::start_with_step(1000);
+    let opts = PipelineOptions {
+        gen_date: "golden".into(),
+        check: Some(splice::check::CheckOptions::default()),
+        ..PipelineOptions::default()
+    };
+    run_pipeline(SPEC, "tracedev.splice", &opts).expect("pinned spec generates");
+    trace::finish().expect("tracer active").to_chrome_json("splice pipeline")
+}
+
+#[test]
+fn pipeline_trace_matches_golden() {
+    assert_matches_golden("pipeline_trace.json", &pinned_pipeline_trace());
+}
+
+#[test]
+fn pipeline_trace_is_valid_and_well_formed() {
+    // Independent of the golden bytes: the export must parse with the
+    // workspace's own JSON reader and carry the Chrome trace essentials.
+    let json = pinned_pipeline_trace();
+    let doc = JsonValue::parse(&json).expect("trace JSON parses");
+    let events = doc.get("traceEvents").and_then(JsonValue::as_array).expect("traceEvents array");
+    assert!(!events.is_empty());
+    // Every event carries the required Chrome trace-event fields.
+    for e in events {
+        assert!(e.get("ph").and_then(JsonValue::as_str).is_some(), "event without ph");
+        assert!(e.get("pid").and_then(JsonValue::as_u64).is_some(), "event without pid");
+        assert!(e.get("name").is_some(), "event without name");
+    }
+    // Complete events are the pipeline phases, in order, with durations.
+    let xs: Vec<&JsonValue> =
+        events.iter().filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X")).collect();
+    let names: Vec<&str> =
+        xs.iter().map(|e| e.get("name").and_then(JsonValue::as_str).unwrap()).collect();
+    for phase in
+        ["pipeline", "parse", "validate", "elaborate", "hdlgen", "lint", "check", "drivergen"]
+    {
+        assert!(names.contains(&phase), "missing phase event `{phase}`");
+    }
+    for e in &xs {
+        assert!(e.get("dur").and_then(JsonValue::as_f64).is_some(), "X event without dur");
+        assert!(e.get("ts").and_then(JsonValue::as_f64).is_some(), "X event without ts");
+    }
+    // The root span covers every child: its ts is the minimum, and nothing
+    // ends after it does.
+    let root = xs.iter().find(|e| e.get("name").and_then(JsonValue::as_str) == Some("pipeline"));
+    let root = root.expect("root span");
+    let root_ts = root.get("ts").and_then(JsonValue::as_f64).unwrap();
+    let root_end = root_ts + root.get("dur").and_then(JsonValue::as_f64).unwrap();
+    for e in &xs {
+        let ts = e.get("ts").and_then(JsonValue::as_f64).unwrap();
+        let end = ts + e.get("dur").and_then(JsonValue::as_f64).unwrap();
+        assert!(ts >= root_ts && end <= root_end, "span escapes the root interval");
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    assert_eq!(pinned_pipeline_trace(), pinned_pipeline_trace());
+}
