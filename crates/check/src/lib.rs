@@ -26,18 +26,23 @@
 //! A second, orthogonal pass ([`driver_check`]) cross-checks the generated
 //! C driver text against the IR and the HDL address decode (SL0407–SL0410).
 
-pub mod compile;
 pub mod driver_check;
 pub mod env;
 pub mod explore;
 pub mod replay;
-pub mod tv;
+
+// The flattened transition relation and the ternary domain live in
+// `splice-dataflow` (one flattening path for checking, linting, and
+// abstract interpretation); re-export them under their historical names.
+pub use splice_dataflow::flat as compile;
+pub use splice_dataflow::tv;
 
 pub use compile::{CompileError, CompiledDesign};
 pub use driver_check::cross_check;
 
 use explore::{BfsOutcome, BfsViolation, ExploreSpec, MutexGroup};
 use splice_core::{BeatCount, DesignIr, StubState};
+use splice_dataflow::{analyze, AnalysisConfig, FactTable, ResetPhase};
 use splice_hdl::Module;
 use splice_lint::{Diagnostic, Layer, LintReport, Location};
 use std::collections::HashMap;
@@ -55,11 +60,22 @@ pub struct CheckOptions {
     pub max_depth: u32,
     /// Replay every counterexample against `splice-sim`.
     pub replay: bool,
+    /// Run the dataflow constant-folding / dead-logic pre-pass before the
+    /// exhaustive exploration. Sound (verdicts and reachable-state counts
+    /// are unchanged); `--no-fold` exists as an escape hatch and as the
+    /// parity baseline in CI.
+    pub fold: bool,
 }
 
 impl Default for CheckOptions {
     fn default() -> CheckOptions {
-        CheckOptions { response_bound: 16, max_states: 50_000, max_depth: 64, replay: true }
+        CheckOptions {
+            response_bound: 16,
+            max_states: 50_000,
+            max_depth: 64,
+            replay: true,
+            fold: true,
+        }
     }
 }
 
@@ -390,6 +406,61 @@ fn record_bfs(
     });
 }
 
+/// Compile one module, downgrading structural defects the checker can
+/// *find* (mixed drivers, over-wide signals, undeclared names) to SL0500
+/// diagnostics instead of aborting the whole run. Only a missing module —
+/// a generator invariant, not a property of the design — stays a hard
+/// [`CheckError`]. Returns `None` when the module was skipped.
+fn compile_or_report(
+    modules: &[Module],
+    name: &str,
+    report: &mut LintReport,
+) -> Result<Option<CompiledDesign>, CheckError> {
+    match CompiledDesign::compile(modules, name) {
+        Ok(d) => Ok(Some(d)),
+        Err(e @ CompileError::UnknownModule { .. }) => Err(CheckError::Compile(e)),
+        Err(e) => {
+            let location = match e.signal() {
+                Some(s) => Location::signal(name, s),
+                None => Location::path(name),
+            };
+            report.push(
+                Diagnostic::error(
+                    "SL0500",
+                    Layer::Hdl,
+                    location,
+                    e.render_at(&format!("{name}.vhd")),
+                )
+                .suggest("fix the driver structure so value analysis and model checking can run"),
+            );
+            Ok(None)
+        }
+    }
+}
+
+/// Abstract-interpret `d` and fold the proven-constant reads and dead
+/// combinational cones out of the transition relation, inside a
+/// `check.dataflow` span carrying the fact counts. Exploration runs on the
+/// folded relation; scripts and replay keep the original design.
+fn fold_for_explore(d: &CompiledDesign, pins: &env::EnvPins, keep: &[usize]) -> CompiledDesign {
+    let _sp = splice_obs::trace::span("check.dataflow");
+    splice_obs::trace::attr("module", d.name.as_str());
+    let cfg = AnalysisConfig {
+        reset: Some(ResetPhase { slot: pins.rst, steps: 2 }),
+        ..AnalysisConfig::default()
+    };
+    let analysis = analyze(d, &cfg);
+    let facts = FactTable::build(d, &analysis, keep);
+    let (folded, st) = splice_dataflow::fold(d, &facts, keep);
+    splice_obs::trace::attr("converged", u64::from(analysis.converged));
+    splice_obs::trace::attr("const_signals", facts.const_count(d) as u64);
+    splice_obs::trace::attr("folded_reads", st.folded_reads as u64);
+    splice_obs::trace::attr("dropped_nodes", st.dropped_nodes as u64);
+    splice_obs::trace::attr("stmts_before", st.stmts_before as u64);
+    splice_obs::trace::attr("stmts_after", st.stmts_after as u64);
+    folded
+}
+
 /// Model-check the generated HDL of `ir`. `modules` must be the module set
 /// `design_modules` emitted for this IR.
 pub fn check_modules(
@@ -405,7 +476,9 @@ pub fn check_modules(
 
     for stub in &ir.stubs {
         let mod_name = format!("func_{}", stub.name);
-        let d = CompiledDesign::compile(modules, &mod_name).map_err(CheckError::Compile)?;
+        let Some(d) = compile_or_report(modules, &mod_name, &mut report)? else {
+            continue;
+        };
         let pins = env::resolve_pins(&d).map_err(CheckError::Pins)?;
         let my_id = stub.first_func_id as u64;
 
@@ -462,10 +535,17 @@ pub fn check_modules(
             max_states: opts.max_states,
             max_depth: opts.max_depth,
         };
+        // X-safety checks every register and the observed outputs, so the
+        // fold must keep the whole contract surface observable.
+        let mut keep = vec![pins.io_done, pins.dov, pins.data_out];
+        keep.extend(pins.calc_done);
+        let dx = if opts.fold { fold_for_explore(&d, &pins, &keep) } else { d.clone() };
         let out = {
             let _sp = splice_obs::trace::span("check.explore");
             splice_obs::trace::attr("module", mod_name.as_str());
-            let out = explore::explore(&d, &pins, &spec, &[]);
+            splice_obs::trace::attr("comb_nodes", dx.comb_order.len() as u64);
+            splice_obs::trace::attr("expr_nodes", dx.expr_node_count() as u64);
+            let out = explore::explore(&dx, &pins, &spec, &[]);
             splice_obs::trace::attr("reachable", out.reachable as u64);
             splice_obs::trace::attr("frontier_peak", out.frontier_peak as u64);
             out
@@ -485,8 +565,12 @@ pub fn check_modules(
     // collapses the product while remaining exhaustive for SL0403. X-safety
     // of the arbiter's own registers is checked in every run.
     let arb_name = format!("user_{}", ir.module.params.device_name);
-    if modules.iter().any(|m| m.name == arb_name) {
-        let d = CompiledDesign::compile(modules, &arb_name).map_err(CheckError::Compile)?;
+    let arb_d = if modules.iter().any(|m| m.name == arb_name) {
+        compile_or_report(modules, &arb_name, &mut report)?
+    } else {
+        None
+    };
+    if let Some(d) = arb_d {
         let pins = env::resolve_pins(&d).map_err(CheckError::Pins)?;
         let mut groups = Vec::new();
         for line in ["IO_DONE", "DATA_OUT_VALID"] {
@@ -516,6 +600,10 @@ pub fn check_modules(
             all.dedup();
             id_sets.push(all);
         }
+        let mut keep = vec![pins.io_done, pins.dov, pins.data_out];
+        keep.extend(pins.calc_done);
+        keep.extend(groups.iter().flat_map(|g| g.members.iter().copied()));
+        let dx = if opts.fold { fold_for_explore(&d, &pins, &keep) } else { d.clone() };
         let mut total = BfsOutcome {
             reachable: 0,
             complete: true,
@@ -526,6 +614,8 @@ pub fn check_modules(
         };
         let _sp = splice_obs::trace::span("check.explore");
         splice_obs::trace::attr("module", arb_name.as_str());
+        splice_obs::trace::attr("comb_nodes", dx.comb_order.len() as u64);
+        splice_obs::trace::attr("expr_nodes", dx.expr_node_count() as u64);
         for func_ids in id_sets {
             let spec = ExploreSpec {
                 func_ids,
@@ -533,7 +623,7 @@ pub fn check_modules(
                 max_states: opts.max_states,
                 max_depth: opts.max_depth,
             };
-            let out = explore::explore(&d, &pins, &spec, &groups);
+            let out = explore::explore(&dx, &pins, &spec, &groups);
             // Aggregate: reachable counts sum over pair runs (their state
             // sets overlap on the common idle background, so this is a
             // determinism metric, not a distinct-state count).

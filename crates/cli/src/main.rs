@@ -80,6 +80,8 @@ OPTIONS:
   -f, --force           overwrite an existing device directory without asking
   -n, --dry-run         print what would be generated without writing files
       --lint            lint only: report SLxxxx diagnostics, generate nothing
+      --explain <code>  print the catalogue entry for one rule code and exit
+                        (e.g. `splice lint --explain SL0502`; no spec needed)
       --check           model-check the design before generating (see `splice check`)
       --deny-warnings   treat lint/check warnings as errors (CI)
       --json            render the lint/check report as JSON
@@ -97,6 +99,8 @@ CHECK OPTIONS (check mode / --check):
       --max-states <n>  distinct-state budget per exploration (default 50000)
       --max-depth <n>   exploration horizon past reset (default 64)
       --no-replay       skip replaying counterexamples against splice-sim
+      --no-fold         skip the dataflow constant-folding pre-pass before
+                        exploration (escape hatch; verdicts are identical)
 
 PROFILE OPTIONS (profile mode):
       --calls <n>       workload rounds (one driver call per function each
@@ -164,6 +168,20 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--lint" => lint_only = true,
             "--check" => check = true,
             "--no-replay" => check_opts.replay = false,
+            "--no-fold" => check_opts.fold = false,
+            "--explain" => {
+                let code = it.next().ok_or("--explain needs a rule code argument")?;
+                return match splice_lint::explain(code) {
+                    Some(summary) => {
+                        println!("{code}: {summary}");
+                        println!("the full catalogue entry lives in docs/lint.md");
+                        Ok(None)
+                    }
+                    None => Err(format!(
+                        "unknown rule code `{code}`; the catalogue lives in docs/lint.md"
+                    )),
+                };
+            }
             "--bound" => check_opts.response_bound = num(&mut it, "--bound")? as u32,
             "--max-states" => check_opts.max_states = num(&mut it, "--max-states")? as usize,
             "--max-depth" => check_opts.max_depth = num(&mut it, "--max-depth")? as u32,

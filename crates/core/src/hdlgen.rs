@@ -568,7 +568,7 @@ fn icob_process(ir: &DesignIr, stub: &FunctionStub) -> Result<Process, HdlGenErr
         Stmt::assign("DATA_OUT", Expr::lit(0, p.bus_width)),
         Stmt::assign("CALC_DONE", Expr::lit(0, 1)),
     ];
-    if p.irq {
+    if p.irq && stub.fires_irq() {
         body.push(Stmt::assign("IRQ", Expr::lit(0, 1)));
     }
     body.push(Stmt::Case {
@@ -596,7 +596,7 @@ pub fn stub_module(
         format!("device: {}   bus: {}   generated: {}", p.device_name, p.bus.kind, gen_date),
         "Fill in the TODO(user) calculation sections; all bus handshaking is complete.".into(),
     ];
-    m.ports = sis_ports(p.bus_width, p.func_id_width, p.irq);
+    m.ports = sis_ports(p.bus_width, p.func_id_width, p.irq && stub.fires_irq());
     m.decls = stub_constants(ir, stub)?;
     m.decls.extend(stub_signals(ir, stub));
     m.items.push(Item::Process(smb_process(stub)));
@@ -666,7 +666,7 @@ pub fn arbiter_module(ir: &DesignIr, gen_date: &str) -> Module {
         {
             m.decls.push(Decl::Signal { name: format!("{base}_{suffix}"), width, init: None });
         }
-        if p.irq {
+        if p.irq && stub.fires_irq() {
             m.decls.push(Decl::Signal { name: format!("{base}_IRQ"), width: 1, init: None });
         }
         // Replicated functions share one stub module, whose internal
@@ -711,7 +711,7 @@ pub fn arbiter_module(ir: &DesignIr, gen_date: &str) -> Module {
                 ("CALC_DONE".into(), format!("{base}_CALC_DONE")),
             ],
         }));
-        if p.irq {
+        if p.irq && stub.fires_irq() {
             if let Some(Item::Instance(inst)) = m.items.last_mut() {
                 inst.connections.push(("IRQ".into(), format!("{base}_IRQ")));
             }
@@ -774,6 +774,11 @@ fn irq_latch_process(ir: &DesignIr) -> Process {
     )];
     for (si, _inst, id) in ir.arbiter_entries() {
         let stub = &ir.stubs[si];
+        if !stub.fires_irq() {
+            // Blocking `void` functions never pulse (no IRQ net exists for
+            // them); latching would be provably dead logic.
+            continue;
+        }
         on_run.push(Stmt::if_then(
             Expr::sig(format!("f{id}_{}_IRQ", stub.name)),
             vec![Stmt::assign("irq_vector_i", Expr::sig("irq_vector_i").or(one_hot(id, w)))],

@@ -110,6 +110,16 @@ impl FunctionStub {
     pub fn calc_state_index(&self) -> Option<usize> {
         self.states.iter().position(|s| matches!(s, StubState::Calc))
     }
+
+    /// Whether this stub can ever pulse a completion IRQ under
+    /// `%irq_support`: nowait functions pulse in the Calc state, output
+    /// functions on the final result beat. A blocking `void` function
+    /// completes through the pseudo-output handshake with no pulse, so
+    /// giving it an IRQ port (and latching its line) would be provably
+    /// dead logic.
+    pub fn fires_irq(&self) -> bool {
+        self.nowait || self.states.iter().any(|s| matches!(s, StubState::Output { .. }))
+    }
 }
 
 /// The complete generated design.

@@ -638,7 +638,7 @@ pub fn build_peripheral(
             p.bus_width,
             calc_factory(&stub.name, inst),
         );
-        if irq_enabled {
+        if irq_enabled && stub.fires_irq() {
             let irq = b.signal(SignalDecl::new(format!("{prefix}{}.{inst}.IRQ", stub.name), 1));
             irq_lines.push((id, irq));
             comp = comp.with_irq(irq);

@@ -1,0 +1,189 @@
+//! Machine-readable dataflow facts: the bridge between the abstract
+//! engine and its consumers (the SL05xx lint rules, the model checker's
+//! fold pre-pass, and — eventually — the compiled simulation backend).
+
+use crate::domain::AbsVal;
+use crate::engine::Analysis;
+use crate::flat::{CompiledDesign, Kind};
+use crate::tv::TWord;
+
+/// Everything the analysis proved about one signal.
+#[derive(Debug, Clone)]
+pub struct SignalFacts {
+    /// Constant in *every* phase, power-on and reset included — safe to
+    /// fold reads into a literal.
+    pub constant: Option<u64>,
+    /// Constant in every reachable post-reset state (what SL0501 reports;
+    /// weaker than `constant` because the power-on transient may differ).
+    pub settled: Option<u64>,
+    /// Post-reset known-bits envelope.
+    pub known: TWord,
+    /// Bits that may be an uninitialized X post-reset.
+    pub xmask: u64,
+    /// Smallest post-reset value.
+    pub lo: u64,
+    /// Largest post-reset value.
+    pub hi: u64,
+    /// Whether the signal has a forward path to an output port or another
+    /// kept (checked) signal. Signals without one are dead logic.
+    pub reaches_output: bool,
+}
+
+/// Per-signal facts for one compiled design.
+#[derive(Debug, Clone)]
+pub struct FactTable {
+    /// The analyzed top module.
+    pub module: String,
+    /// Facts indexed by signal id (parallel to `CompiledDesign::signals`).
+    pub signals: Vec<SignalFacts>,
+    /// Whether the fixpoint converged without the top fallback.
+    pub converged: bool,
+    /// Fixpoint iterations used.
+    pub iterations: u32,
+}
+
+impl FactTable {
+    /// Build the table from an analysis. `keep` lists signal ids beyond
+    /// the output ports that count as observed (checked properties like
+    /// mutex-group members); reachability is computed against the union.
+    pub fn build(d: &CompiledDesign, a: &Analysis, keep: &[usize]) -> FactTable {
+        let reaches = reaches_output(d, keep);
+        let signals = (0..d.signals.len())
+            .map(|id| {
+                let post: &AbsVal = &a.values[id];
+                SignalFacts {
+                    // Inputs are free: never constant, whatever the
+                    // abstract value says about a single eval context.
+                    constant: match d.signals[id].kind {
+                        Kind::Input => None,
+                        _ => a.any_values[id].as_const(),
+                    },
+                    settled: match d.signals[id].kind {
+                        Kind::Input => None,
+                        _ => post.as_const(),
+                    },
+                    known: post.kb,
+                    xmask: post.xmask,
+                    lo: post.lo,
+                    hi: post.hi,
+                    reaches_output: reaches[id],
+                }
+            })
+            .collect();
+        FactTable {
+            module: d.name.clone(),
+            signals,
+            converged: a.converged,
+            iterations: a.iterations,
+        }
+    }
+
+    /// Signals proven constant that are not declared constants — the
+    /// interesting ones for reporting and folding.
+    pub fn const_count(&self, d: &CompiledDesign) -> usize {
+        self.signals
+            .iter()
+            .zip(&d.signals)
+            .filter(|(f, s)| f.constant.is_some() && !matches!(s.kind, Kind::Const(_)))
+            .count()
+    }
+
+    /// Driven signals with no path to an output or kept signal.
+    pub fn dead_count(&self, d: &CompiledDesign) -> usize {
+        self.signals
+            .iter()
+            .zip(&d.signals)
+            .filter(|(f, s)| !f.reaches_output && matches!(s.kind, Kind::Comb | Kind::Register))
+            .count()
+    }
+}
+
+/// Backward reachability from the output ports (plus `keep`): a signal is
+/// marked when some chain of node reads leads from it to an observed
+/// signal. Register state feedback counts — a register that feeds only
+/// itself does *not* reach an output.
+fn reaches_output(d: &CompiledDesign, keep: &[usize]) -> Vec<bool> {
+    let mut live = vec![false; d.signals.len()];
+    for &id in d.outputs.iter().chain(keep) {
+        live[id] = true;
+    }
+    loop {
+        let mut changed = false;
+        for node in d.clocked.iter().chain(&d.comb_order) {
+            if node.writes.iter().any(|&w| live[w]) {
+                for &r in &node.reads {
+                    if !live[r] {
+                        live[r] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{analyze, reset_slot, AnalysisConfig, ResetPhase};
+    use splice_hdl::{Decl, Expr, Item, Module, Port, Process, Stmt};
+
+    /// `live` feeds the output; `orphan` is computed but feeds nothing;
+    /// `loner` is a register that only feeds itself.
+    fn module_with_dead_cone() -> Module {
+        let mut m = Module::new("dead");
+        m.ports = vec![Port::input("CLK", 1), Port::input("RST", 1), Port::output("Y", 4)];
+        m.decls = vec![
+            Decl::Signal { name: "live".into(), width: 4, init: None },
+            Decl::Signal { name: "orphan".into(), width: 4, init: None },
+            Decl::Signal { name: "loner".into(), width: 4, init: Some(0) },
+        ];
+        m.items.push(Item::Assign { lhs: "live".into(), rhs: Expr::lit(3, 4) });
+        m.items.push(Item::Assign {
+            lhs: "orphan".into(),
+            rhs: Expr::sig("live").add(Expr::lit(1, 4)),
+        });
+        m.items.push(Item::Process(Process {
+            label: "spin".into(),
+            clocked: true,
+            body: vec![Stmt::assign("loner", Expr::sig("loner").add(Expr::lit(1, 4)))],
+        }));
+        m.items.push(Item::Assign { lhs: "Y".into(), rhs: Expr::sig("live") });
+        m
+    }
+
+    #[test]
+    fn facts_mark_constants_and_dead_cones() {
+        let m = module_with_dead_cone();
+        let d = CompiledDesign::compile(std::slice::from_ref(&m), "dead").unwrap();
+        let slot = reset_slot(&d).unwrap();
+        let cfg =
+            AnalysisConfig { reset: Some(ResetPhase { slot, steps: 2 }), ..Default::default() };
+        let a = analyze(&d, &cfg);
+        let facts = FactTable::build(&d, &a, &[]);
+        let id = |n: &str| d.signal_id(n).unwrap();
+        assert_eq!(facts.signals[id("live")].constant, Some(3));
+        assert_eq!(facts.signals[id("orphan")].constant, Some(4));
+        assert!(facts.signals[id("live")].reaches_output);
+        assert!(!facts.signals[id("orphan")].reaches_output, "feeds nothing");
+        assert!(!facts.signals[id("loner")].reaches_output, "self-feedback only");
+        assert!(facts.signals[id("Y")].reaches_output);
+        // `live`, `orphan`, and the `Y` port that mirrors `live`.
+        assert_eq!(facts.const_count(&d), 3);
+        assert_eq!(facts.dead_count(&d), 2);
+    }
+
+    #[test]
+    fn keep_set_extends_reachability() {
+        let m = module_with_dead_cone();
+        let d = CompiledDesign::compile(std::slice::from_ref(&m), "dead").unwrap();
+        let a = analyze(&d, &AnalysisConfig::default());
+        let loner = d.signal_id("loner").unwrap();
+        let facts = FactTable::build(&d, &a, &[loner]);
+        assert!(facts.signals[loner].reaches_output, "kept signals count as observed");
+    }
+}

@@ -13,7 +13,13 @@
 //! Control flow over unknown values is conservative: an `if` with an X
 //! condition joins both branches, a `case` with a partially unknown
 //! selector joins every arm the selector may reach.
+//!
+//! The interpreter is generic over a [`DomainValue`]: the concrete ternary
+//! [`TWord`] drives model checking, and `crate::domain::AbsVal` runs the
+//! same statements under abstract interpretation. One flattening path, two
+//! value domains.
 
+use crate::graph;
 use crate::tv::TWord;
 use splice_hdl::{BinOp, Decl, Dir, Expr, Item, Module, Stmt};
 use std::collections::HashMap;
@@ -23,13 +29,50 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
     /// An instantiated module is not in the provided set.
-    UnknownModule { instance: String, module: String },
+    UnknownModule {
+        /// Instance label referencing the module.
+        instance: String,
+        /// The missing module name.
+        module: String,
+    },
     /// An identifier is referenced but never declared.
-    UnknownSignal { module: String, name: String },
+    UnknownSignal {
+        /// Module containing the reference.
+        module: String,
+        /// The undeclared name.
+        name: String,
+    },
     /// A signal is wider than the 64-bit model domain.
-    TooWide { name: String, width: u32 },
+    TooWide {
+        /// Flattened signal name.
+        name: String,
+        /// Declared width.
+        width: u32,
+    },
     /// A signal is driven from both clocked and combinational logic.
-    MixedDrivers { name: String },
+    MixedDrivers {
+        /// Flattened signal name.
+        name: String,
+    },
+}
+
+impl CompileError {
+    /// Render with a file anchor, mirroring `SpecError::render_at`: the
+    /// lint layer uses this to attach compile failures to the generated
+    /// HDL file they come from.
+    pub fn render_at(&self, path: &str) -> String {
+        format!("{path}: {self}")
+    }
+
+    /// The flattened signal name the error is about, when it has one.
+    pub fn signal(&self) -> Option<&str> {
+        match self {
+            CompileError::UnknownSignal { name, .. }
+            | CompileError::TooWide { name, .. }
+            | CompileError::MixedDrivers { name } => Some(name),
+            CompileError::UnknownModule { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for CompileError {
@@ -83,29 +126,80 @@ pub struct SignalInfo {
 
 /// A compiled expression with signal references resolved to indices.
 #[derive(Debug, Clone)]
-enum CExpr {
+pub enum CExpr {
+    /// A signal read.
     Sig(usize),
+    /// A literal (always fully known).
     Lit(TWord),
-    Bin { op: BinOp, lhs: Box<CExpr>, rhs: Box<CExpr> },
+    /// A binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<CExpr>,
+        /// Right operand.
+        rhs: Box<CExpr>,
+    },
+    /// Bitwise complement.
     Not(Box<CExpr>),
-    Slice { base: Box<CExpr>, hi: u32, lo: u32 },
+    /// Bit slice `base[hi..=lo]`.
+    Slice {
+        /// Sliced expression.
+        base: Box<CExpr>,
+        /// High bit (inclusive).
+        hi: u32,
+        /// Low bit (inclusive).
+        lo: u32,
+    },
+    /// Concatenation, most-significant part first.
     Concat(Vec<CExpr>),
 }
 
 /// A compiled statement.
 #[derive(Debug, Clone)]
-enum CStmt {
-    Assign { lhs: usize, rhs: CExpr },
-    If { cond: CExpr, then: Vec<CStmt>, elifs: Vec<(CExpr, Vec<CStmt>)>, els: Option<Vec<CStmt>> },
-    Case { expr: CExpr, arms: Vec<(u64, Vec<CStmt>)>, default: Option<Vec<CStmt>> },
+pub enum CStmt {
+    /// Non-blocking assignment to signal `lhs`.
+    Assign {
+        /// Target signal index.
+        lhs: usize,
+        /// Value expression.
+        rhs: CExpr,
+    },
+    /// If / elsif chain with optional else.
+    If {
+        /// First condition.
+        cond: CExpr,
+        /// Taken when `cond` is true.
+        then: Vec<CStmt>,
+        /// `elsif` conditions and bodies, in order.
+        elifs: Vec<(CExpr, Vec<CStmt>)>,
+        /// Optional final else.
+        els: Option<Vec<CStmt>>,
+    },
+    /// Case over an expression with literal arms.
+    Case {
+        /// Selector expression.
+        expr: CExpr,
+        /// `(match value, body)` arms in source order.
+        arms: Vec<(u64, Vec<CStmt>)>,
+        /// Optional default arm.
+        default: Option<Vec<CStmt>>,
+    },
 }
 
 /// One process or continuous assignment, with its read/write footprint.
 #[derive(Debug, Clone)]
-struct CNode {
-    body: Vec<CStmt>,
-    reads: Vec<usize>,
-    writes: Vec<usize>,
+pub struct CNode {
+    /// Statement body.
+    pub body: Vec<CStmt>,
+    /// Signals read anywhere in the body (conditions included).
+    pub reads: Vec<usize>,
+    /// Signals assigned anywhere in the body.
+    pub writes: Vec<usize>,
+    /// Human-readable origin, instance prefix included — e.g.
+    /// ``process `smb` `` or ``u_f1.assign `IO_DONE` ``. Nodes flattened in
+    /// from child instances contain a `.` in their site.
+    pub site: String,
 }
 
 /// The flattened transition relation of one top module.
@@ -121,11 +215,12 @@ pub struct CompiledDesign {
     pub outputs: Vec<usize>,
     /// Signal indices of all registers (state vector order).
     pub registers: Vec<usize>,
-    clocked: Vec<CNode>,
+    /// Clocked processes (non-blocking step semantics).
+    pub clocked: Vec<CNode>,
     /// Combinational nodes in evaluation order.
-    comb_order: Vec<CNode>,
+    pub comb_order: Vec<CNode>,
     /// Signals stuck in a combinational cycle (held at X).
-    cyclic: Vec<usize>,
+    pub cyclic: Vec<usize>,
     by_name: HashMap<String, usize>,
 }
 
@@ -200,8 +295,8 @@ impl CompiledDesign {
         let registers: Vec<usize> =
             (0..signals.len()).filter(|&i| matches!(signals[i].kind, Kind::Register)).collect();
 
-        // Topologically order the combinational nodes (Kahn). Nodes left
-        // over sit in a cycle: their outputs are pinned to X.
+        // Topologically order the combinational nodes. Nodes left over sit
+        // in a cycle: their outputs are pinned to X.
         let producer_of: HashMap<usize, usize> = b
             .comb
             .iter()
@@ -209,67 +304,20 @@ impl CompiledDesign {
             .flat_map(|(i, n)| n.writes.iter().map(move |&w| (w, i)))
             .collect();
         let n = b.comb.len();
-        let mut indegree = vec![0usize; n];
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, node) in b.comb.iter().enumerate() {
             for r in &node.reads {
                 if let Some(&p) = producer_of.get(r) {
                     if p != i {
-                        indegree[i] += 1;
-                        dependents[p].push(i);
+                        adj[p].push(i);
                     }
                 }
             }
         }
-        let mut order: Vec<usize> = Vec::with_capacity(n);
-        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
-        while let Some(i) = queue.pop() {
-            order.push(i);
-            for &d in &dependents[i] {
-                indegree[d] -= 1;
-                if indegree[d] == 0 {
-                    queue.push(d);
-                }
-            }
-        }
-        let placed: Vec<bool> = {
-            let mut v = vec![false; n];
-            for &i in &order {
-                v[i] = true;
-            }
-            v
-        };
+        let (order, placed) = graph::topo_order(n, &adj);
         let cyclic: Vec<usize> =
             (0..n).filter(|&i| !placed[i]).flat_map(|i| b.comb[i].writes.iter().copied()).collect();
-        // Deterministic order regardless of Kahn pop order: sort by index.
-        order.sort_unstable();
-        let mut ordered = Vec::with_capacity(order.len());
-        // Re-run Kahn but pop smallest-first for stable evaluation order.
-        let mut indegree2 = vec![0usize; n];
-        for (i, node) in b.comb.iter().enumerate() {
-            for r in &node.reads {
-                if let Some(&p) = producer_of.get(r) {
-                    if p != i {
-                        indegree2[i] += 1;
-                    }
-                }
-            }
-        }
-        let mut ready: std::collections::BTreeSet<usize> =
-            (0..n).filter(|&i| indegree2[i] == 0).collect();
-        while let Some(&i) = ready.iter().next() {
-            ready.remove(&i);
-            ordered.push(b.comb[i].clone());
-            for (j, node) in b.comb.iter().enumerate() {
-                if placed[j] && node.reads.iter().any(|r| producer_of.get(r) == Some(&i) && i != j)
-                {
-                    indegree2[j] -= 1;
-                    if indegree2[j] == 0 {
-                        ready.insert(j);
-                    }
-                }
-            }
-        }
+        let ordered: Vec<CNode> = order.iter().map(|&i| b.comb[i].clone()).collect();
 
         Ok(CompiledDesign {
             name: top.into(),
@@ -289,6 +337,63 @@ impl CompiledDesign {
         self.by_name.get(name).copied()
     }
 
+    /// Rebuild this design with different executable nodes (the fold
+    /// pre-pass uses this; the signal table and port/register layout are
+    /// preserved so state vectors stay interchangeable).
+    pub(crate) fn with_nodes(
+        &self,
+        clocked: Vec<CNode>,
+        comb_order: Vec<CNode>,
+        cyclic: Vec<usize>,
+    ) -> CompiledDesign {
+        CompiledDesign {
+            name: self.name.clone(),
+            signals: self.signals.clone(),
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            registers: self.registers.clone(),
+            clocked,
+            comb_order,
+            cyclic,
+            by_name: self.by_name.clone(),
+        }
+    }
+
+    /// Total expression nodes across every executable statement: the size
+    /// of the transition relation as the evaluator sees it. Statement
+    /// counts miss what constant folding actually removes — literal
+    /// subtrees that collapse — so this is the honest reduction metric.
+    pub fn expr_node_count(&self) -> usize {
+        fn expr(e: &CExpr) -> usize {
+            match e {
+                CExpr::Sig(_) | CExpr::Lit(_) => 1,
+                CExpr::Bin { lhs, rhs, .. } => 1 + expr(lhs) + expr(rhs),
+                CExpr::Not(inner) => 1 + expr(inner),
+                CExpr::Slice { base, .. } => 1 + expr(base),
+                CExpr::Concat(parts) => 1 + parts.iter().map(expr).sum::<usize>(),
+            }
+        }
+        fn stmts(body: &[CStmt]) -> usize {
+            body.iter()
+                .map(|s| match s {
+                    CStmt::Assign { rhs, .. } => expr(rhs),
+                    CStmt::If { cond, then, elifs, els } => {
+                        expr(cond)
+                            + stmts(then)
+                            + elifs.iter().map(|(c, b)| expr(c) + stmts(b)).sum::<usize>()
+                            + els.as_ref().map(|b| stmts(b)).unwrap_or(0)
+                    }
+                    CStmt::Case { expr: sel, arms, default } => {
+                        expr(sel)
+                            + arms.iter().map(|(_, b)| stmts(b)).sum::<usize>()
+                            + default.as_ref().map(|b| stmts(b)).unwrap_or(0)
+                    }
+                })
+                .sum()
+        }
+        self.clocked.iter().chain(&self.comb_order).map(|n| stmts(&n.body)).sum()
+    }
+
     /// The power-on register state: declared init values, X otherwise.
     pub fn initial_state(&self) -> Vec<TWord> {
         self.registers
@@ -306,12 +411,23 @@ impl CompiledDesign {
     /// Settle the full value vector for register state `state` and input
     /// vector `inputs` (parallel to [`CompiledDesign::inputs`]).
     pub fn eval(&self, state: &[TWord], inputs: &[TWord]) -> Vec<TWord> {
-        let mut values: Vec<TWord> = self
+        self.eval_values(state, inputs)
+    }
+
+    /// One clock edge: returns the next register state. `inputs` are the
+    /// values on the input ports at the edge.
+    pub fn step(&self, state: &[TWord], inputs: &[TWord]) -> Vec<TWord> {
+        self.step_values(state, inputs)
+    }
+
+    /// [`CompiledDesign::eval`] generalized over any value domain.
+    pub fn eval_values<V: DomainValue>(&self, state: &[V], inputs: &[V]) -> Vec<V> {
+        let mut values: Vec<V> = self
             .signals
             .iter()
             .map(|s| match s.kind {
-                Kind::Const(v) => TWord::known(v, s.width),
-                _ => TWord::unknown(s.width),
+                Kind::Const(v) => V::lit(v, s.width),
+                _ => V::undriven(s.width),
             })
             .collect();
         for (slot, &id) in self.inputs.iter().enumerate() {
@@ -323,23 +439,22 @@ impl CompiledDesign {
         for node in &self.comb_order {
             let mut pending = HashMap::new();
             exec_block(&node.body, &values, &mut pending, &|id| {
-                TWord::unknown(self.signals[id].width)
+                V::undriven(self.signals[id].width)
             });
             for (id, v) in pending {
                 values[id] = v.resize(self.signals[id].width);
             }
         }
         for &id in &self.cyclic {
-            values[id] = TWord::unknown(self.signals[id].width);
+            values[id] = V::undriven(self.signals[id].width);
         }
         values
     }
 
-    /// One clock edge: returns the next register state. `inputs` are the
-    /// values on the input ports at the edge.
-    pub fn step(&self, state: &[TWord], inputs: &[TWord]) -> Vec<TWord> {
-        let values = self.eval(state, inputs);
-        let mut pending: HashMap<usize, TWord> = HashMap::new();
+    /// [`CompiledDesign::step`] generalized over any value domain.
+    pub fn step_values<V: DomainValue>(&self, state: &[V], inputs: &[V]) -> Vec<V> {
+        let values = self.eval_values(state, inputs);
+        let mut pending: HashMap<usize, V> = HashMap::new();
         for node in &self.clocked {
             // Non-blocking: every process reads the same pre-edge values;
             // unassigned registers hold their current value.
@@ -353,6 +468,39 @@ impl CompiledDesign {
                 None => state[slot],
             })
             .collect()
+    }
+
+    /// Render a compiled expression back to source-like text, resolving
+    /// signal indices to their flattened names (for diagnostics).
+    pub fn render_expr(&self, e: &CExpr) -> String {
+        match e {
+            CExpr::Sig(id) => self.signals[*id].name.clone(),
+            CExpr::Lit(v) => match v.value() {
+                Some(n) => format!("{n}"),
+                None => format!("'{}'", v.render()),
+            },
+            CExpr::Bin { op, lhs, rhs } => {
+                let sym = match op {
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "/=",
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::And => "and",
+                    BinOp::Or => "or",
+                    BinOp::Lt => "<",
+                    BinOp::Ge => ">=",
+                };
+                format!("({} {} {})", self.render_expr(lhs), sym, self.render_expr(rhs))
+            }
+            CExpr::Not(inner) => format!("not {}", self.render_expr(inner)),
+            CExpr::Slice { base, hi, lo } => {
+                format!("{}[{hi}:{lo}]", self.render_expr(base))
+            }
+            CExpr::Concat(parts) => {
+                let inner: Vec<String> = parts.iter().map(|p| self.render_expr(p)).collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+        }
     }
 }
 
@@ -417,7 +565,8 @@ impl Builder<'_> {
                     let mut writes = Vec::new();
                     let body =
                         compile_block(&p.body, &scope, &module.name, &mut reads, &mut writes)?;
-                    let node = CNode { body, reads, writes };
+                    let site = format!("{prefix}process `{}`", p.label);
+                    let node = CNode { body, reads, writes, site };
                     if p.clocked {
                         self.clocked.push(node);
                     } else {
@@ -435,7 +584,8 @@ impl Builder<'_> {
                         &mut reads,
                         &mut writes,
                     )?;
-                    self.comb.push(CNode { body, reads, writes });
+                    let site = format!("{prefix}assign `{lhs}`");
+                    self.comb.push(CNode { body, reads, writes, site });
                 }
                 Item::Instance(inst) => {
                     let child =
@@ -570,50 +720,117 @@ fn compile_expr(
 }
 
 /// Three-valued truth of a condition expression's value.
-enum Truth {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// Provably nonzero.
     True,
+    /// Provably zero.
     False,
+    /// Could be either.
     Unknown,
 }
 
-fn truth(v: &TWord) -> Truth {
-    if v.is_known() {
-        if v.bits != 0 {
+/// A value domain the flattened design can execute over: the concrete
+/// ternary [`TWord`] or an abstract domain like `crate::domain::AbsVal`.
+/// Every operation must be a sound (over-approximating) counterpart of
+/// the concrete one.
+pub trait DomainValue: Copy + PartialEq + std::fmt::Debug {
+    /// A fully known literal.
+    fn lit(value: u64, width: u32) -> Self;
+    /// The value of a never-assigned signal (X / possibly uninitialized).
+    fn undriven(width: u32) -> Self;
+    /// Vector width in bits.
+    fn width(&self) -> u32;
+    /// Zero-extend or truncate.
+    fn resize(&self, width: u32) -> Self;
+    /// Apply a binary operator.
+    fn binop(op: BinOp, lhs: &Self, rhs: &Self) -> Self;
+    /// Bitwise complement.
+    fn not(&self) -> Self;
+    /// Bit slice `[hi..=lo]`.
+    fn slice(&self, hi: u32, lo: u32) -> Self;
+    /// Concatenate with `low` below this word.
+    fn concat(&self, low: &Self) -> Self;
+    /// Branch-merge join (least upper bound of the two values).
+    fn join(&self, other: &Self) -> Self;
+    /// Three-valued truth as a branch condition.
+    fn truth(&self) -> Truth;
+    /// The single concrete value, when the domain pins one down.
+    fn value(&self) -> Option<u64>;
+    /// Could the value equal the concrete `v`?
+    fn may_equal(&self, v: u64) -> bool;
+}
+
+impl DomainValue for TWord {
+    fn lit(value: u64, width: u32) -> TWord {
+        TWord::known(value, width)
+    }
+    fn undriven(width: u32) -> TWord {
+        TWord::unknown(width)
+    }
+    fn width(&self) -> u32 {
+        self.width
+    }
+    fn resize(&self, width: u32) -> TWord {
+        TWord::resize(self, width)
+    }
+    fn binop(op: BinOp, lhs: &TWord, rhs: &TWord) -> TWord {
+        match op {
+            BinOp::Eq => TWord::eq(lhs, rhs),
+            BinOp::Ne => TWord::ne(lhs, rhs),
+            BinOp::Add => TWord::add(lhs, rhs),
+            BinOp::Sub => TWord::sub(lhs, rhs),
+            BinOp::And => TWord::and(lhs, rhs),
+            BinOp::Or => TWord::or(lhs, rhs),
+            BinOp::Lt => TWord::lt(lhs, rhs),
+            BinOp::Ge => TWord::ge(lhs, rhs),
+        }
+    }
+    fn not(&self) -> TWord {
+        TWord::not(self)
+    }
+    fn slice(&self, hi: u32, lo: u32) -> TWord {
+        TWord::slice(self, hi, lo)
+    }
+    fn concat(&self, low: &TWord) -> TWord {
+        TWord::concat(self, low)
+    }
+    fn join(&self, other: &TWord) -> TWord {
+        TWord::join(self, other)
+    }
+    fn truth(&self) -> Truth {
+        if self.bits != 0 {
+            // Some bit is known 1: nonzero regardless of the X bits.
             Truth::True
+        } else if self.unknown != 0 {
+            Truth::Unknown
         } else {
             Truth::False
         }
-    } else if v.bits != 0 {
-        // Some bit is known 1: nonzero regardless of the X bits.
-        Truth::True
-    } else {
-        Truth::Unknown
+    }
+    fn value(&self) -> Option<u64> {
+        TWord::value(self)
+    }
+    fn may_equal(&self, v: u64) -> bool {
+        TWord::may_equal(self, v)
     }
 }
 
-fn eval_expr(e: &CExpr, values: &[TWord]) -> TWord {
+/// Evaluate a compiled expression over the current value vector.
+pub fn eval_expr<V: DomainValue>(e: &CExpr, values: &[V]) -> V {
     match e {
         CExpr::Sig(id) => values[*id],
-        CExpr::Lit(v) => *v,
+        CExpr::Lit(v) => V::lit(v.bits, v.width),
         CExpr::Bin { op, lhs, rhs } => {
             let a = eval_expr(lhs, values);
             let b = eval_expr(rhs, values);
-            match op {
-                BinOp::Eq => a.eq(&b),
-                BinOp::Ne => a.ne(&b),
-                BinOp::Add => a.add(&b),
-                BinOp::Sub => a.sub(&b),
-                BinOp::And => a.and(&b),
-                BinOp::Or => a.or(&b),
-                BinOp::Lt => a.lt(&b),
-                BinOp::Ge => a.ge(&b),
-            }
+            V::binop(*op, &a, &b)
         }
         CExpr::Not(inner) => eval_expr(inner, values).not(),
         CExpr::Slice { base, hi, lo } => eval_expr(base, values).slice(*hi, *lo),
         CExpr::Concat(parts) => {
             let mut it = parts.iter();
-            let first = it.next().map(|p| eval_expr(p, values)).unwrap_or(TWord::known(0, 1));
+            let first = it.next().map(|p| eval_expr(p, values)).unwrap_or(V::lit(0, 1));
             // Most-significant part first.
             it.fold(first, |acc, p| acc.concat(&eval_expr(p, values)))
         }
@@ -624,11 +841,11 @@ fn eval_expr(e: &CExpr, values: &[TWord]) -> TWord {
 /// `hold(id)` is the value a signal keeps when a branch does not assign it
 /// (the current register value in clocked processes, X in combinational
 /// ones — an unassigned combinational path is a latch, modelled as X).
-fn exec_block(
+pub fn exec_block<V: DomainValue>(
     stmts: &[CStmt],
-    values: &[TWord],
-    pending: &mut HashMap<usize, TWord>,
-    hold: &dyn Fn(usize) -> TWord,
+    values: &[V],
+    pending: &mut HashMap<usize, V>,
+    hold: &dyn Fn(usize) -> V,
 ) {
     for s in stmts {
         match s {
@@ -645,7 +862,7 @@ fn exec_block(
             CStmt::Case { expr, arms, default } => {
                 let sel = eval_expr(expr, values);
                 if let Some(v) = sel.value() {
-                    match arms.iter().find(|(a, _)| *a & crate::tv::mask(sel.width) == v) {
+                    match arms.iter().find(|(a, _)| *a & crate::tv::mask(sel.width()) == v) {
                         Some((_, body)) => exec_block(body, values, pending, hold),
                         None => {
                             if let Some(d) = default {
@@ -670,12 +887,12 @@ fn exec_block(
     }
 }
 
-fn exec_if(
+fn exec_if<V: DomainValue>(
     chain: &[(&CExpr, &Vec<CStmt>)],
     els: Option<&Vec<CStmt>>,
-    values: &[TWord],
-    pending: &mut HashMap<usize, TWord>,
-    hold: &dyn Fn(usize) -> TWord,
+    values: &[V],
+    pending: &mut HashMap<usize, V>,
+    hold: &dyn Fn(usize) -> V,
 ) {
     let Some(((cond, body), rest)) = chain.split_first() else {
         if let Some(e) = els {
@@ -683,7 +900,7 @@ fn exec_if(
         }
         return;
     };
-    match truth(&eval_expr(cond, values)) {
+    match eval_expr(cond, values).truth() {
         Truth::True => exec_block(body, values, pending, hold),
         Truth::False => exec_if(rest, els, values, pending, hold),
         Truth::Unknown => {
@@ -698,13 +915,13 @@ fn exec_if(
 
 /// Join the pending maps of several alternative branches (None = a branch
 /// that executes nothing).
-fn join_branches(
+fn join_branches<V: DomainValue>(
     branches: &[Option<&Vec<CStmt>>],
-    values: &[TWord],
-    pending: &mut HashMap<usize, TWord>,
-    hold: &dyn Fn(usize) -> TWord,
+    values: &[V],
+    pending: &mut HashMap<usize, V>,
+    hold: &dyn Fn(usize) -> V,
 ) {
-    let mut acc: Option<HashMap<usize, TWord>> = None;
+    let mut acc: Option<HashMap<usize, V>> = None;
     for b in branches {
         let mut p = pending.clone();
         if let Some(body) = b {
@@ -720,11 +937,11 @@ fn join_branches(
     }
 }
 
-fn join_pending(
-    a: &HashMap<usize, TWord>,
-    b: &HashMap<usize, TWord>,
-    hold: &dyn Fn(usize) -> TWord,
-) -> HashMap<usize, TWord> {
+fn join_pending<V: DomainValue>(
+    a: &HashMap<usize, V>,
+    b: &HashMap<usize, V>,
+    hold: &dyn Fn(usize) -> V,
+) -> HashMap<usize, V> {
     let mut out = HashMap::new();
     for (&id, &va) in a {
         let vb = b.get(&id).copied().unwrap_or_else(|| hold(id));
@@ -854,6 +1071,9 @@ mod tests {
         }));
         let d = CompiledDesign::compile(&[child, parent], "top").unwrap();
         assert!(d.signal_id("u_ctr.count").is_some(), "child local is prefixed");
+        // Nodes flattened in from the child carry the instance prefix in
+        // their site label; top-level nodes do not.
+        assert!(d.clocked.iter().any(|n| n.site == "u_ctr.process `tick`"), "prefixed site");
         let mut state = d.initial_state();
         let go = inputs(&d, &[("GO", 1)]);
         for _ in 0..3 {
@@ -908,5 +1128,15 @@ mod tests {
         let v = d.eval(&[], &[TWord::known(0, 1), sel]);
         assert!(v[o].unknown != 0, "join must produce unknowns: {:?}", v[o]);
         assert_eq!(v[o].bits & 0b1000, 0, "bit 3 is 0 in arms 0/1 and default");
+    }
+
+    #[test]
+    fn render_expr_resolves_names() {
+        let m = counter_module(true);
+        let d = CompiledDesign::compile(std::slice::from_ref(&m), "ctr").unwrap();
+        let node =
+            d.comb_order.iter().find(|n| n.site == "assign `IS_MAX`").expect("is_max assign");
+        let CStmt::Assign { rhs, .. } = &node.body[0] else { panic!("assign body") };
+        assert_eq!(d.render_expr(rhs), "(count == 3)");
     }
 }

@@ -1,0 +1,403 @@
+//! Constant-folding / dead-logic pre-pass over a [`CompiledDesign`].
+//!
+//! Given a [`FactTable`], [`fold`] rewrites the executable nodes so the
+//! model checker's BFS does less work per step:
+//!
+//! * reads of signals proven constant in **every** phase (including the
+//!   power-on and reset transient) are replaced by literals, and constant
+//!   subexpressions collapse bottom-up;
+//! * `if`/`case` statements whose conditions become literals are pruned to
+//!   the taken branch;
+//! * combinational nodes whose outputs feed neither an output port, a
+//!   kept (checked) signal, nor any register are dropped entirely.
+//!
+//! The signal table, port order, and register state layout are preserved
+//! byte-for-byte, so states from a folded design are interchangeable with
+//! the original's — reachable-state counts cannot change, only the work
+//! per step. Registers are never removed: a clocked node always executes,
+//! which is also why register-feeding cones are kept.
+
+use crate::facts::FactTable;
+use crate::flat::{CExpr, CNode, CStmt, CompiledDesign, DomainValue, Kind, Truth};
+use crate::tv::TWord;
+
+/// What the pre-pass did, for spans and reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FoldStats {
+    /// Non-declared-constant signals proven constant.
+    pub const_signals: usize,
+    /// Signal reads replaced by literals.
+    pub folded_reads: usize,
+    /// Combinational nodes dropped as dead.
+    pub dropped_nodes: usize,
+    /// Statements across all nodes before folding.
+    pub stmts_before: usize,
+    /// Statements across all nodes after folding and dropping.
+    pub stmts_after: usize,
+}
+
+/// Fold `d` using `facts`. `keep` lists signal ids (beyond output ports)
+/// that must stay observable — checked properties like mutex members.
+pub fn fold(d: &CompiledDesign, facts: &FactTable, keep: &[usize]) -> (CompiledDesign, FoldStats) {
+    let mut stats = FoldStats { const_signals: facts.const_count(d), ..Default::default() };
+
+    // A read of signal `id` may become this literal.
+    let consts: Vec<Option<TWord>> = d
+        .signals
+        .iter()
+        .enumerate()
+        .map(|(id, s)| match s.kind {
+            Kind::Input => None,
+            _ => facts.signals[id].constant.map(|v| TWord::known(v, s.width)),
+        })
+        .collect();
+
+    for node in d.clocked.iter().chain(&d.comb_order) {
+        stats.stmts_before += count_stmts(&node.body);
+    }
+
+    let clocked: Vec<CNode> = d.clocked.iter().map(|n| fold_node(n, &consts, &mut stats)).collect();
+    let comb: Vec<CNode> = d.comb_order.iter().map(|n| fold_node(n, &consts, &mut stats)).collect();
+
+    // Dead-node elimination: a comb node survives only if some write is
+    // observed — reachable (through comb reads) from an output port, a
+    // kept signal, or any clocked node's read. Register state always
+    // advances, so clocked nodes and everything they read stay.
+    let mut live = vec![false; d.signals.len()];
+    for &id in d.outputs.iter().chain(keep) {
+        live[id] = true;
+    }
+    for node in &clocked {
+        for &r in &node.reads {
+            live[r] = true;
+        }
+    }
+    // Walk in reverse evaluation order so consumers mark their producers
+    // in one pass; loop for safety against duplicated writes.
+    loop {
+        let mut changed = false;
+        for node in comb.iter().rev() {
+            if node.writes.iter().any(|&w| live[w]) {
+                for &r in &node.reads {
+                    if !live[r] {
+                        live[r] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let comb_kept: Vec<CNode> = comb
+        .into_iter()
+        .filter(|n| {
+            let keep_node = n.writes.iter().any(|&w| live[w]);
+            if !keep_node {
+                stats.dropped_nodes += 1;
+            }
+            keep_node
+        })
+        .collect();
+
+    for node in clocked.iter().chain(&comb_kept) {
+        stats.stmts_after += count_stmts(&node.body);
+    }
+
+    (d.with_nodes(clocked, comb_kept, d.cyclic.clone()), stats)
+}
+
+fn count_stmts(stmts: &[CStmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            CStmt::Assign { .. } => 1,
+            CStmt::If { then, elifs, els, .. } => {
+                1 + count_stmts(then)
+                    + elifs.iter().map(|(_, b)| count_stmts(b)).sum::<usize>()
+                    + els.as_ref().map(|b| count_stmts(b)).unwrap_or(0)
+            }
+            CStmt::Case { arms, default, .. } => {
+                1 + arms.iter().map(|(_, b)| count_stmts(b)).sum::<usize>()
+                    + default.as_ref().map(|b| count_stmts(b)).unwrap_or(0)
+            }
+        })
+        .sum()
+}
+
+fn fold_node(node: &CNode, consts: &[Option<TWord>], stats: &mut FoldStats) -> CNode {
+    let body = fold_block(&node.body, consts, stats);
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    collect_footprint(&body, &mut reads, &mut writes);
+    CNode { body, reads, writes, site: node.site.clone() }
+}
+
+fn collect_footprint(stmts: &[CStmt], reads: &mut Vec<usize>, writes: &mut Vec<usize>) {
+    fn expr_reads(e: &CExpr, reads: &mut Vec<usize>) {
+        match e {
+            CExpr::Sig(id) => {
+                if !reads.contains(id) {
+                    reads.push(*id);
+                }
+            }
+            CExpr::Lit(_) => {}
+            CExpr::Bin { lhs, rhs, .. } => {
+                expr_reads(lhs, reads);
+                expr_reads(rhs, reads);
+            }
+            CExpr::Not(inner) => expr_reads(inner, reads),
+            CExpr::Slice { base, .. } => expr_reads(base, reads),
+            CExpr::Concat(parts) => {
+                for p in parts {
+                    expr_reads(p, reads);
+                }
+            }
+        }
+    }
+    for s in stmts {
+        match s {
+            CStmt::Assign { lhs, rhs } => {
+                if !writes.contains(lhs) {
+                    writes.push(*lhs);
+                }
+                expr_reads(rhs, reads);
+            }
+            CStmt::If { cond, then, elifs, els } => {
+                expr_reads(cond, reads);
+                collect_footprint(then, reads, writes);
+                for (c, b) in elifs {
+                    expr_reads(c, reads);
+                    collect_footprint(b, reads, writes);
+                }
+                if let Some(e) = els {
+                    collect_footprint(e, reads, writes);
+                }
+            }
+            CStmt::Case { expr, arms, default } => {
+                expr_reads(expr, reads);
+                for (_, b) in arms {
+                    collect_footprint(b, reads, writes);
+                }
+                if let Some(dft) = default {
+                    collect_footprint(dft, reads, writes);
+                }
+            }
+        }
+    }
+}
+
+fn fold_block(stmts: &[CStmt], consts: &[Option<TWord>], stats: &mut FoldStats) -> Vec<CStmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            CStmt::Assign { lhs, rhs } => {
+                out.push(CStmt::Assign { lhs: *lhs, rhs: fold_expr(rhs, consts, stats) });
+            }
+            CStmt::If { cond, then, elifs, els } => {
+                let mut chain: Vec<(CExpr, Vec<CStmt>)> =
+                    vec![(fold_expr(cond, consts, stats), fold_block(then, consts, stats))];
+                for (c, b) in elifs {
+                    chain.push((fold_expr(c, consts, stats), fold_block(b, consts, stats)));
+                }
+                let mut els = els.as_ref().map(|b| fold_block(b, consts, stats));
+                // Prune arms with literal conditions: false arms vanish, a
+                // true arm becomes the else of everything before it (or
+                // replaces the statement when nothing is left).
+                let mut kept: Vec<(CExpr, Vec<CStmt>)> = Vec::new();
+                for (c, b) in chain {
+                    match lit_truth(&c) {
+                        Some(Truth::False) => {}
+                        Some(Truth::True) => {
+                            els = Some(b);
+                            break;
+                        }
+                        _ => kept.push((c, b)),
+                    }
+                }
+                match (kept.is_empty(), els) {
+                    (true, Some(e)) => out.extend(e),
+                    (true, None) => {}
+                    (false, els) => {
+                        let mut it = kept.into_iter();
+                        let (cond, then) = it.next().expect("non-empty kept chain");
+                        out.push(CStmt::If { cond, then, elifs: it.collect(), els });
+                    }
+                }
+            }
+            CStmt::Case { expr, arms, default } => {
+                let sel = fold_expr(expr, consts, stats);
+                if let CExpr::Lit(v) = &sel {
+                    if let Some(c) = v.value() {
+                        let taken = arms
+                            .iter()
+                            .find(|(a, _)| *a & crate::tv::mask(v.width) == c)
+                            .map(|(_, b)| b)
+                            .or(default.as_ref());
+                        if let Some(b) = taken {
+                            out.extend(fold_block(b, consts, stats));
+                        }
+                        continue;
+                    }
+                }
+                out.push(CStmt::Case {
+                    expr: sel,
+                    arms: arms.iter().map(|(v, b)| (*v, fold_block(b, consts, stats))).collect(),
+                    default: default.as_ref().map(|b| fold_block(b, consts, stats)),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn lit_truth(e: &CExpr) -> Option<Truth> {
+    match e {
+        CExpr::Lit(v) => Some(DomainValue::truth(v)),
+        _ => None,
+    }
+}
+
+fn fold_expr(e: &CExpr, consts: &[Option<TWord>], stats: &mut FoldStats) -> CExpr {
+    match e {
+        CExpr::Sig(id) => match consts[*id] {
+            Some(v) => {
+                stats.folded_reads += 1;
+                CExpr::Lit(v)
+            }
+            None => CExpr::Sig(*id),
+        },
+        CExpr::Lit(v) => CExpr::Lit(*v),
+        CExpr::Bin { op, lhs, rhs } => {
+            let l = fold_expr(lhs, consts, stats);
+            let r = fold_expr(rhs, consts, stats);
+            if let (CExpr::Lit(a), CExpr::Lit(b)) = (&l, &r) {
+                let v = TWord::binop(*op, a, b);
+                if v.is_known() {
+                    return CExpr::Lit(v);
+                }
+            }
+            CExpr::Bin { op: *op, lhs: Box::new(l), rhs: Box::new(r) }
+        }
+        CExpr::Not(inner) => {
+            let i = fold_expr(inner, consts, stats);
+            if let CExpr::Lit(v) = &i {
+                if v.is_known() {
+                    return CExpr::Lit(v.not());
+                }
+            }
+            CExpr::Not(Box::new(i))
+        }
+        CExpr::Slice { base, hi, lo } => {
+            let b = fold_expr(base, consts, stats);
+            if let CExpr::Lit(v) = &b {
+                if v.is_known() {
+                    return CExpr::Lit(v.slice(*hi, *lo));
+                }
+            }
+            CExpr::Slice { base: Box::new(b), hi: *hi, lo: *lo }
+        }
+        CExpr::Concat(parts) => {
+            let folded: Vec<CExpr> = parts.iter().map(|p| fold_expr(p, consts, stats)).collect();
+            if folded.iter().all(|p| matches!(p, CExpr::Lit(v) if v.is_known())) {
+                let mut it = folded.iter().map(|p| match p {
+                    CExpr::Lit(v) => *v,
+                    _ => unreachable!(),
+                });
+                let first = it.next().unwrap_or(TWord::known(0, 1));
+                return CExpr::Lit(it.fold(first, |acc, v| acc.concat(&v)));
+            }
+            CExpr::Concat(folded)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{analyze, reset_slot, AnalysisConfig, ResetPhase};
+    use crate::tv::TWord;
+    use splice_hdl::{Decl, Expr, Item, Module, Port, Process, Stmt};
+
+    /// A counter gated by a mode register that reset pins to 0 — the gate
+    /// condition `mode == 1` is provably false, so the whole increment arm
+    /// folds away; `debugv` is a dead cone.
+    fn foldable() -> Module {
+        let mut m = Module::new("gated");
+        m.ports = vec![
+            Port::input("CLK", 1),
+            Port::input("RST", 1),
+            Port::input("EN", 1),
+            Port::output("Y", 4),
+        ];
+        m.decls = vec![
+            Decl::Signal { name: "mode".into(), width: 1, init: Some(0) },
+            Decl::Signal { name: "count".into(), width: 4, init: Some(0) },
+            Decl::Signal { name: "debugv".into(), width: 4, init: None },
+        ];
+        m.items.push(Item::Process(Process {
+            label: "ctl".into(),
+            clocked: true,
+            body: vec![Stmt::if_else(
+                Expr::sig("RST"),
+                vec![Stmt::assign("mode", Expr::lit(0, 1)), Stmt::assign("count", Expr::lit(0, 4))],
+                vec![Stmt::if_then(
+                    Expr::sig("mode").eq(Expr::lit(1, 1)),
+                    vec![Stmt::assign("count", Expr::sig("count").add(Expr::lit(1, 4)))],
+                )],
+            )],
+        }));
+        m.items.push(Item::Assign {
+            lhs: "debugv".into(),
+            rhs: Expr::sig("count").add(Expr::lit(2, 4)),
+        });
+        m.items.push(Item::Assign { lhs: "Y".into(), rhs: Expr::sig("count") });
+        m
+    }
+
+    fn folded() -> (CompiledDesign, CompiledDesign, FoldStats) {
+        let m = foldable();
+        let d = CompiledDesign::compile(std::slice::from_ref(&m), "gated").unwrap();
+        let slot = reset_slot(&d).unwrap();
+        let cfg =
+            AnalysisConfig { reset: Some(ResetPhase { slot, steps: 2 }), ..Default::default() };
+        let a = analyze(&d, &cfg);
+        let facts = FactTable::build(&d, &a, &[]);
+        let (f, stats) = fold(&d, &facts, &[]);
+        (d, f, stats)
+    }
+
+    #[test]
+    fn fold_shrinks_the_relation() {
+        let (_, f, stats) = folded();
+        assert!(stats.const_signals >= 1, "mode is constant: {stats:?}");
+        assert!(stats.stmts_after < stats.stmts_before, "{stats:?}");
+        assert_eq!(stats.dropped_nodes, 1, "debugv cone is dead: {stats:?}");
+        assert!(f.comb_order.len() == 1, "only the Y assign survives");
+    }
+
+    #[test]
+    fn folded_design_steps_identically_on_observed_signals() {
+        let (d, f, _) = folded();
+        assert_eq!(d.registers, f.registers, "state layout preserved");
+        let mut sd = d.initial_state();
+        let mut sf = f.initial_state();
+        let rows: Vec<Vec<TWord>> = vec![
+            vec![TWord::known(0, 1), TWord::known(1, 1), TWord::known(0, 1)],
+            vec![TWord::known(0, 1), TWord::known(1, 1), TWord::known(0, 1)],
+            vec![TWord::known(0, 1), TWord::known(0, 1), TWord::known(1, 1)],
+            vec![TWord::known(0, 1), TWord::known(0, 1), TWord::known(0, 1)],
+        ];
+        for row in &rows {
+            sd = d.step(&sd, row);
+            sf = f.step(&sf, row);
+            assert_eq!(sd, sf, "register states must match exactly");
+            let vd = d.eval(&sd, row);
+            let vf = f.eval(&sf, row);
+            for &o in &d.outputs {
+                assert_eq!(vd[o], vf[o], "output {} must match", d.signals[o].name);
+            }
+        }
+    }
+}

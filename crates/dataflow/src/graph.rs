@@ -1,0 +1,136 @@
+//! Shared dependency-graph machinery for the flattener and the lint rules.
+//!
+//! Both the transition-relation compiler ([`crate::flat`]) and the HDL
+//! structural lint (`splice-lint`'s SL0308) reason about driver graphs:
+//! nodes that read signals produced by other nodes. This module is the
+//! single home for the two graph algorithms they need — a deterministic
+//! topological sort and Tarjan's strongly-connected components.
+
+/// Deterministic Kahn topological sort over an adjacency list where
+/// `adj[u]` holds the nodes that depend on `u` (edges `u -> v` mean "v
+/// reads what u writes"; duplicate edges are allowed and counted
+/// consistently). Ready nodes are popped smallest-index-first, so the
+/// order is stable regardless of insertion order.
+///
+/// Returns `(order, placed)`: `order` lists the sorted acyclic nodes and
+/// `placed[i]` is false exactly when node `i` sits in (or downstream of)
+/// a dependency cycle.
+pub fn topo_order(n: usize, adj: &[Vec<usize>]) -> (Vec<usize>, Vec<bool>) {
+    let mut indegree = vec![0usize; n];
+    for deps in adj {
+        for &v in deps {
+            indegree[v] += 1;
+        }
+    }
+    let mut ready: std::collections::BTreeSet<usize> =
+        (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&u) = ready.iter().next() {
+        ready.remove(&u);
+        order.push(u);
+        for &v in &adj[u] {
+            indegree[v] -= 1;
+            if indegree[v] == 0 {
+                ready.insert(v);
+            }
+        }
+    }
+    let mut placed = vec![false; n];
+    for &u in &order {
+        placed[u] = true;
+    }
+    (order, placed)
+}
+
+/// Tarjan's strongly-connected-components over an adjacency list, in
+/// reverse-topological discovery order; every node appears in exactly one
+/// component (trivial single-node components included).
+pub fn tarjan_sccs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    struct State<'g> {
+        adj: &'g [Vec<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        counter: usize,
+        out: Vec<Vec<usize>>,
+    }
+    fn strongconnect(s: &mut State<'_>, v: usize) {
+        s.index[v] = Some(s.counter);
+        s.low[v] = s.counter;
+        s.counter += 1;
+        s.stack.push(v);
+        s.on_stack[v] = true;
+        for &w in &s.adj[v].to_vec() {
+            match s.index[w] {
+                None => {
+                    strongconnect(s, w);
+                    s.low[v] = s.low[v].min(s.low[w]);
+                }
+                Some(wi) if s.on_stack[w] => s.low[v] = s.low[v].min(wi),
+                _ => {}
+            }
+        }
+        if Some(s.low[v]) == s.index[v] {
+            let mut scc = Vec::new();
+            loop {
+                let w = s.stack.pop().expect("stack");
+                s.on_stack[w] = false;
+                scc.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            scc.reverse();
+            s.out.push(scc);
+        }
+    }
+    let mut s = State {
+        adj,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        counter: 0,
+        out: Vec::new(),
+    };
+    for v in 0..n {
+        if s.index[v].is_none() {
+            strongconnect(&mut s, v);
+        }
+    }
+    s.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topo_order_is_deterministic_and_flags_cycles() {
+        // 0 -> 1 -> 2, 3 <-> 4 (cycle), 5 isolated.
+        let adj = vec![vec![1], vec![2], vec![], vec![4], vec![3], vec![]];
+        let (order, placed) = topo_order(6, &adj);
+        assert_eq!(order, vec![0, 1, 2, 5], "smallest-ready-first order");
+        assert_eq!(placed, vec![true, true, true, false, false, true]);
+    }
+
+    #[test]
+    fn topo_order_counts_duplicate_edges_consistently() {
+        // Two parallel edges 0 -> 1: indegree 2, released after both.
+        let adj = vec![vec![1, 1], vec![]];
+        let (order, placed) = topo_order(2, &adj);
+        assert_eq!(order, vec![0, 1]);
+        assert!(placed.iter().all(|&p| p));
+    }
+
+    #[test]
+    fn tarjan_finds_components() {
+        // 0 -> 1 -> 0 form a component; 2 -> 2 self-loop; 3 trivial.
+        let adj = vec![vec![1], vec![0], vec![2], vec![]];
+        let sccs = tarjan_sccs(4, &adj);
+        assert!(sccs.contains(&vec![0, 1]));
+        assert!(sccs.contains(&vec![2]));
+        assert!(sccs.contains(&vec![3]));
+    }
+}

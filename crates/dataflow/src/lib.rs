@@ -1,0 +1,32 @@
+//! # splice-dataflow — value analysis over generated HDL
+//!
+//! This crate owns the single flattening path from HDL module ASTs to an
+//! executable transition relation ([`flat::CompiledDesign`]) and runs it
+//! under two value domains:
+//!
+//! * the concrete ternary domain [`tv::TWord`] (bits over {0, 1, X}),
+//!   which `splice-check` uses for exhaustive BFS model checking;
+//! * the abstract product domain [`domain::AbsVal`] — ternary known-bits ×
+//!   unsigned interval × possibly-uninitialized (X-taint) mask — which the
+//!   fixed-point [`engine`] uses to prove facts about *all* reachable
+//!   states at once.
+//!
+//! The engine's results are packaged as a [`facts::FactTable`]
+//! (per-signal constancy, value ranges, output-reachability) consumed by
+//! the SL05xx lint rules in `splice-lint` and by the [`fold`] pre-pass
+//! that shrinks the transition relation before model checking.
+
+pub mod domain;
+pub mod engine;
+pub mod facts;
+pub mod flat;
+pub mod fold;
+pub mod graph;
+pub mod tv;
+
+pub use domain::AbsVal;
+pub use engine::{analyze, Analysis, AnalysisConfig, BranchFinding, FindingKind, ResetPhase};
+pub use facts::{FactTable, SignalFacts};
+pub use flat::{CompileError, CompiledDesign, Kind, SignalInfo};
+pub use fold::{fold, FoldStats};
+pub use tv::TWord;

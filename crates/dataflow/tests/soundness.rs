@@ -1,0 +1,280 @@
+//! Randomized soundness of the abstract domain against the concrete
+//! ternary domain.
+//!
+//! Three layers of the contract from `domain.rs` are pinned here:
+//!
+//! 1. **Lattice laws**: `join` is commutative, idempotent, and an upper
+//!    bound — joining never loses a concretization.
+//! 2. **Operator soundness**: for every operator the abstract result
+//!    contains the concrete [`TWord`] result whenever the abstract
+//!    operands contain the concrete ones.
+//! 3. **Whole-analysis soundness**: on randomly generated clocked designs,
+//!    every register state and settled signal value reached by concrete
+//!    execution from power-on is contained in the fixpoint's `any_*`
+//!    joins, and every state reached after the reset protocol is contained
+//!    in the post-reset joins.
+//!
+//! Abstract/concrete sample pairs are built only from constructors whose
+//! containment is immediate (known points, `top`, `undriven`) and grown
+//! with `join`, so the sampler never assumes the soundness being tested.
+
+use splice_dataflow::engine::reset_slot;
+use splice_dataflow::flat::DomainValue;
+use splice_dataflow::tv::mask;
+use splice_dataflow::{analyze, AbsVal, AnalysisConfig, CompiledDesign, ResetPhase, TWord};
+use splice_hdl::ast::Process;
+use splice_hdl::{BinOp, Decl, Expr, Item, Module, Port, Stmt};
+use splice_testutil::{check, Rng};
+
+const WIDTHS: [u32; 4] = [1, 2, 4, 8];
+
+/// A random abstract value paired with a concrete ternary word it
+/// contains.
+fn sample_pair(rng: &mut Rng, width: u32) -> (AbsVal, TWord) {
+    let m = mask(width);
+    let (mut a, t) = match rng.range(0, 3) {
+        0 => {
+            let v = rng.next_u64() & m;
+            (AbsVal::known(v, width), TWord::known(v, width))
+        }
+        1 => (AbsVal::top(width), TWord::known(rng.next_u64() & m, width)),
+        _ => {
+            // Undriven contains any ternary word of the width.
+            let unknown = rng.next_u64() & m;
+            let bits = rng.next_u64() & m & !unknown;
+            (AbsVal::undriven(width), TWord { bits, unknown, width })
+        }
+    };
+    for _ in 0..rng.range(0, 3) {
+        a = a.join(&AbsVal::known(rng.next_u64() & m, width));
+    }
+    debug_assert!(a.contains(&t));
+    (a, t)
+}
+
+#[test]
+fn join_is_commutative_idempotent_and_an_upper_bound() {
+    check(0x5EED_5011, 2000, |rng| {
+        let w = *rng.pick(&WIDTHS);
+        let (a, ta) = sample_pair(rng, w);
+        let (b, tb) = sample_pair(rng, w);
+        assert_eq!(a.join(&b), b.join(&a), "join commutes: {a:?} {b:?}");
+        assert_eq!(a.join(&a), a, "join is idempotent: {a:?}");
+        let j = a.join(&b);
+        assert!(j.contains(&ta), "join lost {ta:?} from {a:?}: {j:?}");
+        assert!(j.contains(&tb), "join lost {tb:?} from {b:?}: {j:?}");
+    });
+}
+
+#[test]
+fn every_operator_over_approximates_the_concrete_one() {
+    const OPS: [BinOp; 8] =
+        [BinOp::Eq, BinOp::Ne, BinOp::Add, BinOp::Sub, BinOp::And, BinOp::Or, BinOp::Lt, BinOp::Ge];
+    check(0x5EED_5012, 4000, |rng| {
+        let w = *rng.pick(&WIDTHS);
+        let (a, ta) = sample_pair(rng, w);
+        let (b, tb) = sample_pair(rng, w);
+        let op = *rng.pick(&OPS);
+        let abs = DomainValue::binop(op, &a, &b);
+        let conc = TWord::binop(op, &ta, &tb);
+        assert!(
+            abs.contains(&conc),
+            "{op:?}({a:?}, {b:?}) = {abs:?} lost {op:?}({ta:?}, {tb:?}) = {conc:?}"
+        );
+
+        let (n_abs, n_conc) = (a.not(), ta.not());
+        assert!(n_abs.contains(&n_conc), "not({a:?}) = {n_abs:?} lost not({ta:?}) = {n_conc:?}");
+
+        let hi = rng.range(0, w as u64) as u32;
+        let lo = rng.range(0, hi as u64 + 1) as u32;
+        let (s_abs, s_conc) = (a.slice(hi, lo), ta.slice(hi, lo));
+        assert!(s_abs.contains(&s_conc), "slice[{hi}:{lo}] of {a:?} lost {s_conc:?}: {s_abs:?}");
+
+        let (c_abs, c_conc) = (a.concat(&b), ta.concat(&tb));
+        assert!(c_abs.contains(&c_conc), "concat({a:?}, {b:?}) lost {c_conc:?}: {c_abs:?}");
+
+        let rw = *rng.pick(&WIDTHS);
+        let (r_abs, r_conc) = (a.resize(rw), ta.resize(rw));
+        assert!(r_abs.contains(&r_conc), "resize({a:?}, {rw}) lost {r_conc:?}: {r_abs:?}");
+
+        // Truth agrees: a decided abstract condition must decide the same
+        // way for every contained concrete word.
+        use splice_dataflow::flat::Truth;
+        match DomainValue::truth(&abs) {
+            Truth::True => {
+                assert_eq!(DomainValue::truth(&conc), Truth::True, "{abs:?} vs {conc:?}")
+            }
+            Truth::False => {
+                assert_eq!(DomainValue::truth(&conc), Truth::False, "{abs:?} vs {conc:?}")
+            }
+            Truth::Unknown => {}
+        }
+    });
+}
+
+#[test]
+fn widening_chains_terminate_quickly() {
+    check(0x5EED_5013, 500, |rng| {
+        let w = *rng.pick(&WIDTHS);
+        let (mut v, _) = sample_pair(rng, w);
+        // Keep feeding random growth through widen; each component of the
+        // product lattice has height O(width), so a short bound suffices.
+        let bound = 4 * w + 8;
+        let mut steps = 0;
+        loop {
+            let (next, _) = sample_pair(rng, w);
+            let widened = v.widen(&v.join(&next));
+            if widened == v {
+                break;
+            }
+            v = widened;
+            steps += 1;
+            assert!(steps <= bound, "widening chain still growing after {steps} steps: {v:?}");
+        }
+    });
+}
+
+/// A random single-clock design: registers of one width updated under
+/// reset and random enable conditions, with a combinational output cone.
+fn random_module(rng: &mut Rng) -> Module {
+    let w = *rng.pick(&WIDTHS);
+    let m_val = mask(w);
+    let mut m = Module::new("rnd");
+    m.ports = vec![
+        Port::input("CLK", 1),
+        Port::input("RST", 1),
+        Port::input("A", w),
+        Port::input("B", w),
+        Port::output("Y", w),
+    ];
+    let regs = ["r0", "r1"];
+    for r in regs {
+        let init = if rng.bool() { Some(rng.next_u64() & m_val) } else { None };
+        m.decls.push(Decl::Signal { name: r.into(), width: w, init });
+    }
+
+    // A random width-`w` data expression over inputs, registers and
+    // literals.
+    fn data_expr(rng: &mut Rng, w: u32, depth: u32) -> Expr {
+        if depth == 0 || rng.range(0, 3) == 0 {
+            return match rng.range(0, 4) {
+                0 => Expr::sig("A"),
+                1 => Expr::sig("B"),
+                2 => Expr::sig(if rng.bool() { "r0" } else { "r1" }),
+                _ => Expr::lit(rng.next_u64() & mask(w), w),
+            };
+        }
+        let lhs = data_expr(rng, w, depth - 1);
+        match rng.range(0, 5) {
+            0 => lhs.add(data_expr(rng, w, depth - 1)),
+            1 => Expr::Bin {
+                op: BinOp::Sub,
+                lhs: Box::new(lhs),
+                rhs: Box::new(data_expr(rng, w, depth - 1)),
+            },
+            2 => lhs.and(data_expr(rng, w, depth - 1)),
+            3 => lhs.or(data_expr(rng, w, depth - 1)),
+            _ => lhs.not(),
+        }
+    }
+    fn cond_expr(rng: &mut Rng, w: u32) -> Expr {
+        let lhs = data_expr(rng, w, 1);
+        let rhs = data_expr(rng, w, 1);
+        match rng.range(0, 4) {
+            0 => lhs.eq(rhs),
+            1 => lhs.ne(rhs),
+            2 => Expr::Bin { op: BinOp::Lt, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+            _ => Expr::Bin { op: BinOp::Ge, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+        }
+    }
+
+    let resets: Vec<Stmt> =
+        regs.iter().map(|r| Stmt::assign(*r, Expr::lit(rng.next_u64() & m_val, w))).collect();
+    let updates: Vec<Stmt> = regs
+        .iter()
+        .map(|r| {
+            let assign = Stmt::assign(*r, data_expr(rng, w, 2));
+            if rng.bool() {
+                Stmt::if_then(cond_expr(rng, w), vec![assign])
+            } else {
+                assign
+            }
+        })
+        .collect();
+    m.items.push(Item::Process(Process {
+        label: "upd".into(),
+        clocked: true,
+        body: vec![Stmt::if_else(Expr::sig("RST"), resets, updates)],
+    }));
+    m.items.push(Item::Assign { lhs: "Y".into(), rhs: data_expr(rng, w, 2) });
+    m
+}
+
+#[test]
+fn analysis_contains_every_concrete_run() {
+    check(0x5EED_5014, 150, |rng| {
+        let m = random_module(rng);
+        let d = CompiledDesign::compile(std::slice::from_ref(&m), "rnd").expect("compiles");
+        let slot = reset_slot(&d).expect("RST input exists");
+        let cfg =
+            AnalysisConfig { reset: Some(ResetPhase { slot, steps: 2 }), ..Default::default() };
+        let a = analyze(&d, &cfg);
+
+        let contained =
+            |regs: &[AbsVal], values: &[AbsVal], state: &[TWord], vals: &[TWord], phase: &str| {
+                for (i, t) in state.iter().enumerate() {
+                    assert!(
+                        regs[i].contains(t),
+                        "{phase}: register {} escaped: {t:?} not in {:?}\nmodule: {m:?}",
+                        d.signals[d.registers[i]].name,
+                        regs[i],
+                    );
+                }
+                for (id, t) in vals.iter().enumerate() {
+                    assert!(
+                        values[id].contains(t),
+                        "{phase}: signal {} escaped: {t:?} not in {:?}\nmodule: {m:?}",
+                        d.signals[id].name,
+                        values[id],
+                    );
+                }
+            };
+
+        let random_inputs = |rng: &mut Rng, rst: Option<u64>| -> Vec<TWord> {
+            d.inputs
+                .iter()
+                .enumerate()
+                .map(|(s, &id)| {
+                    let w = d.signals[id].width;
+                    match rst {
+                        Some(v) if s == slot => TWord::known(v, w),
+                        Some(_) => TWord::known(0, w),
+                        None => TWord::known(rng.next_u64() & mask(w), w),
+                    }
+                })
+                .collect()
+        };
+
+        // The analysis models the checker's environment (`explore`): two
+        // reset cycles — RST high, other inputs low — from power-on, then
+        // free inputs. The any-phase joins must cover the entire protocol
+        // run including the power-on state and the transient; the
+        // post-reset joins must cover everything after the transient.
+        let mut state = d.initial_state();
+        let idle = random_inputs(rng, Some(0));
+        contained(&a.any_regs, &a.any_values, &state, &d.eval(&state, &idle), "power-on");
+        for _ in 0..2 {
+            let inputs = random_inputs(rng, Some(1));
+            state = d.step(&state, &inputs);
+            let vals = d.eval(&state, &inputs);
+            contained(&a.any_regs, &a.any_values, &state, &vals, "reset transient");
+        }
+        for _ in 0..8 {
+            let inputs = random_inputs(rng, None);
+            let vals = d.eval(&state, &inputs);
+            contained(&a.regs, &a.values, &state, &vals, "post-reset");
+            contained(&a.any_regs, &a.any_values, &state, &vals, "any-phase");
+            state = d.step(&state, &inputs);
+        }
+    });
+}

@@ -8,6 +8,7 @@
 //! case-insensitive namespace, reserved words in either language).
 
 use crate::diag::{Diagnostic, Layer, LintReport, Location};
+use splice_dataflow::graph::tarjan_sccs;
 use splice_hdl::ast::{Decl, Dir, Expr, Item, Module, Stmt};
 use splice_hdl::ident;
 use std::collections::HashMap;
@@ -778,64 +779,6 @@ fn fully_assigned(body: &[Stmt]) -> Vec<String> {
 fn intersect(branches: Vec<Vec<String>>) -> Vec<String> {
     let Some((first, rest)) = branches.split_first() else { return Vec::new() };
     first.iter().filter(|n| rest.iter().all(|b| b.iter().any(|m| m == *n))).cloned().collect()
-}
-
-/// Tarjan's strongly-connected-components over an adjacency list.
-fn tarjan_sccs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
-    struct State<'g> {
-        adj: &'g [Vec<usize>],
-        index: Vec<Option<usize>>,
-        low: Vec<usize>,
-        on_stack: Vec<bool>,
-        stack: Vec<usize>,
-        counter: usize,
-        out: Vec<Vec<usize>>,
-    }
-    fn strongconnect(s: &mut State<'_>, v: usize) {
-        s.index[v] = Some(s.counter);
-        s.low[v] = s.counter;
-        s.counter += 1;
-        s.stack.push(v);
-        s.on_stack[v] = true;
-        for &w in &s.adj[v].to_vec() {
-            match s.index[w] {
-                None => {
-                    strongconnect(s, w);
-                    s.low[v] = s.low[v].min(s.low[w]);
-                }
-                Some(wi) if s.on_stack[w] => s.low[v] = s.low[v].min(wi),
-                _ => {}
-            }
-        }
-        if Some(s.low[v]) == s.index[v] {
-            let mut scc = Vec::new();
-            loop {
-                let w = s.stack.pop().expect("stack");
-                s.on_stack[w] = false;
-                scc.push(w);
-                if w == v {
-                    break;
-                }
-            }
-            scc.reverse();
-            s.out.push(scc);
-        }
-    }
-    let mut s = State {
-        adj,
-        index: vec![None; n],
-        low: vec![0; n],
-        on_stack: vec![false; n],
-        stack: Vec::new(),
-        counter: 0,
-        out: Vec::new(),
-    };
-    for v in 0..n {
-        if s.index[v].is_none() {
-            strongconnect(&mut s, v);
-        }
-    }
-    s.out
 }
 
 #[cfg(test)]

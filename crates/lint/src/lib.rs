@@ -22,11 +22,13 @@
 //! exported for finer-grained use. The full catalogue with triggering
 //! examples lives in `docs/lint.md`.
 
+pub mod dataflow_rules;
 pub mod diag;
 pub mod hdl_rules;
 pub mod ir_rules;
 pub mod spec_rules;
 
+pub use dataflow_rules::lint_dataflow;
 pub use diag::{Diagnostic, Layer, LintReport, Location, Severity};
 pub use hdl_rules::lint_modules;
 pub use ir_rules::lint_ir;
@@ -80,7 +82,22 @@ pub const CODES: &[(&str, &str)] = &[
     ("SL0408", "driver address macros disagree with the bus register map"),
     ("SL0409", "driver transfer beat count disagrees with the FSM schedule"),
     ("SL0410", "driver macro usage disagrees with the bus capabilities"),
+    ("SL0500", "generated HDL could not be compiled to a transition relation"),
+    ("SL0501", "signal is provably constant in every reachable post-reset state"),
+    ("SL0502", "case arm or branch condition is provably unreachable"),
+    ("SL0503", "assignment truncates a value whose range exceeds the target width"),
+    ("SL0504", "comparison always evaluates to the same result"),
+    ("SL0505", "register may still hold X in a reachable post-reset state"),
+    ("SL0506", "logic cone has no path to an output or checked property"),
+    ("SL0507", "register is only ever assigned its own value"),
 ];
+
+/// The one-line catalogue entry for a rule code, as printed by
+/// `splice lint --explain CODE`. Sourced from the same table the
+/// documentation-coverage test checks against `docs/lint.md`.
+pub fn explain(code: &str) -> Option<&'static str> {
+    CODES.iter().find(|(c, _)| *c == code).map(|(_, summary)| *summary)
+}
 
 /// Convert pipeline errors (parse/validate failures) into `SL0100`
 /// diagnostics so `splice lint` reports them in the same structured form.
@@ -110,7 +127,10 @@ pub fn lint_design(ir: &DesignIr) -> LintReport {
 /// aborting the whole lint run.
 fn lint_generated_hdl(ir: &DesignIr, report: &mut LintReport) {
     match design_modules(ir, "lint") {
-        Ok(modules) => lint_modules(&modules, report),
+        Ok(modules) => {
+            lint_modules(&modules, report);
+            lint_dataflow(&modules, report);
+        }
         Err(e) => report.push(Diagnostic::error(
             "SL0203",
             Layer::Ir,

@@ -162,6 +162,7 @@ pub fn run_pipeline(
         splice_lint::lint_spec(&spec, source, &libs.spec_registry(), &mut lint);
         splice_lint::lint_ir(&ir, &mut lint);
         splice_lint::lint_modules(&modules, &mut lint);
+        splice_lint::lint_dataflow(&modules, &mut lint);
         trace::attr("errors", lint.error_count() as u64);
         trace::attr("warnings", lint.warning_count() as u64);
         lint

@@ -174,6 +174,53 @@ fn checking_an_example_is_deterministic() {
     assert_eq!(a.report, b.report);
 }
 
+/// The dataflow constant-folding pre-pass must be invisible in every
+/// verdict: findings, counterexamples, and the pinned reachable-state
+/// statistics are byte-identical with and without it (the CI fold-parity
+/// job repeats this over every example spec via the CLI).
+#[test]
+fn fold_prepass_preserves_every_verdict() {
+    for stem in ["mac", "dma_stream", "hw_timer"] {
+        let spec = example_spec(stem);
+        let folded = check_source(&spec, &CheckOptions::default()).expect("check runs");
+        let plain = check_source(&spec, &CheckOptions { fold: false, ..CheckOptions::default() })
+            .expect("check runs");
+        assert_eq!(folded.stats, plain.stats, "{stem}: fold perturbed exploration statistics");
+        assert_eq!(folded.report, plain.report, "{stem}: fold perturbed the verdict");
+        assert_eq!(
+            folded.counterexamples, plain.counterexamples,
+            "{stem}: fold perturbed counterexamples"
+        );
+    }
+}
+
+/// The pre-pass must actually shrink something real: on the DMA example's
+/// composed arbiter, reads of declared constants fold into literals and
+/// their surrounding literal subtrees collapse, so the explored relation
+/// has strictly fewer expression nodes (surfaced as the `expr_nodes` attr
+/// on `check.explore` spans).
+#[test]
+fn fold_prepass_shrinks_the_dma_arbiter_relation() {
+    use splice_dataflow::{analyze, AnalysisConfig, FactTable, ResetPhase};
+    let (_ir, modules) = generated(&example_spec("dma_stream"));
+    let d = splice_check::CompiledDesign::compile(&modules, "user_dma_stream").expect("compiles");
+    let slot = splice_dataflow::engine::reset_slot(&d).expect("arbiter has RST");
+    let a = analyze(
+        &d,
+        &AnalysisConfig { reset: Some(ResetPhase { slot, steps: 2 }), ..Default::default() },
+    );
+    assert!(a.converged, "the abstract fixpoint closes on a real design");
+    let facts = FactTable::build(&d, &a, &[]);
+    let (folded, stats) = splice_dataflow::fold(&d, &facts, &[]);
+    assert!(stats.folded_reads > 0, "constant reads were folded");
+    assert!(
+        folded.expr_node_count() < d.expr_node_count(),
+        "folding must shrink the relation: {} -> {}",
+        d.expr_node_count(),
+        folded.expr_node_count()
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Corrupted designs: each defect is found AND its counterexample
 // reproduces in the independent simulator.

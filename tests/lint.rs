@@ -14,9 +14,9 @@
 
 use splice_core::elaborate::elaborate;
 use splice_core::hdlgen::design_modules;
-use splice_hdl::ast::{Decl, Item};
-use splice_hdl::Expr;
-use splice_lint::{lint_modules, lint_source, LintReport};
+use splice_hdl::ast::{Decl, Item, Port, Process};
+use splice_hdl::{Expr, Module, Stmt};
+use splice_lint::{lint_dataflow, lint_modules, lint_source, LintReport};
 use std::path::{Path, PathBuf};
 
 fn repo_path(rel: &str) -> PathBuf {
@@ -69,6 +69,121 @@ fn dirty_fixture_report_matches_golden() {
     assert_eq!(report.codes(), vec!["SL0101", "SL0102", "SL0105"], "{}", report.render_text());
     assert_eq!(report.render_text(), golden("dirty.txt"));
     assert_eq!(report.render_json(), golden("dirty.json"));
+}
+
+/// A deliberately value-dirty module set exercising the whole SL05xx
+/// dataflow family: `dirtyflow` carries one defect per value rule
+/// (SL0501–SL0507) and the companion `twist` gives its state register two
+/// drivers so it cannot be compiled at all (SL0500).
+fn dataflow_fixture_modules() -> Vec<Module> {
+    let mut m = Module::new("dirtyflow");
+    m.ports = vec![
+        Port::input("CLK", 1),
+        Port::input("RST", 1),
+        Port::input("GO", 1),
+        Port::input("A", 2),
+        Port::input("DIN", 2),
+        Port::output("BUSY", 1),
+        Port::output("GATE", 1),
+        Port::output("NARROW", 2),
+        Port::output("ISTWO", 1),
+        Port::output("CAPT", 2),
+        Port::output("Q", 1),
+    ];
+    m.decls = vec![
+        Decl::Signal { name: "st".into(), width: 2, init: None },
+        Decl::Signal { name: "two".into(), width: 4, init: None },
+        Decl::Signal { name: "cap".into(), width: 2, init: None },
+        Decl::Signal { name: "orphan".into(), width: 2, init: None },
+        Decl::Signal { name: "hold".into(), width: 1, init: Some(0) },
+    ];
+    // A 3-state FSM with an arm for the unreachable state 3 (SL0502).
+    m.items.push(Item::Process(Process {
+        label: "ctl".into(),
+        clocked: true,
+        body: vec![Stmt::if_else(
+            Expr::sig("RST"),
+            vec![Stmt::assign("st", Expr::lit(0, 2))],
+            vec![Stmt::Case {
+                expr: Expr::sig("st"),
+                arms: vec![
+                    (
+                        0,
+                        vec![Stmt::if_then(
+                            Expr::sig("GO"),
+                            vec![Stmt::assign("st", Expr::lit(1, 2))],
+                        )],
+                    ),
+                    (1, vec![Stmt::assign("st", Expr::lit(2, 2))]),
+                    (2, vec![Stmt::assign("st", Expr::lit(0, 2))]),
+                    (3, vec![Stmt::assign("st", Expr::lit(1, 2))]),
+                ],
+                default: Some(vec![Stmt::assign("st", Expr::lit(0, 2))]),
+            }],
+        )],
+    }));
+    m.items.push(Item::Assign { lhs: "BUSY".into(), rhs: Expr::sig("st").ne(Expr::lit(0, 2)) });
+    // Provably constant despite reading a live input (SL0501).
+    m.items.push(Item::Assign { lhs: "GATE".into(), rhs: Expr::sig("GO").and(Expr::lit(0, 1)) });
+    // {GO, A} is 3 bits; NARROW holds 2 (SL0503).
+    m.items.push(Item::Assign {
+        lhs: "NARROW".into(),
+        rhs: Expr::Concat(vec![Expr::sig("GO"), Expr::sig("A")]),
+    });
+    // `two` is tied off, so the comparison is foregone (SL0504).
+    m.items.push(Item::Assign { lhs: "two".into(), rhs: Expr::lit(2, 4) });
+    m.items.push(Item::Assign { lhs: "ISTWO".into(), rhs: Expr::sig("two").eq(Expr::lit(2, 4)) });
+    // `cap` is never reset and only conditionally loaded (SL0505).
+    m.items.push(Item::Process(Process {
+        label: "load".into(),
+        clocked: true,
+        body: vec![Stmt::if_then(Expr::sig("GO"), vec![Stmt::assign("cap", Expr::sig("DIN"))])],
+    }));
+    m.items.push(Item::Assign { lhs: "CAPT".into(), rhs: Expr::sig("cap") });
+    // A cone feeding nothing (SL0506).
+    m.items.push(Item::Assign { lhs: "orphan".into(), rhs: Expr::sig("st").add(Expr::lit(1, 2)) });
+    // A register that only recycles its own value (SL0507).
+    m.items.push(Item::Process(Process {
+        label: "keep".into(),
+        clocked: true,
+        body: vec![Stmt::assign("hold", Expr::sig("hold"))],
+    }));
+    m.items.push(Item::Assign { lhs: "Q".into(), rhs: Expr::sig("hold") });
+
+    let mut t = Module::new("twist");
+    t.ports = vec![Port::input("CLK", 1), Port::input("RST", 1), Port::output("TICK", 1)];
+    t.decls = vec![Decl::Signal { name: "tog".into(), width: 1, init: None }];
+    t.items.push(Item::Process(Process {
+        label: "flip".into(),
+        clocked: true,
+        body: vec![Stmt::if_else(
+            Expr::sig("RST"),
+            vec![Stmt::assign("tog", Expr::lit(0, 1))],
+            vec![Stmt::assign("tog", Expr::sig("tog").not())],
+        )],
+    }));
+    // Second, concurrent driver: the module has no transition relation.
+    t.items.push(Item::Assign { lhs: "tog".into(), rhs: Expr::lit(1, 1) });
+    t.items.push(Item::Assign { lhs: "TICK".into(), rhs: Expr::sig("tog") });
+
+    vec![m, t]
+}
+
+#[test]
+fn dataflow_dirty_fixture_report_matches_golden() {
+    let modules = dataflow_fixture_modules();
+    let mut report = LintReport::new();
+    lint_dataflow(&modules, &mut report);
+    for code in ["SL0500", "SL0501", "SL0502", "SL0503", "SL0504", "SL0505", "SL0506", "SL0507"] {
+        assert!(report.has(code), "missing {code}:\n{}", report.render_text());
+    }
+    let (txt, json) = (report.render_text(), report.render_json());
+    if std::env::var_os("SPLICE_BLESS").is_some() {
+        std::fs::write(repo_path("tests/golden/lint/dataflow_dirty.txt"), &txt).unwrap();
+        std::fs::write(repo_path("tests/golden/lint/dataflow_dirty.json"), &json).unwrap();
+    }
+    assert_eq!(txt, golden("dataflow_dirty.txt"));
+    assert_eq!(json, golden("dataflow_dirty.json"));
 }
 
 /// Build the generated module set for the MAC example and hand it back for
