@@ -1,18 +1,32 @@
 //! Kernel throughput benchmark: cycles/second of the event-driven
-//! scheduler against the eager (tick-everything) fallback.
+//! scheduler against the eager (tick-everything) fallback, and of the
+//! compiled two-state step tape against the interpreted tree-walk.
 //!
-//! Two workloads:
+//! Three workloads:
 //!
 //! * `fig9_2` — the chapter-9 interpolator evaluation, all five
-//!   implementations × four scenarios, repeated. Busy traffic: most
-//!   components have work most cycles, so gating helps modestly.
+//!   implementations × four scenarios, repeated. Busy traffic through
+//!   behavioural Rust components: most components have work most cycles,
+//!   so gating helps modestly and the compiled backend (which only
+//!   changes HDL-design evaluation, not behavioural components) matches
+//!   gated.
+//! * `fig9_2_hdl` — the same device class at the HDL level: the `mac`
+//!   example's generated `user_mac_unit` top (SIS front plus both function
+//!   units, flattened) compiled to a transition relation and driven with
+//!   pseudo-random SIS stimulus every cycle.
+//!   The design host dispatches on [`Backend`]: `gated`/`eager` run the
+//!   generic tree-walk interpreter under the two-state domain, `compiled`
+//!   runs the bit-packed straight-line op tape lowered from the same
+//!   `CompiledDesign` that `splice check`'s replay executes. This is the
+//!   workload where `Backend::Compiled` must deliver ≥5x over gated.
 //! * `idle_heavy_sweep` — a `nowait` device with 512–2000-cycle
 //!   calculations, fire-then-wait-for-interrupt. The bus is dead while the
 //!   calculation counts down, which is exactly the stretch the
 //!   sensitivity-gated scheduler skips.
 //!
-//! Both modes must simulate the *same number of cycles* — the scheduler is
-//! an optimization, not a semantics change — and the harness asserts that.
+//! All modes must simulate the *same number of cycles* — backends are an
+//! optimization, not a semantics change — and the harness asserts that
+//! (plus a full signal-history checksum on the HDL workload).
 //!
 //! Usage: `cargo run --release -p splice-bench --bin perf [-- OPTIONS]`
 //!
@@ -22,7 +36,9 @@
 //! * `--compare <baseline.json>` — after measuring, compare against the
 //!   checked-in `BENCH_PERF.json` and exit nonzero when any workload's
 //!   `cycles_per_sec` dropped more than the tolerance (perf-regression
-//!   gate; see `splice_bench::compare`).
+//!   gate; see `splice_bench::compare`). Baselines predating the compiled
+//!   backend simply have no `compiled` entries — those are noted, not
+//!   fatal, so the gate tolerates the old schema.
 //! * `--tolerance <pct>` — allowed drop for `--compare` (default 20).
 //! * `--trace-out <f>` — write a Chrome trace-event JSON of the bench run
 //!   (one span per workload × mode, with throughput attrs).
@@ -32,24 +48,31 @@
 use splice_bench::compare::{compare, parse_perf_json, PerfEntry};
 use splice_bench::table;
 use splice_buses::system::SplicedSystem;
+use splice_core::elaborate::elaborate;
+use splice_core::hdlgen::design_modules;
 use splice_core::simbuild::{CalcLogic, CalcResult, FuncInputs};
+use splice_dataflow::engine::reset_slot;
+use splice_dataflow::tv::mask;
+use splice_dataflow::{two_state_eval, two_state_initial, two_state_step, CompiledDesign, StepFn};
 use splice_devices::eval::{fig_9_2, InterpImpl, InterpRunner};
 use splice_devices::interp::Scenario;
 use splice_driver::program::CallArgs;
 use splice_obs::trace;
-use splice_sim::RunStats;
+use splice_sim::{Backend, Component, RunStats, SignalId, SimulatorBuilder, TickCtx};
 use splice_spec::parse_and_validate;
+use splice_testutil::Rng;
 use std::time::{Duration, Instant};
 
-/// One timed measurement: simulated cycles vs wall clock, plus the kernel's
-/// own accounting when the workload runs through `Simulator::run*`.
+/// One timed measurement: simulated cycles vs wall clock, plus the
+/// kernel's own tick/idle accounting for the timed stretch (uniform
+/// across every workload and mode via `Simulator::stats_mark`).
 struct Meas {
     sim_cycles: u64,
     wall: Duration,
-    /// Tick/idle attribution for the tracked stretch (idle sweep only —
-    /// fig 9.2 drives the system through driver calls, which don't expose
-    /// per-run stats).
-    stats: Option<RunStats>,
+    stats: RunStats,
+    /// Full signal-history checksum, for cross-mode parity assertions
+    /// (HDL workload only).
+    check: Option<u64>,
 }
 
 impl Meas {
@@ -58,26 +81,25 @@ impl Meas {
     }
 
     fn idle_pct(&self) -> String {
-        match &self.stats {
-            Some(s) if s.cycles > 0 => {
-                format!("{:.1}%", s.idle_cycles as f64 / s.cycles as f64 * 100.0)
-            }
-            _ => "-".into(),
+        if self.stats.cycles > 0 {
+            format!("{:.1}%", self.stats.idle_cycles as f64 / self.stats.cycles as f64 * 100.0)
+        } else {
+            "-".into()
         }
     }
 }
 
 /// The fig 9.2 evaluation run `iters` times over persistent systems.
-fn bench_fig9_2(eager: bool, iters: u32) -> Meas {
+fn bench_fig9_2(backend: Backend, iters: u32) -> Meas {
     let mut runners: Vec<InterpRunner> = InterpImpl::all().map(InterpRunner::build).into();
     for r in &mut runners {
-        r.sim_mut().set_eager(eager);
+        r.sim_mut().set_backend(backend);
         // Warm-up pass (untimed): first calls touch cold allocations.
         for s in Scenario::all() {
             r.run(s);
         }
     }
-    let cycles_before: u64 = runners.iter().map(|r| r.sim().cycle()).sum();
+    let marks: Vec<RunStats> = runners.iter().map(|r| r.sim().stats_mark()).collect();
     let start = Instant::now();
     for _ in 0..iters {
         for r in &mut runners {
@@ -87,8 +109,221 @@ fn bench_fig9_2(eager: bool, iters: u32) -> Meas {
         }
     }
     let wall = start.elapsed();
-    let cycles_after: u64 = runners.iter().map(|r| r.sim().cycle()).sum();
-    Meas { sim_cycles: cycles_after - cycles_before, wall, stats: None }
+    let mut stats = RunStats::default();
+    for (r, mark) in runners.iter().zip(marks) {
+        let s = r.sim().stats_since(mark);
+        stats.cycles += s.cycles;
+        stats.ticks += s.ticks;
+        stats.idle_cycles += s.idle_cycles;
+    }
+    Meas { sim_cycles: stats.cycles, wall, stats, check: None }
+}
+
+// --- fig9_2_hdl: generated HDL executed through the sim kernel ----------
+
+const HDL_SPEC: &str = include_str!("../../../../examples/specs/mac.splice");
+const HDL_ROWS: usize = 512;
+/// Replicated MAC units in the host — a small accelerator bank. Unit 0 is
+/// driven through kernel signals; the shadow units consume the same
+/// stimulus table at staggered offsets, so per-tick design evaluation
+/// dominates over fixed kernel dispatch overhead and the eager/gated/
+/// compiled comparison measures the evaluators, not the scheduler.
+const HDL_UNITS: usize = 16;
+
+/// Plays a fixed stimulus table cyclically, one row per tick.
+struct HdlStim {
+    rows: Vec<Vec<u64>>,
+    ids: Vec<SignalId>,
+    t: usize,
+}
+
+impl Component for HdlStim {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        let row = &self.rows[self.t % self.rows.len()];
+        for (slot, &id) in self.ids.iter().enumerate() {
+            ctx.set(id, row[slot]);
+        }
+        self.t += 1;
+    }
+
+    fn name(&self) -> &str {
+        "hdl-stim"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Hosts a bank of [`HDL_UNITS`] identical [`CompiledDesign`] instances
+/// in the kernel, dispatching per tick on [`TickCtx::backend`] — exactly
+/// the scheme `splice check`'s replay path uses, so the benchmark measures
+/// the same compiled form the checker executes. Unit 0 reads its inputs
+/// from kernel signals and drives the module outputs back; shadow units
+/// 1..N replay the shared stimulus table at staggered offsets. A rolling
+/// checksum over every unit's post-step output words pins cross-mode
+/// parity (the outputs are a function of the full register state, so a
+/// divergence anywhere surfaces within a few rows).
+struct HdlHost {
+    design: CompiledDesign,
+    tape: StepFn,
+    input_ids: Vec<SignalId>,
+    output_ids: Vec<SignalId>,
+    rows: Vec<Vec<u64>>,
+    started: bool,
+    t: usize,
+    /// Per-unit interpreted state (eager/gated paths).
+    states: Vec<Vec<u64>>,
+    /// Per-unit tape state (compiled path).
+    words: Vec<Vec<u64>>,
+    row: Vec<u64>,
+    checksum: u64,
+}
+
+impl HdlHost {
+    fn crunch(&mut self, v: u64) {
+        self.checksum = self.checksum.wrapping_mul(0x100_0000_01b3) ^ v;
+    }
+}
+
+impl Component for HdlHost {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        if !self.started {
+            self.started = true;
+            return;
+        }
+        for (slot, &id) in self.input_ids.iter().enumerate() {
+            self.row[slot] = ctx.get(id);
+        }
+        let compiled = ctx.backend() == Backend::Compiled;
+        for u in 0..HDL_UNITS {
+            // Unit 0 follows the kernel signals; shadow units replay the
+            // table at unit-specific offsets (same rows every mode).
+            let row = if u == 0 {
+                std::mem::take(&mut self.row)
+            } else {
+                std::mem::take(&mut self.rows[(self.t + u * 61) % HDL_ROWS])
+            };
+            if compiled {
+                let w = &mut self.words[u];
+                self.tape.step(w, &row);
+                self.tape.eval(w, &row);
+            } else {
+                self.states[u] = two_state_step(&self.design, &self.states[u], &row, false);
+            }
+            let obs_owned;
+            let obs: &[u64] = if compiled {
+                self.tape.signals(&self.words[u])
+            } else {
+                obs_owned = two_state_eval(&self.design, &self.states[u], &row, false);
+                &obs_owned
+            };
+            if u == 0 {
+                for (slot, &id) in self.design.outputs.iter().enumerate() {
+                    ctx.set(self.output_ids[slot], obs[id]);
+                }
+            }
+            let mut sum = 0u64;
+            for &id in &self.design.outputs {
+                sum = sum.wrapping_mul(0x100_0000_01b3) ^ obs[id];
+            }
+            self.crunch(sum);
+            if u == 0 {
+                self.row = row;
+            } else {
+                self.rows[(self.t + u * 61) % HDL_ROWS] = row;
+            }
+        }
+        self.t += 1;
+    }
+
+    fn name(&self) -> &str {
+        "hdl-host"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Pseudo-random SIS stimulus for the compiled module: two reset rows,
+/// then seeded free traffic (same seed every run and mode).
+fn hdl_stimulus(d: &CompiledDesign) -> Vec<Vec<u64>> {
+    let rst = reset_slot(d).expect("generated module has RST");
+    let mut rng = Rng::new(0x5EED_BEAC);
+    let mut rows = Vec::with_capacity(HDL_ROWS);
+    for t in 0..HDL_ROWS {
+        rows.push(
+            d.inputs
+                .iter()
+                .enumerate()
+                .map(|(s, &id)| {
+                    if s == rst {
+                        u64::from(t < 2)
+                    } else if t < 2 {
+                        0
+                    } else {
+                        rng.next_u64() & mask(d.signals[id].width)
+                    }
+                })
+                .collect(),
+        );
+    }
+    rows
+}
+
+/// The HDL-level workload: `iters` passes over the stimulus table.
+fn bench_fig9_2_hdl(backend: Backend, iters: u32) -> Meas {
+    let module = parse_and_validate(HDL_SPEC).expect("mac spec").module;
+    let ir = elaborate(&module);
+    let modules = design_modules(&ir, "perf-bench").expect("mac generates");
+    let d = CompiledDesign::compile(&modules, "user_mac_unit").expect("mac top compiles");
+    let rows = hdl_stimulus(&d);
+
+    let mut b = SimulatorBuilder::new();
+    let input_ids: Vec<SignalId> =
+        d.inputs.iter().map(|&id| b.sig(d.signals[id].name.clone(), d.signals[id].width)).collect();
+    let output_ids: Vec<SignalId> = d
+        .outputs
+        .iter()
+        .map(|&id| b.sig(d.signals[id].name.clone(), d.signals[id].width))
+        .collect();
+    b.component(Box::new(HdlStim { rows: rows.clone(), ids: input_ids.clone(), t: 0 }));
+    let tape = StepFn::lower(&d, false);
+    let num_inputs = d.inputs.len();
+    let hidx = b.component(Box::new(HdlHost {
+        words: (0..HDL_UNITS).map(|_| tape.new_state()).collect(),
+        states: (0..HDL_UNITS).map(|_| two_state_initial(&d, false)).collect(),
+        tape,
+        input_ids,
+        output_ids,
+        rows,
+        started: false,
+        t: 0,
+        row: vec![0; num_inputs],
+        checksum: 0,
+        design: d,
+    }));
+    let mut sim = b.build();
+    sim.set_backend(backend);
+
+    // Warm-up pass (untimed).
+    sim.run(HDL_ROWS as u64).expect("hdl warmup");
+    let mark = sim.stats_mark();
+    let start = Instant::now();
+    sim.run(iters as u64 * HDL_ROWS as u64).expect("hdl run");
+    let wall = start.elapsed();
+    let stats = sim.stats_since(mark);
+    let checksum = sim.component::<HdlHost>(hidx).expect("host").checksum;
+    Meas { sim_cycles: stats.cycles, wall, stats, check: Some(checksum) }
 }
 
 /// Calculation whose latency walks a fixed 512–2000-cycle pattern, so the
@@ -109,13 +344,13 @@ impl CalcLogic for IdleCalc {
 
 /// Fire-and-forget rounds against a long-latency device: `nowait` call,
 /// wait for the completion interrupt, acknowledge, repeat.
-fn bench_idle_sweep(eager: bool, rounds: u32) -> Meas {
+fn bench_idle_sweep(backend: Backend, rounds: u32) -> Meas {
     let spec = "%device_name sweep\n%bus_type plb\n%bus_width 32\n\
                 %base_address 0x80000000\n%irq_support true\n\
                 nowait crunch(int x);";
     let module = parse_and_validate(spec).expect("sweep spec").module;
     let mut sys = SplicedSystem::build(&module, |_, _| Box::new(IdleCalc { i: 0 }));
-    sys.sim_mut().set_eager(eager);
+    sys.sim_mut().set_backend(backend);
     let vector = sys.sim().signal_id("sis.IRQ_VECTOR").expect("irq vector");
 
     // Warm-up round (untimed).
@@ -123,22 +358,19 @@ fn bench_idle_sweep(eager: bool, rounds: u32) -> Meas {
     sys.sim_mut().run_until_high("sweep irq", vector, 1_000_000).expect("warmup irq");
     sys.wait_irq("crunch", 0).expect("warmup ack");
 
-    let cycles_before = sys.sim().cycle();
-    let mut stats = RunStats::default();
+    let mark = sys.sim().stats_mark();
     let start = Instant::now();
     for r in 0..rounds {
         let out = sys.call("crunch", &CallArgs::scalars(&[u64::from(r)])).expect("call");
         assert!(out.bus_cycles < 50, "nowait call should return fast");
         // Ride out the idle calculation on the signal-indexed fast wait,
         // then consume the latched interrupt (immediate) to clear the bit.
-        let wait = sys.sim_mut().run_until_high("sweep irq", vector, 1_000_000).expect("irq");
-        stats.cycles += wait.cycles;
-        stats.ticks += wait.ticks;
-        stats.idle_cycles += wait.idle_cycles;
+        sys.sim_mut().run_until_high("sweep irq", vector, 1_000_000).expect("irq");
         sys.wait_irq("crunch", 0).expect("ack");
     }
     let wall = start.elapsed();
-    Meas { sim_cycles: sys.sim().cycle() - cycles_before, wall, stats: Some(stats) }
+    let stats = sys.sim().stats_since(mark);
+    Meas { sim_cycles: stats.cycles, wall, stats, check: None }
 }
 
 fn fmt_mcps(m: &Meas) -> String {
@@ -150,17 +382,15 @@ fn fmt_ms(m: &Meas) -> String {
 }
 
 fn json_meas(m: &Meas) -> String {
-    let mut json = format!(
-        "{{\"sim_cycles\":{},\"wall_ms\":{:.3},\"cycles_per_sec\":{:.0}",
+    format!(
+        "{{\"sim_cycles\":{},\"wall_ms\":{:.3},\"cycles_per_sec\":{:.0},\
+         \"ticks\":{},\"idle_cycles\":{}}}",
         m.sim_cycles,
         m.wall.as_secs_f64() * 1e3,
-        m.cps()
-    );
-    if let Some(s) = &m.stats {
-        json.push_str(&format!(",\"ticks\":{},\"idle_cycles\":{}", s.ticks, s.idle_cycles));
-    }
-    json.push('}');
-    json
+        m.cps(),
+        m.stats.ticks,
+        m.stats.idle_cycles,
+    )
 }
 
 /// Record one measurement as a span on the bench trace, when tracing.
@@ -171,10 +401,8 @@ fn trace_meas(name: &str, mode: &str, m: &Meas) {
     trace::attr("sim_cycles", m.sim_cycles);
     trace::attr("wall_ms", format!("{:.3}", m.wall.as_secs_f64() * 1e3).as_str());
     trace::attr("mcycles_per_sec", format!("{:.2}", m.cps() / 1e6).as_str());
-    if let Some(s) = &m.stats {
-        trace::attr("ticks", s.ticks);
-        trace::attr("idle_cycles", s.idle_cycles);
-    }
+    trace::attr("ticks", m.stats.ticks);
+    trace::attr("idle_cycles", m.stats.idle_cycles);
 }
 
 fn main() {
@@ -249,18 +477,18 @@ fn main() {
         println!("smoke: fig 9.2 totals match pinned seed values {pinned:?}");
     }
 
-    let (fig_iters, sweep_rounds) = if smoke { (5, 30) } else { (400, 1500) };
+    let (fig_iters, hdl_passes, sweep_rounds) = if smoke { (5, 5, 30) } else { (400, 100, 1500) };
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json_workloads: Vec<String> = Vec::new();
     let mut current: Vec<PerfEntry> = Vec::new();
 
-    for (name, run) in [
-        ("fig9_2", bench_fig9_2 as fn(bool, u32) -> Meas),
-        ("idle_heavy_sweep", bench_idle_sweep as fn(bool, u32) -> Meas),
+    for (name, run, iters) in [
+        ("fig9_2", bench_fig9_2 as fn(Backend, u32) -> Meas, fig_iters),
+        ("fig9_2_hdl", bench_fig9_2_hdl as fn(Backend, u32) -> Meas, hdl_passes),
+        ("idle_heavy_sweep", bench_idle_sweep as fn(Backend, u32) -> Meas, sweep_rounds),
     ] {
-        let iters = if name == "fig9_2" { fig_iters } else { sweep_rounds };
-        let eager = run(true, iters);
+        let eager = run(Backend::Eager, iters);
         trace_meas(name, "eager", &eager);
         rows.push(vec![
             name.into(),
@@ -279,45 +507,58 @@ fn main() {
             json_workloads.push(format!("{{\"name\":\"{name}\",\"eager\":{}}}", json_meas(&eager)));
             continue;
         }
-        let gated = run(false, iters);
+        let gated = run(Backend::Gated, iters);
         trace_meas(name, "gated", &gated);
-        assert_eq!(
-            gated.sim_cycles, eager.sim_cycles,
-            "{name}: gated scheduler changed the simulated cycle count"
-        );
+        let compiled = run(Backend::Compiled, iters);
+        trace_meas(name, "compiled", &compiled);
+        for (mode, m) in [("gated", &gated), ("compiled", &compiled)] {
+            assert_eq!(
+                m.sim_cycles, eager.sim_cycles,
+                "{name}: {mode} backend changed the simulated cycle count"
+            );
+            assert_eq!(
+                m.check, eager.check,
+                "{name}: {mode} backend changed the signal history checksum"
+            );
+            rows.push(vec![
+                name.into(),
+                mode.into(),
+                m.sim_cycles.to_string(),
+                fmt_ms(m),
+                fmt_mcps(m),
+                m.idle_pct(),
+            ]);
+            current.push(PerfEntry {
+                workload: name.into(),
+                mode: mode.into(),
+                cycles_per_sec: m.cps(),
+            });
+        }
         let speedup = gated.cps() / eager.cps();
-        rows.push(vec![
-            name.into(),
-            "gated".into(),
-            gated.sim_cycles.to_string(),
-            fmt_ms(&gated),
-            fmt_mcps(&gated),
-            gated.idle_pct(),
-        ]);
+        let cspeedup = compiled.cps() / gated.cps();
         rows.push(vec![name.into(), "speedup".into(), String::new(), String::new(), {
-            format!("{speedup:.2}x")
+            format!("g {speedup:.2}x / c {cspeedup:.2}x")
         }]);
-        current.push(PerfEntry {
-            workload: name.into(),
-            mode: "gated".into(),
-            cycles_per_sec: gated.cps(),
-        });
         json_workloads.push(format!(
-            "{{\"name\":\"{name}\",\"eager\":{},\"gated\":{},\"speedup\":{speedup:.3}}}",
+            "{{\"name\":\"{name}\",\"eager\":{},\"gated\":{},\"compiled\":{},\
+             \"speedup\":{speedup:.3},\"compiled_speedup\":{cspeedup:.3}}}",
             json_meas(&eager),
             json_meas(&gated),
+            json_meas(&compiled),
         ));
     }
 
     let headers = ["workload", "mode", "sim cycles", "wall ms", "Mcycles/s", "idle"];
-    println!("\nKernel throughput — event-driven scheduler vs eager fallback");
-    println!("(fig9_2 x{fig_iters} passes, sweep x{sweep_rounds} rounds)\n");
+    println!("\nKernel throughput — scheduler and backend comparison");
+    println!(
+        "(fig9_2 x{fig_iters} passes, hdl x{hdl_passes} passes, sweep x{sweep_rounds} rounds)\n"
+    );
     print!("{}", table(&headers, &rows));
 
-    let mode = if eager_only { "eager-only" } else { "both" };
+    let mode = if eager_only { "eager-only" } else { "all" };
     let json = format!(
         "{{\"bench\":\"kernel_throughput\",\"mode\":\"{mode}\",\"smoke\":{smoke},\
-         \"fig9_2_iters\":{fig_iters},\"sweep_rounds\":{sweep_rounds},\
+         \"fig9_2_iters\":{fig_iters},\"hdl_passes\":{hdl_passes},\"sweep_rounds\":{sweep_rounds},\
          \"workloads\":[{}]}}\n",
         json_workloads.join(",")
     );

@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfEntry {
     pub workload: String,
-    /// `"eager"` or `"gated"`.
+    /// `"eager"`, `"gated"`, or `"compiled"`.
     pub mode: String,
     pub cycles_per_sec: f64,
 }
@@ -36,7 +36,7 @@ pub fn parse_perf_json(src: &str) -> Result<Vec<PerfEntry>, String> {
     for w in workloads {
         let name =
             w.get("name").and_then(JsonValue::as_str).ok_or("workload entry without a `name`")?;
-        for mode in ["eager", "gated"] {
+        for mode in ["eager", "gated", "compiled"] {
             if let Some(m) = w.get(mode) {
                 let cps = m
                     .get("cycles_per_sec")
@@ -91,13 +91,13 @@ impl CompareReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<22} {:>6} {:>14} {:>14} {:>8}  verdict",
+            "{:<22} {:>8} {:>14} {:>14} {:>8}  verdict",
             "workload", "mode", "baseline c/s", "current c/s", "delta"
         );
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{:<22} {:>6} {:>14.0} {:>14.0} {:>+7.1}%  {}",
+                "{:<22} {:>8} {:>14.0} {:>14.0} {:>+7.1}%  {}",
                 r.workload,
                 r.mode,
                 r.baseline_cps,
@@ -224,6 +224,42 @@ mod tests {
         let current: Vec<PerfEntry> =
             baseline.iter().map(|b| entry(&b.workload, &b.mode, b.cycles_per_sec * 3.0)).collect();
         assert!(!compare(&current, &baseline, 10.0).failed());
+    }
+
+    #[test]
+    fn old_schema_baselines_without_compiled_entries_still_pass() {
+        // Baselines written before the compiled backend existed carry only
+        // eager/gated measurements. A current run that adds `compiled`
+        // entries (and whole new workloads) must compare cleanly: the new
+        // measurements are noted as having no baseline, never gated on.
+        let baseline = parse_perf_json(BASELINE).unwrap();
+        assert!(!baseline.iter().any(|b| b.mode == "compiled"), "fixture predates compiled");
+        let mut current: Vec<PerfEntry> = baseline.clone();
+        current.push(entry("fig9_2", "compiled", 2_100_000.0));
+        current.push(entry("fig9_2_hdl", "compiled", 9_000_000.0));
+        let report = compare(&current, &baseline, 10.0);
+        assert!(!report.failed(), "{}", report.render_text());
+        assert_eq!(report.rows.len(), baseline.len());
+        assert_eq!(
+            report.missing_baseline,
+            vec!["fig9_2/compiled", "fig9_2_hdl/compiled"],
+            "compiled entries ride as notes against an old-schema baseline"
+        );
+        assert!(report.missing_current.is_empty());
+    }
+
+    #[test]
+    fn parses_compiled_mode_entries() {
+        let src = r#"{"workloads":[
+          {"name":"fig9_2_hdl",
+           "eager":{"cycles_per_sec":1000000},
+           "gated":{"cycles_per_sec":1100000},
+           "compiled":{"cycles_per_sec":8000000},
+           "speedup":1.1,"compiled_speedup":7.27}
+        ]}"#;
+        let entries = parse_perf_json(src).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[2], entry("fig9_2_hdl", "compiled", 8_000_000.0));
     }
 
     #[test]

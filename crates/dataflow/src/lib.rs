@@ -15,6 +15,11 @@
 //! (per-signal constancy, value ranges, output-reachability) consumed by
 //! the SL05xx lint rules in `splice-lint` and by the [`fold`] pre-pass
 //! that shrinks the transition relation before model checking.
+//!
+//! A third domain backs the compiled simulation backend: [`lower`] fixes
+//! every X to a concrete fill bit ([`lower::TwoState`]) and compiles the
+//! design into a bit-packed straight-line step function
+//! ([`lower::StepFn`]) for fast concrete replay and benchmarking.
 
 pub mod domain;
 pub mod engine;
@@ -22,6 +27,7 @@ pub mod facts;
 pub mod flat;
 pub mod fold;
 pub mod graph;
+pub mod lower;
 pub mod tv;
 
 pub use domain::AbsVal;
@@ -29,4 +35,5 @@ pub use engine::{analyze, Analysis, AnalysisConfig, BranchFinding, FindingKind, 
 pub use facts::{FactTable, SignalFacts};
 pub use flat::{CompileError, CompiledDesign, Kind, SignalInfo};
 pub use fold::{fold, FoldStats};
+pub use lower::{two_state_eval, two_state_initial, two_state_step, StepFn, TwoState};
 pub use tv::TWord;

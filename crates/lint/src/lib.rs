@@ -90,6 +90,7 @@ pub const CODES: &[(&str, &str)] = &[
     ("SL0505", "register may still hold X in a reachable post-reset state"),
     ("SL0506", "logic cone has no path to an output or checked property"),
     ("SL0507", "register is only ever assigned its own value"),
+    ("SL0508", "compiled two-state backend pins a possibly-X register to a fill value"),
 ];
 
 /// The one-line catalogue entry for a rule code, as printed by

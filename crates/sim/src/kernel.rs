@@ -46,6 +46,26 @@ impl RunStats {
     }
 }
 
+/// Execution backend: how the kernel schedules component ticks and — for
+/// components that host a compiled HDL design — how each tick evaluates it.
+///
+/// Scheduling and simulation results are identical across all three
+/// backends (pinned by `tests/determinism.rs`); they differ only in cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Tick every component every cycle (the pre-event-driven kernel,
+    /// kept for comparison benchmarks).
+    Eager,
+    /// Sensitivity-gated event-driven scheduling (the default).
+    #[default]
+    Gated,
+    /// Gated scheduling, with design-hosting components asked — via
+    /// [`TickCtx::backend`](crate::component::TickCtx::backend) — to run
+    /// their bit-packed two-state step tape (`splice-dataflow`'s `lower`
+    /// module) instead of the interpreted tree-walk.
+    Compiled,
+}
+
 /// Errors raised while building or running a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -159,7 +179,7 @@ impl SimulatorBuilder {
             wake_at: vec![0; nc],
             wake_cause: vec![WakeCause::External as u8; nc],
             min_wake: 0,
-            eager: false,
+            backend: Backend::Gated,
             cycle: 0,
             total_ticks: 0,
             idle_fast_hits: 0,
@@ -197,9 +217,9 @@ pub struct Simulator {
     wake_cause: Vec<u8>,
     /// Minimum over `wake_at` — gate for the idle fast path.
     min_wake: u64,
-    /// Force every component to tick every cycle (the pre-event-driven
-    /// behaviour, kept for comparison benchmarks).
-    eager: bool,
+    /// Selected execution backend (see [`Backend`]); `Eager` forces every
+    /// component to tick every cycle.
+    backend: Backend,
     cycle: u64,
     /// Lifetime `tick` invocations (always on; feeds [`RunStats`]).
     total_ticks: u64,
@@ -241,13 +261,41 @@ impl Simulator {
     /// instrumented components count per-cycle occupancy (wait states, busy
     /// cycles) from inside their tick.
     pub fn set_eager(&mut self, eager: bool) {
-        self.eager = eager;
+        self.backend = if eager { Backend::Eager } else { Backend::Gated };
+    }
+
+    /// Select the execution [`Backend`]. `Compiled` keeps gated scheduling
+    /// but asks design-hosting components to run their bit-packed step
+    /// tape; metrics collection still forces the eager interpreted path
+    /// (see [`effective_backend`](Self::effective_backend)).
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// The selected execution backend (as set, before any forcing).
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The backend actually in effect for the next step. Enabling metrics
+    /// forces the eager interpreted path (instrumented components count
+    /// per-cycle occupancy from inside their tick); enabling the profiler
+    /// keeps gated scheduling but forces the interpreted tree-walk so
+    /// per-tick costs stay comparable across components.
+    pub fn effective_backend(&self) -> Backend {
+        if self.metrics.is_enabled() {
+            Backend::Eager
+        } else if self.profiler.is_some() && self.backend == Backend::Compiled {
+            Backend::Gated
+        } else {
+            self.backend
+        }
     }
 
     /// Whether the scheduler is running eagerly (explicitly, or implicitly
     /// because metrics collection is enabled).
     pub fn is_eager(&self) -> bool {
-        self.eager || self.metrics.is_enabled()
+        self.effective_backend() == Backend::Eager
     }
 
     /// Force a gated component to tick on the next step, as if one of its
@@ -333,7 +381,8 @@ impl Simulator {
             t.sample(self.cycle, &self.cur);
         }
 
-        let eager = self.eager || self.metrics.is_enabled();
+        let backend = self.effective_backend();
+        let eager = backend == Backend::Eager;
         // Idle fast path: every component is asleep and none is due — no
         // tick can write anything, so the cycle is a counter increment.
         if !eager && self.num_always == 0 && self.min_wake > self.cycle {
@@ -408,6 +457,7 @@ impl Simulator {
                     written,
                     component: i as u32,
                     cycle,
+                    backend,
                     conflict: &mut conflict,
                     metrics,
                     wake: &mut wake_at[i],
@@ -480,11 +530,15 @@ impl Simulator {
     }
 
     /// Snapshot of the always-on counters, for delta-based [`RunStats`].
-    fn stats_mark(&self) -> RunStats {
+    /// Harnesses that drive [`step`](Self::step) directly (rather than the
+    /// `run*` family) can pair this with [`stats_since`](Self::stats_since)
+    /// to report the same uniform stats.
+    pub fn stats_mark(&self) -> RunStats {
         RunStats { cycles: self.cycle, ticks: self.total_ticks, idle_cycles: self.idle_fast_hits }
     }
 
-    fn stats_since(&self, mark: RunStats) -> RunStats {
+    /// Counter deltas since a [`stats_mark`](Self::stats_mark) snapshot.
+    pub fn stats_since(&self, mark: RunStats) -> RunStats {
         RunStats {
             cycles: self.cycle - mark.cycles,
             ticks: self.total_ticks - mark.ticks,
@@ -1081,6 +1135,36 @@ mod tests {
         assert!(p.idle_cycles > 0, "gated scheduler stayed gated under profiling");
         assert!(sim.take_profile().is_none());
         assert!(!sim.profiler_enabled());
+    }
+
+    #[test]
+    fn backend_selection_and_forcing_rules() {
+        let mut sim = pulse_echo_sim();
+        assert_eq!(sim.backend(), Backend::Gated);
+        assert_eq!(sim.effective_backend(), Backend::Gated);
+
+        // The legacy eager toggle is a shim over the backend enum.
+        sim.set_eager(true);
+        assert_eq!(sim.backend(), Backend::Eager);
+        assert!(sim.is_eager());
+        sim.set_eager(false);
+        assert_eq!(sim.backend(), Backend::Gated);
+
+        // Compiled schedules like Gated; the profiler forces the
+        // interpreted tree-walk but keeps gated scheduling.
+        sim.set_backend(Backend::Compiled);
+        assert_eq!(sim.effective_backend(), Backend::Compiled);
+        assert!(!sim.is_eager());
+        sim.enable_profiler();
+        assert_eq!(sim.effective_backend(), Backend::Gated);
+        sim.run(3).unwrap();
+        sim.take_profile();
+        assert_eq!(sim.effective_backend(), Backend::Compiled);
+
+        // Metrics force the eager interpreted path outright.
+        sim.metrics_mut().enable();
+        assert_eq!(sim.effective_backend(), Backend::Eager);
+        assert!(sim.is_eager());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod trace;
 pub mod vcd;
 
 pub use component::{Component, LazyCounter, LazyHistogram, Sensitivity, TickCtx};
-pub use kernel::{RunStats, SimError, Simulator, SimulatorBuilder};
+pub use kernel::{Backend, RunStats, SimError, Simulator, SimulatorBuilder};
 pub use metrics::{CounterId, Event, EventLog, Histogram, HistogramId, MetricsRegistry};
 pub use profile::{ComponentProfile, SimProfile, WakeCause};
 pub use signal::{SignalDecl, SignalId, Word};

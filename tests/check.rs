@@ -18,7 +18,7 @@
 //!    cross-checks clean against the generated HDL, and injected
 //!    driver/hardware mismatches are flagged.
 
-use splice_check::{check_modules, check_source, cross_check, CheckOptions, Witness};
+use splice_check::{check_modules, check_source, cross_check, Backend, CheckOptions, Witness};
 use splice_core::elaborate::elaborate;
 use splice_core::hdlgen::design_modules;
 use splice_core::DesignIr;
@@ -192,6 +192,68 @@ fn fold_prepass_preserves_every_verdict() {
             "{stem}: fold perturbed counterexamples"
         );
     }
+}
+
+/// Replaying counterexamples on the compiled two-state step tape must
+/// change nothing observable: exploration statistics, report, and every
+/// confirmed/unconfirmed verdict match the interpreted default backend
+/// exactly on every example spec. (All examples are SL0505-clean, so the
+/// compiled backend's SL0508 audit adds nothing to the report either.)
+#[test]
+fn compiled_backend_replay_preserves_every_verdict() {
+    for stem in ["apb_sensor", "dma_stream", "fir_filter", "hw_timer", "mac"] {
+        let spec = example_spec(stem);
+        let gated = check_source(&spec, &CheckOptions::default()).expect("check runs");
+        let compiled = check_source(
+            &spec,
+            &CheckOptions { backend: Backend::Compiled, ..CheckOptions::default() },
+        )
+        .expect("check runs");
+        assert_eq!(gated.stats, compiled.stats, "{stem}: backend perturbed exploration stats");
+        assert_eq!(gated.report, compiled.report, "{stem}: backend perturbed the verdict");
+        assert_eq!(
+            gated.counterexamples, compiled.counterexamples,
+            "{stem}: backend perturbed counterexamples"
+        );
+    }
+}
+
+/// The corrupted designs from the detection tests must confirm (or stay
+/// unconfirmed) identically when replay runs on the compiled tape, and
+/// the compiled backend's SL0508 audit must flag exactly the registers
+/// the ternary analysis proves can still read X after reset.
+#[test]
+fn compiled_backend_confirms_corrupted_designs_and_audits_x_lowering() {
+    let (ir, mut modules) = generated(&example_spec("mac"));
+    let stub = module_mut(&mut modules, "func_mac");
+    stub.decls.push(Decl::Signal { name: "shadow_mode".into(), width: 1, init: None });
+    stub.items.push(Item::Process(splice_hdl::ast::Process {
+        label: "shadow".into(),
+        clocked: true,
+        body: vec![Stmt::assign("shadow_mode", Expr::sig("shadow_mode"))],
+    }));
+
+    let opts = CheckOptions { backend: Backend::Compiled, ..CheckOptions::default() };
+    let out = check_modules(&ir, &modules, &opts).expect("check runs");
+    let cex = out
+        .counterexamples
+        .iter()
+        .find(|c| c.code == "SL0404")
+        .expect("an X counterexample is produced");
+    assert_eq!(cex.confirmed, Some(true), "X witness must reproduce on the compiled tape");
+    assert!(
+        out.report.has("SL0508"),
+        "lowering shadow_mode to two-state must be audited: {}",
+        out.render_text()
+    );
+    let audit = out.report.render_text();
+    assert!(audit.contains("shadow_mode"), "the audit names the pinned register: {audit}");
+
+    // The same design on the default backend gets no SL0508: the
+    // interpreted replay still reasons about the lowering only when the
+    // tape will actually execute.
+    let gated = check_modules(&ir, &modules, &CheckOptions::default()).expect("check runs");
+    assert!(!gated.report.has("SL0508"), "{}", gated.render_text());
 }
 
 /// The pre-pass must actually shrink something real: on the DMA example's

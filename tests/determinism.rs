@@ -56,6 +56,24 @@ fn gated_and_eager_schedulers_agree_cycle_for_cycle() {
 }
 
 #[test]
+fn compiled_backend_preserves_the_pinned_fig_9_2_table() {
+    // `Backend::Compiled` only changes how hosted HDL designs evaluate
+    // their ticks (the behavioural Fig 9.2 components have none), and it
+    // schedules exactly like the gated kernel — so the headline table
+    // must stay byte-identical: 680 / 298 / 508 / 344 / 488.
+    use splice_sim::Backend;
+    for (imp, pinned_row) in PINNED {
+        let mut compiled = InterpRunner::build(imp);
+        compiled.sim_mut().set_backend(Backend::Compiled);
+        for (s, want) in Scenario::all().iter().zip(pinned_row) {
+            let (cycles, result) = compiled.run(*s);
+            assert_eq!(cycles, want, "{imp:?} {s:?}: compiled backend shifted the cycle count");
+            assert_eq!(result, reference_result(*s), "{imp:?} {s:?}: wrong result");
+        }
+    }
+}
+
+#[test]
 fn metrics_enabled_runs_preserve_cycle_counts() {
     // Metrics force eager stepping (per-cycle counters must see every
     // cycle) — but the observable timing must not change.
