@@ -73,6 +73,10 @@ struct Meas {
     /// Full signal-history checksum, for cross-mode parity assertions
     /// (HDL workload only).
     check: Option<u64>,
+    /// Structural logic depth (unit-delay levels) of the compiled design,
+    /// for workloads that execute one (HDL workload only) — throughput
+    /// numbers mean little without the depth of the logic being stepped.
+    levels: Option<u32>,
 }
 
 impl Meas {
@@ -116,7 +120,7 @@ fn bench_fig9_2(backend: Backend, iters: u32) -> Meas {
         stats.ticks += s.ticks;
         stats.idle_cycles += s.idle_cycles;
     }
-    Meas { sim_cycles: stats.cycles, wall, stats, check: None }
+    Meas { sim_cycles: stats.cycles, wall, stats, check: None, levels: None }
 }
 
 // --- fig9_2_hdl: generated HDL executed through the sim kernel ----------
@@ -286,6 +290,7 @@ fn bench_fig9_2_hdl(backend: Backend, iters: u32) -> Meas {
     let ir = elaborate(&module);
     let modules = design_modules(&ir, "perf-bench").expect("mac generates");
     let d = CompiledDesign::compile(&modules, "user_mac_unit").expect("mac top compiles");
+    let levels = splice_dataflow::analyze_timing(&d).max_depth;
     let rows = hdl_stimulus(&d);
 
     let mut b = SimulatorBuilder::new();
@@ -323,7 +328,7 @@ fn bench_fig9_2_hdl(backend: Backend, iters: u32) -> Meas {
     let wall = start.elapsed();
     let stats = sim.stats_since(mark);
     let checksum = sim.component::<HdlHost>(hidx).expect("host").checksum;
-    Meas { sim_cycles: stats.cycles, wall, stats, check: Some(checksum) }
+    Meas { sim_cycles: stats.cycles, wall, stats, check: Some(checksum), levels: Some(levels) }
 }
 
 /// Calculation whose latency walks a fixed 512–2000-cycle pattern, so the
@@ -370,7 +375,7 @@ fn bench_idle_sweep(backend: Backend, rounds: u32) -> Meas {
     }
     let wall = start.elapsed();
     let stats = sys.sim().stats_since(mark);
-    Meas { sim_cycles: stats.cycles, wall, stats, check: None }
+    Meas { sim_cycles: stats.cycles, wall, stats, check: None, levels: None }
 }
 
 fn fmt_mcps(m: &Meas) -> String {
@@ -379,6 +384,10 @@ fn fmt_mcps(m: &Meas) -> String {
 
 fn fmt_ms(m: &Meas) -> String {
     format!("{:.1}", m.wall.as_secs_f64() * 1e3)
+}
+
+fn fmt_levels(m: &Meas) -> String {
+    m.levels.map_or_else(|| "-".into(), |l| l.to_string())
 }
 
 fn json_meas(m: &Meas) -> String {
@@ -391,6 +400,13 @@ fn json_meas(m: &Meas) -> String {
         m.stats.ticks,
         m.stats.idle_cycles,
     )
+}
+
+/// The workload-level `"levels"` JSON field: the structural depth of the
+/// compiled design, present only for workloads that execute one. The
+/// baseline comparator ignores unknown fields, so old baselines still parse.
+fn levels_json(m: &Meas) -> String {
+    m.levels.map_or_else(String::new, |l| format!("\"levels\":{l},"))
 }
 
 /// Record one measurement as a span on the bench trace, when tracing.
@@ -497,6 +513,7 @@ fn main() {
             fmt_ms(&eager),
             fmt_mcps(&eager),
             eager.idle_pct(),
+            fmt_levels(&eager),
         ]);
         current.push(PerfEntry {
             workload: name.into(),
@@ -504,7 +521,11 @@ fn main() {
             cycles_per_sec: eager.cps(),
         });
         if eager_only {
-            json_workloads.push(format!("{{\"name\":\"{name}\",\"eager\":{}}}", json_meas(&eager)));
+            json_workloads.push(format!(
+                "{{\"name\":\"{name}\",{}\"eager\":{}}}",
+                levels_json(&eager),
+                json_meas(&eager)
+            ));
             continue;
         }
         let gated = run(Backend::Gated, iters);
@@ -527,6 +548,7 @@ fn main() {
                 fmt_ms(m),
                 fmt_mcps(m),
                 m.idle_pct(),
+                fmt_levels(m),
             ]);
             current.push(PerfEntry {
                 workload: name.into(),
@@ -540,15 +562,16 @@ fn main() {
             format!("g {speedup:.2}x / c {cspeedup:.2}x")
         }]);
         json_workloads.push(format!(
-            "{{\"name\":\"{name}\",\"eager\":{},\"gated\":{},\"compiled\":{},\
+            "{{\"name\":\"{name}\",{}\"eager\":{},\"gated\":{},\"compiled\":{},\
              \"speedup\":{speedup:.3},\"compiled_speedup\":{cspeedup:.3}}}",
+            levels_json(&eager),
             json_meas(&eager),
             json_meas(&gated),
             json_meas(&compiled),
         ));
     }
 
-    let headers = ["workload", "mode", "sim cycles", "wall ms", "Mcycles/s", "idle"];
+    let headers = ["workload", "mode", "sim cycles", "wall ms", "Mcycles/s", "idle", "levels"];
     println!("\nKernel throughput — scheduler and backend comparison");
     println!(
         "(fig9_2 x{fig_iters} passes, hdl x{hdl_passes} passes, sweep x{sweep_rounds} rounds)\n"

@@ -449,7 +449,8 @@ fn compile_or_report(
 
 /// Abstract-interpret `d` and fold the proven-constant reads and dead
 /// combinational cones out of the transition relation, inside a
-/// `check.dataflow` span carrying the fact counts. Exploration runs on the
+/// `check.dataflow` span carrying the fact counts and the structural
+/// depth/fan-out of the relation. Exploration runs on the
 /// folded relation; scripts and replay keep the original design.
 fn fold_for_explore(d: &CompiledDesign, pins: &env::EnvPins, keep: &[usize]) -> CompiledDesign {
     let _sp = splice_obs::trace::span("check.dataflow");
@@ -467,6 +468,9 @@ fn fold_for_explore(d: &CompiledDesign, pins: &env::EnvPins, keep: &[usize]) -> 
     splice_obs::trace::attr("dropped_nodes", st.dropped_nodes as u64);
     splice_obs::trace::attr("stmts_before", st.stmts_before as u64);
     splice_obs::trace::attr("stmts_after", st.stmts_after as u64);
+    let timing = splice_dataflow::analyze_timing(d);
+    splice_obs::trace::attr("max_depth", u64::from(timing.max_depth));
+    splice_obs::trace::attr("max_fanout", u64::from(timing.max_fanout().map_or(0, |(_, n)| n)));
     folded
 }
 

@@ -17,6 +17,13 @@
 //! than lint: it model-checks the generated FSMs against the SIS protocol
 //! (`splice-check`) and cross-checks the C driver against the HDL.
 //!
+//! `splice timing <spec>` prints the structural timing report: per-module
+//! unit-delay logic depth, named critical paths (register → gates →
+//! register/port), fan-out hot spots, and the netlist-grade resource bill
+//! compared against the IR estimate. `--json` renders it as a document,
+//! `--top <n>` bounds the paths per module, and `--deny-warnings` fails
+//! the run when the SL06xx timing rules fire (CI).
+//!
 //! `splice profile <spec>` builds the generated design into a live
 //! simulation, drives one driver call per declared function, and prints
 //! the kernel's per-component profile (ticks, wake causes, awake/asleep
@@ -30,6 +37,7 @@
 //!   splice [OPTIONS] <spec-file>
 //!   splice lint [OPTIONS] <spec-file>
 //!   splice check [OPTIONS] <spec-file>
+//!   splice timing [OPTIONS] <spec-file>
 //!   splice profile [OPTIONS] <spec-file>
 //! ```
 
@@ -55,6 +63,7 @@ struct Options {
     metrics: Option<PathBuf>,
     lint_only: bool,
     check_only: bool,
+    timing_only: bool,
     profile_only: bool,
     check: bool,
     check_opts: splice_check::CheckOptions,
@@ -63,6 +72,8 @@ struct Options {
     trace_out: Option<PathBuf>,
     /// Workload rounds for `splice profile`.
     calls: u64,
+    /// Critical paths reported per module by `splice timing`.
+    top_paths: usize,
 }
 
 const USAGE: &str = "\
@@ -72,6 +83,8 @@ USAGE:
   splice [OPTIONS] <spec-file>          generate HDL + drivers (lints first)
   splice lint [OPTIONS] <spec-file>     static analysis only, no generation
   splice check [OPTIONS] <spec-file>    model-check the generated design, no output
+  splice timing [OPTIONS] <spec-file>   structural timing report: logic depth,
+                                        critical paths, fan-out, netlist cost
   splice profile [OPTIONS] <spec-file>  simulate a per-function workload and
                                         print the kernel's component profile
 
@@ -106,6 +119,12 @@ CHECK OPTIONS (check mode / --check):
                         three produce identical verdicts; compiled also
                         audits X-to-fill lowering (SL0508)
 
+TIMING OPTIONS (timing mode):
+      --top <n>         critical paths reported per module (default 3);
+                        --json renders the report as a JSON document, and
+                        --deny-warnings fails the run when the SL06xx
+                        timing rules fire
+
 PROFILE OPTIONS (profile mode):
       --calls <n>       workload rounds (one driver call per function each
                         round; default 1)
@@ -138,6 +157,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut metrics = None;
     let mut lint_only = false;
     let mut check_only = false;
+    let mut timing_only = false;
     let mut profile_only = false;
     let mut check = false;
     let mut check_opts = splice_check::CheckOptions::default();
@@ -145,8 +165,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut json = false;
     let mut trace_out = None;
     let mut calls = 1u64;
-    // `splice lint <spec>` / `splice check <spec>` / `splice profile <spec>`
-    // are sugar for the flags.
+    let mut top_paths = 3usize;
+    // `splice lint <spec>` / `splice check <spec>` / `splice timing <spec>`
+    // / `splice profile <spec>` are sugar for the flags.
     let args = match args.first().map(String::as_str) {
         Some("lint") => {
             lint_only = true;
@@ -154,6 +175,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         }
         Some("check") => {
             check_only = true;
+            &args[1..]
+        }
+        Some("timing") => {
+            timing_only = true;
             &args[1..]
         }
         Some("profile") => {
@@ -207,6 +232,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--deny-warnings" => deny_warnings = true,
             "--json" => json = true,
             "--calls" => calls = num(&mut it, "--calls")?.max(1),
+            "--top" => top_paths = num(&mut it, "--top")? as usize,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return Ok(None);
@@ -256,6 +282,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         metrics,
         lint_only,
         check_only,
+        timing_only,
         profile_only,
         check,
         check_opts,
@@ -263,6 +290,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         json,
         trace_out,
         calls,
+        top_paths,
     }))
 }
 
@@ -369,6 +397,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return Ok(run_check(&source, &opts));
     }
 
+    // Timing mode: structural timing report over the generated design.
+    if opts.timing_only {
+        return run_timing(&source, &spec_path, &opts);
+    }
+
     // Profile mode: generate, simulate a workload, print the profile.
     if opts.profile_only {
         return run_profile(&source, &spec_path, &opts);
@@ -467,6 +500,40 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     println!("generated {written} files for device `{dev}` into {}", device_dir.display());
     Ok(ExitCode::SUCCESS)
+}
+
+/// `splice timing <spec>`: parse, validate, elaborate, generate the module
+/// set, and print the structural timing report (text or `--json`). The
+/// SL06xx timing rules run alongside so `--deny-warnings` gates CI on the
+/// same analysis the report visualizes.
+fn run_timing(source: &str, spec_path: &str, opts: &Options) -> Result<ExitCode, String> {
+    let libs = builtin_libraries();
+    let spec = splice_spec::parse(source).map_err(|errors| {
+        for e in &errors {
+            eprintln!("{}", e.render_at(source, spec_path));
+        }
+        format!("{} specification error(s); no timing report", errors.len())
+    })?;
+    let validated = splice_spec::validate::validate(&spec, &libs.spec_registry())
+        .map_err(|e| e.render_at(source, spec_path))?;
+    let ir = elaborate(&validated.module);
+    let modules = splice_core::hdlgen::design_modules(&ir, "timing")
+        .map_err(|e| format!("HDL generation is impossible: {e}"))?;
+
+    let report = splice::timing_report(&ir, &modules, opts.top_paths)?;
+    if opts.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    let mut lint = splice_lint::LintReport::new();
+    splice_lint::lint_timing(&modules, &mut lint);
+    splice_lint::lint_estimate(&ir, &modules, &mut lint);
+    if !lint.is_clean() {
+        eprint!("{}", lint.render_text());
+    }
+    Ok(if lint.fails(opts.deny_warnings) { ExitCode::FAILURE } else { ExitCode::SUCCESS })
 }
 
 /// Synthesize plausible arguments for one driver call to `f`: scalars get

@@ -28,6 +28,7 @@ pub mod flat;
 pub mod fold;
 pub mod graph;
 pub mod lower;
+pub mod timing;
 pub mod tv;
 
 pub use domain::AbsVal;
@@ -36,4 +37,5 @@ pub use facts::{FactTable, SignalFacts};
 pub use flat::{CompileError, CompiledDesign, Kind, SignalInfo};
 pub use fold::{fold, FoldStats};
 pub use lower::{two_state_eval, two_state_initial, two_state_step, StepFn, TwoState};
+pub use timing::{analyze_timing, Endpoint, EndpointKind, Timing};
 pub use tv::TWord;

@@ -15,6 +15,13 @@
 //!   instantiation errors, combinational loops, inferred latches,
 //!   cross-backend identifier hazards, undeclared references, out-port
 //!   read-back.
+//! * **dataflow** (`SL05xx`): abstract interpretation over the flattened
+//!   transition relation — provably-constant signals, dead branches,
+//!   truncations, X-reachable registers, dead cones.
+//! * **timing** (`SL06xx`): structural levelization over the same
+//!   flattened netlist — depth budgets, fan-out budgets, register-free
+//!   input→output paths, width blowups, and netlist-vs-estimate
+//!   resource divergence.
 //!
 //! Entry points: [`lint_source`] runs every layer from specification text;
 //! [`lint_design`] runs the IR and HDL layers over an elaborated design;
@@ -27,12 +34,14 @@ pub mod diag;
 pub mod hdl_rules;
 pub mod ir_rules;
 pub mod spec_rules;
+pub mod timing_rules;
 
 pub use dataflow_rules::lint_dataflow;
 pub use diag::{Diagnostic, Layer, LintReport, Location, Severity};
 pub use hdl_rules::lint_modules;
 pub use ir_rules::lint_ir;
 pub use spec_rules::lint_spec;
+pub use timing_rules::{lint_estimate, lint_timing, TimingLimits};
 
 use splice_core::hdlgen::design_modules;
 use splice_core::DesignIr;
@@ -91,6 +100,11 @@ pub const CODES: &[(&str, &str)] = &[
     ("SL0506", "logic cone has no path to an output or checked property"),
     ("SL0507", "register is only ever assigned its own value"),
     ("SL0508", "compiled two-state backend pins a possibly-X register to a fill value"),
+    ("SL0600", "critical path exceeds the logic-depth budget"),
+    ("SL0601", "net fans out to more nodes than the budget allows"),
+    ("SL0602", "output is driven from an input with no register on the path"),
+    ("SL0603", "operator chain balloons an intermediate width before narrowing"),
+    ("SL0604", "netlist-grade resource bill diverges from the IR estimate beyond tolerance"),
 ];
 
 /// The one-line catalogue entry for a rule code, as printed by
@@ -131,6 +145,8 @@ fn lint_generated_hdl(ir: &DesignIr, report: &mut LintReport) {
         Ok(modules) => {
             lint_modules(&modules, report);
             lint_dataflow(&modules, report);
+            lint_timing(&modules, report);
+            lint_estimate(ir, &modules, report);
         }
         Err(e) => report.push(Diagnostic::error(
             "SL0203",

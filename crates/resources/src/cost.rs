@@ -30,15 +30,32 @@ impl Resources {
     }
 
     /// Percentage difference of `self` relative to `baseline` in slices
-    /// (positive = larger than baseline).
+    /// (positive = larger than baseline). A zero baseline has no meaningful
+    /// percentage: the result is `0.0` only when `self` is also empty, and
+    /// [`f64::INFINITY`] otherwise — render it with [`pct_str`], which says
+    /// `n/a` instead of a misleading `+0.0%`.
     pub fn pct_vs(&self, baseline: &Resources) -> f64 {
         let a = self.slices() as f64;
         let b = baseline.slices() as f64;
         if b == 0.0 {
-            0.0
+            if a == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             (a - b) / b * 100.0
         }
+    }
+}
+
+/// Render a [`Resources::pct_vs`] result for humans: `+12.3%` / `-4.0%`,
+/// or `n/a` for the infinite ratio against an empty baseline.
+pub fn pct_str(pct: f64) -> String {
+    if pct.is_finite() {
+        format!("{pct:+.1}%")
+    } else {
+        "n/a".to_string()
     }
 }
 
@@ -106,7 +123,18 @@ mod tests {
         let small = Resources::new(100, 100);
         assert!((big.pct_vs(&small) - 100.0).abs() < 1e-9);
         assert!((small.pct_vs(&big) + 50.0).abs() < 1e-9);
-        assert_eq!(small.pct_vs(&Resources::ZERO), 0.0);
+    }
+
+    #[test]
+    fn pct_vs_zero_baseline() {
+        // Non-empty vs empty is not "0% bigger" — it is off the scale.
+        let small = Resources::new(100, 100);
+        assert_eq!(small.pct_vs(&Resources::ZERO), f64::INFINITY);
+        // Empty vs empty genuinely is no difference.
+        assert_eq!(Resources::ZERO.pct_vs(&Resources::ZERO), 0.0);
+        assert_eq!(pct_str(small.pct_vs(&Resources::ZERO)), "n/a");
+        assert_eq!(pct_str(25.04), "+25.0%");
+        assert_eq!(pct_str(-50.0), "-50.0%");
     }
 
     #[test]

@@ -15,6 +15,8 @@
 
 pub mod cost;
 pub mod estimate;
+pub mod netlist;
 
-pub use cost::Resources;
+pub use cost::{pct_str, Resources};
 pub use estimate::{arbiter_cost, design_cost, interface_cost, stub_cost, ResourceReport};
+pub use netlist::{netlist_cost, NetlistBill};

@@ -1,0 +1,334 @@
+//! Netlist-grade resource bill over the flattened design.
+//!
+//! [`crate::estimate`] prices a design from IR heuristics — before any HDL
+//! exists. This module prices the *actual* flattened logic: it walks every
+//! node of a [`CompiledDesign`] and applies the same Virtex-4 calibration
+//! rules to the operators and muxes that are really there:
+//!
+//! * *n*-bit equality/inequality comparator ≈ ⌈*n*/2⌉ LUTs (two bits per
+//!   4-LUT plus carry); magnitude comparators and adders/subtractors cost
+//!   the full carry chain, *n* LUTs;
+//! * bitwise and/or ≈ ⌈*n*/2⌉ LUTs, complement folds into the consuming
+//!   LUT for free; slices and concatenations are wiring;
+//! * every `if`/`case` is a priority mux: an *m*-alternative construct
+//!   writing an *n*-bit signal costs *n*·⌈*m*/2⌉ LUTs per written signal,
+//!   charged per nesting level (nested selects are real extra stages);
+//! * every register bit is one flip-flop, charged to the clocked node that
+//!   drives it.
+//!
+//! The absolute numbers inherit the estimate module's caveat — calibration,
+//! not synthesis — but because both models share the same constants, their
+//! *ratio* is meaningful: SL0604 flags designs where the netlist bill
+//! diverges from the IR estimate beyond tolerance.
+
+use crate::cost::Resources;
+use splice_dataflow::flat::{CExpr, CNode, CStmt, CompiledDesign, Kind};
+use splice_dataflow::timing::expr_width;
+use splice_hdl::BinOp;
+
+/// Itemised netlist bill: one entry per flattened node, in execution order
+/// (clocked nodes first, then the combinational schedule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistBill {
+    /// Flattened top module this was billed from.
+    pub module: String,
+    /// (node site, cost) pairs; clocked nodes carry the FFs of the
+    /// registers they drive.
+    pub items: Vec<(String, Resources)>,
+}
+
+impl NetlistBill {
+    /// Total cost across all nodes.
+    pub fn total(&self) -> Resources {
+        self.items.iter().map(|(_, c)| *c).sum()
+    }
+
+    /// Summed cost of the nodes whose site passes `keep` — e.g. only the
+    /// module-local nodes (site without a `.`).
+    pub fn total_where(&self, keep: impl Fn(&str) -> bool) -> Resources {
+        self.items.iter().filter(|(s, _)| keep(s)).map(|(_, c)| *c).sum()
+    }
+}
+
+/// LUTs for one operator application of width `w`.
+fn op_luts(op: BinOp, w: u32) -> u32 {
+    match op {
+        BinOp::Eq | BinOp::Ne => w.div_ceil(2),
+        BinOp::Lt | BinOp::Ge => w,
+        BinOp::Add | BinOp::Sub => w,
+        BinOp::And | BinOp::Or => w.div_ceil(2),
+    }
+}
+
+/// LUTs for every operator in an expression tree.
+fn expr_luts(d: &CompiledDesign, e: &CExpr) -> u32 {
+    match e {
+        CExpr::Sig(_) | CExpr::Lit(_) => 0,
+        CExpr::Bin { op, lhs, rhs } => {
+            let w = expr_width(d, lhs).max(expr_width(d, rhs));
+            op_luts(*op, w) + expr_luts(d, lhs) + expr_luts(d, rhs)
+        }
+        // Complement is absorbed into the consuming LUT's truth table.
+        CExpr::Not(inner) => expr_luts(d, inner),
+        CExpr::Slice { base, .. } => expr_luts(d, base),
+        CExpr::Concat(parts) => parts.iter().map(|p| expr_luts(d, p)).sum(),
+    }
+}
+
+/// Distinct signals assigned anywhere in a statement subtree.
+fn collect_writes(body: &[CStmt], out: &mut Vec<usize>) {
+    for s in body {
+        match s {
+            CStmt::Assign { lhs, .. } => {
+                if !out.contains(lhs) {
+                    out.push(*lhs);
+                }
+            }
+            CStmt::If { then, elifs, els, .. } => {
+                collect_writes(then, out);
+                for (_, b) in elifs {
+                    collect_writes(b, out);
+                }
+                if let Some(b) = els {
+                    collect_writes(b, out);
+                }
+            }
+            CStmt::Case { arms, default, .. } => {
+                for (_, b) in arms {
+                    collect_writes(b, out);
+                }
+                if let Some(b) = default {
+                    collect_writes(b, out);
+                }
+            }
+        }
+    }
+}
+
+/// Mux charge for one m-alternative construct over a statement subtree:
+/// n·⌈m/2⌉ LUTs per written signal of width n (the estimate module's mux
+/// rule, applied to the real write set).
+fn mux_luts(d: &CompiledDesign, bodies: &[&[CStmt]], ways: u32) -> u32 {
+    let mut written = Vec::new();
+    for b in bodies {
+        collect_writes(b, &mut written);
+    }
+    let bits: u32 = written.iter().map(|&w| d.signals[w].width).sum();
+    bits * ways.div_ceil(2)
+}
+
+/// LUTs for a statement body: operator cost of every expression plus one
+/// mux charge per `if`/`case` level.
+fn stmt_luts(d: &CompiledDesign, body: &[CStmt]) -> u32 {
+    let mut luts = 0;
+    for s in body {
+        match s {
+            CStmt::Assign { rhs, .. } => luts += expr_luts(d, rhs),
+            CStmt::If { cond, then, elifs, els, .. } => {
+                luts += expr_luts(d, cond);
+                luts += stmt_luts(d, then);
+                let mut bodies: Vec<&[CStmt]> = vec![then];
+                for (c, b) in elifs {
+                    luts += expr_luts(d, c);
+                    luts += stmt_luts(d, b);
+                    bodies.push(b);
+                }
+                if let Some(b) = els {
+                    luts += stmt_luts(d, b);
+                    bodies.push(b);
+                }
+                // +1 way for the implicit hold path when there is no else.
+                let ways = bodies.len() as u32 + u32::from(els.is_none());
+                luts += mux_luts(d, &bodies, ways);
+            }
+            CStmt::Case { expr, arms, default } => {
+                luts += expr_luts(d, expr);
+                let mut bodies: Vec<&[CStmt]> = Vec::new();
+                for (_, b) in arms {
+                    luts += stmt_luts(d, b);
+                    bodies.push(b);
+                }
+                if let Some(b) = default {
+                    luts += stmt_luts(d, b);
+                    bodies.push(b);
+                }
+                let ways = bodies.len() as u32 + u32::from(default.is_none());
+                luts += mux_luts(d, &bodies, ways);
+            }
+        }
+    }
+    luts
+}
+
+/// Cost of one flattened node. `charge_ffs` marks the registers this node
+/// may still claim: each register bit is billed exactly once, to the first
+/// clocked node that writes it.
+fn node_cost(d: &CompiledDesign, node: &CNode, charge_ffs: Option<&mut Vec<bool>>) -> Resources {
+    let luts = stmt_luts(d, &node.body);
+    let mut ffs = 0;
+    if let Some(claimed) = charge_ffs {
+        for &w in &node.writes {
+            if matches!(d.signals[w].kind, Kind::Register) && !claimed[w] {
+                claimed[w] = true;
+                ffs += d.signals[w].width;
+            }
+        }
+    }
+    Resources::new(luts, ffs)
+}
+
+/// Bill every flattened node of a compiled design.
+pub fn netlist_cost(d: &CompiledDesign) -> NetlistBill {
+    let mut claimed = vec![false; d.signals.len()];
+    let mut items = Vec::new();
+    for node in &d.clocked {
+        items.push((node.site.clone(), node_cost(d, node, Some(&mut claimed))));
+    }
+    for node in &d.comb_order {
+        items.push((node.site.clone(), node_cost(d, node, None)));
+    }
+    NetlistBill { module: d.name.clone(), items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_hdl::{Decl, Expr, Item, Module, Port, Process, Stmt};
+
+    fn compile(m: Module) -> CompiledDesign {
+        let name = m.name.clone();
+        CompiledDesign::compile(&[m], &name).unwrap()
+    }
+
+    #[test]
+    fn operator_widths_price_the_carry_chain() {
+        // Y = A + B over 32 bits: one full 32-LUT carry chain, no FFs.
+        let m = Module {
+            name: "add".into(),
+            header: vec![],
+            ports: vec![Port::input("A", 32), Port::input("B", 32), Port::output("Y", 32)],
+            decls: vec![],
+            items: vec![Item::Assign { lhs: "Y".into(), rhs: Expr::sig("A").add(Expr::sig("B")) }],
+        };
+        let bill = netlist_cost(&compile(m));
+        assert_eq!(bill.total(), Resources::new(32, 0));
+    }
+
+    #[test]
+    fn comparators_cost_half_a_lut_per_bit() {
+        let m = Module {
+            name: "cmp".into(),
+            header: vec![],
+            ports: vec![Port::input("A", 8), Port::output("Y", 1)],
+            decls: vec![],
+            items: vec![Item::Assign { lhs: "Y".into(), rhs: Expr::sig("A").eq(Expr::lit(5, 8)) }],
+        };
+        let bill = netlist_cost(&compile(m));
+        assert_eq!(bill.total(), Resources::new(4, 0), "8-bit eq ≈ 4 LUTs");
+    }
+
+    #[test]
+    fn registers_bill_one_ff_per_bit_once() {
+        // Two clocked processes writing the same 8-bit register: 8 FFs, not 16.
+        let m = Module {
+            name: "reg".into(),
+            header: vec![],
+            ports: vec![Port::input("D", 8), Port::output("Q", 8)],
+            decls: vec![Decl::Signal { name: "r".into(), width: 8, init: Some(0) }],
+            items: vec![
+                Item::Process(Process {
+                    label: "p1".into(),
+                    clocked: true,
+                    body: vec![Stmt::assign("r", Expr::sig("D"))],
+                }),
+                Item::Process(Process {
+                    label: "p2".into(),
+                    clocked: true,
+                    body: vec![Stmt::assign("r", Expr::sig("D"))],
+                }),
+                Item::Assign { lhs: "Q".into(), rhs: Expr::sig("r") },
+            ],
+        };
+        let bill = netlist_cost(&compile(m));
+        assert_eq!(bill.total().ffs, 8);
+    }
+
+    #[test]
+    fn if_without_else_still_pays_the_hold_mux() {
+        // if C then r <= D: two-way select (load vs hold) on 8 bits = 8 LUTs.
+        let m = Module {
+            name: "hold".into(),
+            header: vec![],
+            ports: vec![Port::input("C", 1), Port::input("D", 8), Port::output("Q", 8)],
+            decls: vec![Decl::Signal { name: "r".into(), width: 8, init: Some(0) }],
+            items: vec![
+                Item::Process(Process {
+                    label: "p".into(),
+                    clocked: true,
+                    body: vec![Stmt::if_then(
+                        Expr::sig("C"),
+                        vec![Stmt::assign("r", Expr::sig("D"))],
+                    )],
+                }),
+                Item::Assign { lhs: "Q".into(), rhs: Expr::sig("r") },
+            ],
+        };
+        let bill = netlist_cost(&compile(m));
+        assert_eq!(bill.total(), Resources::new(8, 8));
+    }
+
+    #[test]
+    fn case_ways_scale_the_mux() {
+        // 4-arm case writing a 4-bit signal: 4·⌈5/2⌉ (arms + implicit
+        // hold) = 12 LUTs of mux plus the selector compare is free (case
+        // decode is folded into the mux rule here).
+        let arms: Vec<(u64, Vec<Stmt>)> =
+            (0..4).map(|v| (v, vec![Stmt::assign("r", Expr::lit(v, 4))])).collect();
+        let m = Module {
+            name: "fsm".into(),
+            header: vec![],
+            ports: vec![Port::input("S", 2), Port::output("Q", 4)],
+            decls: vec![Decl::Signal { name: "r".into(), width: 4, init: Some(0) }],
+            items: vec![
+                Item::Process(Process {
+                    label: "p".into(),
+                    clocked: true,
+                    body: vec![Stmt::Case { expr: Expr::sig("S"), arms, default: None }],
+                }),
+                Item::Assign { lhs: "Q".into(), rhs: Expr::sig("r") },
+            ],
+        };
+        let bill = netlist_cost(&compile(m));
+        assert_eq!(bill.total(), Resources::new(4 * 3, 4));
+    }
+
+    #[test]
+    fn sites_are_itemised_and_filterable() {
+        let child = Module {
+            name: "leaf".into(),
+            header: vec![],
+            ports: vec![Port::input("I", 4), Port::output("O", 4)],
+            decls: vec![],
+            items: vec![Item::Assign { lhs: "O".into(), rhs: Expr::sig("I").add(Expr::lit(1, 4)) }],
+        };
+        let top = Module {
+            name: "top".into(),
+            header: vec![],
+            ports: vec![Port::input("I", 4), Port::output("O", 4)],
+            decls: vec![Decl::Signal { name: "m".into(), width: 4, init: None }],
+            items: vec![
+                Item::Instance(splice_hdl::Instance {
+                    label: "u0".into(),
+                    module: "leaf".into(),
+                    connections: vec![("I".into(), "I".into()), ("O".into(), "m".into())],
+                }),
+                Item::Assign { lhs: "O".into(), rhs: Expr::sig("m").add(Expr::lit(1, 4)) },
+            ],
+        };
+        let d = CompiledDesign::compile(&[top, child], "top").unwrap();
+        let bill = netlist_cost(&d);
+        assert_eq!(bill.total().luts, 8, "two 4-bit adders");
+        let local = bill.total_where(|site| !site.contains('.'));
+        assert_eq!(local.luts, 4, "only the top-level adder is local");
+    }
+}

@@ -53,6 +53,7 @@
 //! [`splice_devices`], [`splice_lint`].
 
 pub mod pipeline;
+pub mod timing;
 
 pub use splice_buses as buses;
 pub use splice_check as check;
@@ -69,6 +70,7 @@ pub use splice_spec as spec;
 
 pub use pipeline::{run_pipeline, PipelineError, PipelineOptions, PipelineOutput};
 pub use splice_spec::{parse, parse_and_validate};
+pub use timing::{design_timing, timing_report, ModuleTiming, PathReport, TimingReport};
 
 /// The names most programs need.
 pub mod prelude {

@@ -163,6 +163,8 @@ pub fn run_pipeline(
         splice_lint::lint_ir(&ir, &mut lint);
         splice_lint::lint_modules(&modules, &mut lint);
         splice_lint::lint_dataflow(&modules, &mut lint);
+        splice_lint::lint_timing(&modules, &mut lint);
+        splice_lint::lint_estimate(&ir, &modules, &mut lint);
         trace::attr("errors", lint.error_count() as u64);
         trace::attr("warnings", lint.warning_count() as u64);
         lint
