@@ -1,0 +1,328 @@
+//! Daemon throughput and recovery benchmark: drive a real `splice-serve`
+//! process over its Unix socket and measure what the supervision
+//! machinery costs and buys.
+//!
+//! Phases:
+//!
+//! 1. **cold** — every example spec submitted once (cache empty): the
+//!    full worker round-trip, per-spec latency.
+//! 2. **warm** — the same specs again × `--warm-rounds`: served from the
+//!    content cache, no worker touched.
+//! 3. **recovery** — a batch of distinct jobs from several concurrent
+//!    client connections while the harness SIGKILLs a live worker
+//!    mid-batch; every job must still be answered exactly once.
+//!
+//! The daemon binary is found via `SPLICE_SERVE_BIN`, falling back to a
+//! `splice-serve` sibling of this executable (both live in
+//! `target/<profile>/` after `cargo build -p splice-serve`).
+//!
+//! Usage: `cargo run --release -p splice-bench --bin serve_bench [-- OPTIONS]`
+//!
+//! * `--smoke` — small batch sizes (CI).
+//! * `--workers N` / `--batch N` / `--warm-rounds N` — scale knobs.
+//!
+//! Writes `BENCH_SERVE.json` into the working directory.
+
+use splice_obs::json::JsonValue;
+use splice_serve::protocol::JobVerdict;
+use splice_serve::{Client, JobOptions, Request, Response};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_bench: {msg}");
+    std::process::exit(2);
+}
+
+fn daemon_binary() -> PathBuf {
+    if let Ok(p) = std::env::var("SPLICE_SERVE_BIN") {
+        return PathBuf::from(p);
+    }
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("splice-serve")))
+        .unwrap_or_default();
+    if sibling.exists() {
+        return sibling;
+    }
+    fail(
+        "cannot find the splice-serve binary: set SPLICE_SERVE_BIN or \
+         `cargo build -p splice-serve` with the same profile first",
+    );
+}
+
+fn load_specs() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs");
+    let mut specs = Vec::new();
+    for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| fail(&format!("examples: {e}"))) {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "splice") {
+            let name =
+                path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("read {}: {e}", path.display())));
+            specs.push((name, text));
+        }
+    }
+    specs.sort();
+    if specs.is_empty() {
+        fail("no example specs found");
+    }
+    specs
+}
+
+struct Daemon {
+    child: Child,
+    socket: String,
+    dir: PathBuf,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn spawn_daemon(workers: usize) -> Daemon {
+    let dir = std::env::temp_dir().join(format!("splice-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| fail(&format!("tmp dir: {e}")));
+    let socket = dir.join("bench.sock").to_string_lossy().into_owned();
+    let mut cmd = Command::new(daemon_binary());
+    cmd.arg("--socket").arg(&socket).args(["--workers", &workers.to_string()]).args([
+        "--per-client",
+        "1024",
+        "--queue-cap",
+        "1024",
+    ]);
+    cmd.env_remove("SPLICE_FAULT");
+    cmd.stdout(Stdio::null()).stderr(Stdio::inherit());
+    let child = cmd.spawn().unwrap_or_else(|e| fail(&format!("spawn daemon: {e}")));
+    Daemon { child, socket, dir }
+}
+
+fn connect(daemon: &Daemon) -> Client {
+    let mut c = Client::connect_with_retry(&daemon.socket, Duration::from_secs(10))
+        .unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    c.set_read_timeout(Some(Duration::from_secs(120))).expect("timeout");
+    c
+}
+
+/// Submit one spec, expect an `Ok` verdict; return (latency_ms, cached).
+fn run_one(client: &mut Client, spec: &str) -> (u64, bool) {
+    let t0 = Instant::now();
+    match client.generate(spec, JobOptions::default()) {
+        Ok(Response::Result { cached, verdict: JobVerdict::Ok { .. }, .. }) => {
+            (t0.elapsed().as_millis() as u64, cached)
+        }
+        Ok(other) => fail(&format!("unexpected response: {other:?}")),
+        Err(e) => fail(&format!("round trip: {e}")),
+    }
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn summarize(mut lat: Vec<u64>) -> (u64, u64, u64) {
+    lat.sort_unstable();
+    (
+        quantile(&lat, 0.5),
+        quantile(&lat, 0.99),
+        lat.iter().sum::<u64>().max(1) / lat.len().max(1) as u64,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workers = 4usize;
+    let mut batch = 100usize;
+    let mut warm_rounds = 20usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                batch = 24;
+                warm_rounds = 4;
+                i += 1;
+            }
+            "--workers" | "--batch" | "--warm-rounds" => {
+                let v = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| fail(&format!("{} needs a number", args[i])));
+                match args[i].as_str() {
+                    "--workers" => workers = v.max(1),
+                    "--batch" => batch = v.max(1),
+                    _ => warm_rounds = v.max(1),
+                }
+                i += 2;
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let specs = load_specs();
+    let daemon = spawn_daemon(workers);
+    let mut client = connect(&daemon);
+
+    // Phase 1: cold — every spec through a worker.
+    let mut cold = Vec::new();
+    for (name, text) in &specs {
+        let (ms, cached) = run_one(&mut client, text);
+        assert!(!cached, "cold run of {name} must miss the cache");
+        cold.push(ms);
+        println!("cold  {name:<12} {ms:>5} ms");
+    }
+
+    // Phase 2: warm — identical submissions served from the cache.
+    let mut warm = Vec::new();
+    for _ in 0..warm_rounds {
+        for (name, text) in &specs {
+            let (ms, cached) = run_one(&mut client, text);
+            assert!(cached, "warm run of {name} must hit the cache");
+            warm.push(ms);
+        }
+    }
+    let warm_jobs = warm.len();
+    println!("warm  {warm_jobs} cache hits");
+
+    // Phase 3: recovery — concurrent distinct jobs while a worker dies.
+    let status = JsonValue::parse(&client.status().unwrap_or_else(|e| fail(&format!("{e}"))))
+        .unwrap_or_else(|e| fail(&format!("status json: {e}")));
+    let victim = status
+        .get("workers")
+        .and_then(JsonValue::as_array)
+        .and_then(|pids| pids.iter().filter_map(JsonValue::as_u64).find(|&p| p != 0))
+        .unwrap_or_else(|| fail("no live worker pid in status"));
+
+    const CLIENTS: usize = 4;
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let socket = daemon.socket.clone();
+            let template = specs[c % specs.len()].1.clone();
+            let jobs = batch / CLIENTS;
+            std::thread::spawn(move || {
+                let mut cl =
+                    Client::connect_with_retry(&socket, Duration::from_secs(10)).expect("connect");
+                cl.set_read_timeout(Some(Duration::from_secs(120))).expect("timeout");
+                for j in 0..jobs {
+                    let id = cl.next_id();
+                    let spec = format!("/* recovery c{c} j{j} */\n{template}");
+                    cl.send(&Request::Generate { id, spec, options: JobOptions::default() })
+                        .expect("send");
+                }
+                let mut ids = Vec::new();
+                let mut lat = Vec::new();
+                let t = Instant::now();
+                for _ in 0..jobs {
+                    match cl.recv().expect("recv").expect("no early EOF") {
+                        Response::Result { id, verdict: JobVerdict::Ok { .. }, .. } => {
+                            ids.push(id);
+                            lat.push(t.elapsed().as_millis() as u64);
+                        }
+                        other => panic!("recovery job failed: {other:?}"),
+                    }
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                assert_eq!(ids.len(), jobs, "duplicated or lost responses");
+                lat
+            })
+        })
+        .collect();
+    // Kill a worker out from under the batch. On a fast machine the whole
+    // batch may already have drained — an idle worker's death is only
+    // *detected* at the next dispatch — so a post-kill sweep below forces
+    // every slot to dispatch again.
+    std::thread::sleep(Duration::from_millis(10));
+    assert!(splice_obs::interrupt::send_signal(victim as u32, 9), "SIGKILL worker");
+    println!("kill  SIGKILL worker pid {victim} mid-batch");
+    let mut recovery = Vec::new();
+    for h in handles {
+        recovery.extend(h.join().expect("client thread"));
+    }
+    let recovery_wall_ms = t0.elapsed().as_millis() as u64;
+    let recovered = recovery.len();
+    println!("rec   {recovered} jobs answered in {recovery_wall_ms} ms despite the kill");
+
+    // Post-kill sweep: a pipelined burst wide enough that the murdered
+    // slot must pop a job, hit the broken pipe, restart, and retry.
+    let sweep = 4 * workers.max(1);
+    for j in 0..sweep {
+        let id = client.next_id();
+        let spec = format!("/* sweep {j} */\n{}", specs[0].1);
+        client
+            .send(&Request::Generate { id, spec, options: JobOptions::default() })
+            .unwrap_or_else(|e| fail(&format!("sweep send: {e}")));
+    }
+    for _ in 0..sweep {
+        match client.recv() {
+            Ok(Some(Response::Result { verdict: JobVerdict::Ok { .. }, .. })) => {}
+            other => fail(&format!("sweep job failed: {other:?}")),
+        }
+    }
+
+    // Final books from the daemon itself; the restart counter may trail
+    // the sweep by a beat, so poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let (status, restarts) = loop {
+        let status = JsonValue::parse(&client.status().unwrap_or_else(|e| fail(&format!("{e}"))))
+            .unwrap_or_else(|e| fail(&format!("status json: {e}")));
+        let restarts = status
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("serve.worker.restarts"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        if restarts >= 1 || Instant::now() >= deadline {
+            break (status, restarts);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let hits =
+        status.get("cache").and_then(|c| c.get("hits")).and_then(JsonValue::as_u64).unwrap_or(0);
+    let misses =
+        status.get("cache").and_then(|c| c.get("misses")).and_then(JsonValue::as_u64).unwrap_or(0);
+    assert!(restarts >= 1, "the killed worker must have been restarted");
+
+    // Graceful drain: ask the daemon to shut down, expect exit 0.
+    client.shutdown().unwrap_or_else(|e| fail(&format!("shutdown: {e}")));
+    let mut daemon = daemon;
+    let code = daemon.child.wait().expect("daemon exit").code();
+    assert_eq!(code, Some(0), "daemon must drain and exit cleanly");
+
+    let (cold_p50, cold_p99, cold_mean) = summarize(cold);
+    let (warm_p50, warm_p99, warm_mean) = summarize(warm);
+    let (rec_p50, rec_p99, _) = summarize(recovery);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+
+    println!("\nphase      p50_ms  p99_ms");
+    println!("cold     {cold_p50:>8} {cold_p99:>7}");
+    println!("warm     {warm_p50:>8} {warm_p99:>7}");
+    println!("recovery {rec_p50:>8} {rec_p99:>7}");
+    println!("cache hit rate {:.3}, worker restarts {restarts}", hit_rate);
+
+    let mut json = String::from("{\"experiment\":\"serve_bench\",");
+    let _ = write!(
+        json,
+        "\"workers\":{workers},\"specs\":{},\"batch\":{batch},\
+         \"cold\":{{\"jobs\":{},\"p50_ms\":{cold_p50},\"p99_ms\":{cold_p99},\"mean_ms\":{cold_mean}}},\
+         \"warm\":{{\"jobs\":{warm_jobs},\"p50_ms\":{warm_p50},\"p99_ms\":{warm_p99},\"mean_ms\":{warm_mean}}},\
+         \"recovery\":{{\"jobs\":{recovered},\"wall_ms\":{recovery_wall_ms},\"p50_ms\":{rec_p50},\"p99_ms\":{rec_p99},\"worker_restarts\":{restarts}}},\
+         \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4}}}}}",
+        specs.len(),
+        specs.len(),
+    );
+    std::fs::write("BENCH_SERVE.json", &json).expect("write BENCH_SERVE.json");
+    println!("\nwrote BENCH_SERVE.json");
+}

@@ -31,7 +31,17 @@ pub struct ExploreSpec {
     pub max_states: usize,
     /// Do not expand states deeper than this many steps past reset.
     pub max_depth: u32,
+    /// Polled between state expansions (every
+    /// [`STOP_POLL_INTERVAL`] pops): when it returns true the
+    /// search stops where it is and reports `interrupted`, so a Ctrl-C'd
+    /// `splice check` flushes a partial report instead of dying mid-BFS.
+    pub stop: Option<fn() -> bool>,
 }
+
+/// How many frontier pops happen between two polls of
+/// [`ExploreSpec::stop`] — cheap enough to keep exploration throughput
+/// unchanged, frequent enough that an interrupt lands within milliseconds.
+pub const STOP_POLL_INTERVAL: u32 = 512;
 
 /// A safety violation found by the BFS.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +73,9 @@ pub struct BfsOutcome {
     pub complete: bool,
     /// True when `max_states` stopped the search.
     pub budget_exhausted: bool,
+    /// True when [`ExploreSpec::stop`] stopped the search (SIGINT): the
+    /// outcome covers only the prefix explored so far.
+    pub interrupted: bool,
     /// True when some states were left unexpanded at `max_depth`.
     pub depth_capped: bool,
     /// Largest number of states ever waiting in the BFS frontier — a proxy
@@ -151,6 +164,7 @@ pub fn explore(
             reachable: 1,
             complete: false,
             budget_exhausted: false,
+            interrupted: false,
             depth_capped: false,
             frontier_peak: 0,
             violation: Some((v, trace)),
@@ -161,9 +175,21 @@ pub fn explore(
     queue.push_back(0usize);
     let mut budget_exhausted = false;
     let mut depth_capped = false;
+    let mut interrupted = false;
     let mut frontier_peak = queue.len();
+    let mut since_stop_poll = 0u32;
 
     while let Some(idx) = queue.pop_front() {
+        if let Some(stop) = spec.stop {
+            since_stop_poll += 1;
+            if since_stop_poll >= STOP_POLL_INTERVAL {
+                since_stop_poll = 0;
+                if stop() {
+                    interrupted = true;
+                    break;
+                }
+            }
+        }
         if stored[idx].depth >= spec.max_depth {
             depth_capped = true;
             continue;
@@ -186,6 +212,7 @@ pub fn explore(
                                 reachable: stored.len(),
                                 complete: false,
                                 budget_exhausted: false,
+                                interrupted: false,
                                 depth_capped,
                                 frontier_peak,
                                 violation: Some((v, trace)),
@@ -211,8 +238,9 @@ pub fn explore(
 
     BfsOutcome {
         reachable: stored.len(),
-        complete: !budget_exhausted && !depth_capped,
+        complete: !budget_exhausted && !depth_capped && !interrupted,
         budget_exhausted,
+        interrupted,
         depth_capped,
         frontier_peak,
         violation: None,

@@ -73,6 +73,12 @@ pub struct CheckOptions {
     /// may still read as X after reset — the lowering pins such bits to
     /// an arbitrary fill value.
     pub backend: Backend,
+    /// Polled at state-expansion and module boundaries: when it returns
+    /// true (the CLI wires it to the SIGINT flag in
+    /// `splice_obs::interrupt`), exploration stops where it is, the
+    /// outcome is marked interrupted, and the partial report is still
+    /// rendered instead of the process dying mid-write.
+    pub stop: Option<fn() -> bool>,
 }
 
 impl Default for CheckOptions {
@@ -84,6 +90,7 @@ impl Default for CheckOptions {
             replay: true,
             fold: true,
             backend: Backend::Gated,
+            stop: None,
         }
     }
 }
@@ -407,6 +414,18 @@ fn record_bfs(
             ),
         ));
     }
+    if out.interrupted {
+        report.push(Diagnostic::warning(
+            "SL0406",
+            Layer::Hdl,
+            Location::path(module),
+            format!(
+                "exploration interrupted (SIGINT) after {} state(s); safety was only verified \
+                 over the explored prefix",
+                out.reachable
+            ),
+        ));
+    }
     stats.push(ModuleStats {
         module: module.to_owned(),
         reachable: out.reachable,
@@ -547,6 +566,7 @@ pub fn check_modules(
             data_domain: vec![0, 1],
             max_states: opts.max_states,
             max_depth: opts.max_depth,
+            stop: opts.stop,
         };
         // X-safety checks every register and the observed outputs, so the
         // fold must keep the whole contract surface observable.
@@ -563,8 +583,15 @@ pub fn check_modules(
             splice_obs::trace::attr("frontier_peak", out.frontier_peak as u64);
             out
         };
+        let interrupted = out.interrupted;
         record_bfs(&mod_name, &d, out, opts, &mut report, &mut cexs, &mut stats);
         compiled.insert(mod_name, d);
+        if interrupted {
+            // SIGINT: skip the remaining per-stub explorations (each would
+            // observe the same flag immediately anyway) and fall through so
+            // the partial report still renders.
+            break;
+        }
     }
 
     // Composed design: the arbiter with every instance, checking that the
@@ -621,6 +648,7 @@ pub fn check_modules(
             reachable: 0,
             complete: true,
             budget_exhausted: false,
+            interrupted: false,
             depth_capped: false,
             frontier_peak: 0,
             violation: None,
@@ -635,6 +663,7 @@ pub fn check_modules(
                 data_domain: vec![0],
                 max_states: opts.max_states,
                 max_depth: opts.max_depth,
+                stop: opts.stop,
             };
             let out = explore::explore(&dx, &pins, &spec, &groups);
             // Aggregate: reachable counts sum over pair runs (their state
@@ -643,10 +672,14 @@ pub fn check_modules(
             total.reachable += out.reachable;
             total.complete &= out.complete;
             total.budget_exhausted |= out.budget_exhausted;
+            total.interrupted |= out.interrupted;
             total.depth_capped |= out.depth_capped;
             total.frontier_peak = total.frontier_peak.max(out.frontier_peak);
             if out.violation.is_some() {
                 total.violation = out.violation;
+                break;
+            }
+            if out.interrupted {
                 break;
             }
         }

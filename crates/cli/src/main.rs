@@ -32,6 +32,16 @@
 //! trace-event JSON file, loadable in Perfetto; `--trace-out` also works
 //! on plain generation runs (pipeline spans only).
 //!
+//! `splice serve --socket <path>` runs the generation pipeline as a
+//! long-lived daemon over a Unix socket, dispatching jobs to a supervised
+//! pool of worker processes (`splice-serve`; see `docs/serve.md`).
+//!
+//! Exit codes are structured for scripting: `0` success, `1` diagnostics
+//! denied the run (spec/lint/check findings), `2` usage errors (bad
+//! flags, unreadable spec), `3` internal failures (generation phases,
+//! I/O on outputs). Long-running subcommands (`check`, `profile`,
+//! `serve`) honor Ctrl-C at phase boundaries and flush partial reports.
+//!
 //! ```text
 //! USAGE:
 //!   splice [OPTIONS] <spec-file>
@@ -39,6 +49,7 @@
 //!   splice check [OPTIONS] <spec-file>
 //!   splice timing [OPTIONS] <spec-file>
 //!   splice profile [OPTIONS] <spec-file>
+//!   splice serve [OPTIONS]
 //! ```
 
 use splice::pipeline::{run_pipeline, PipelineError, PipelineOptions, PipelineOutput};
@@ -87,6 +98,10 @@ USAGE:
                                         critical paths, fan-out, netlist cost
   splice profile [OPTIONS] <spec-file>  simulate a per-function workload and
                                         print the kernel's component profile
+  splice serve --socket <path>          run the generation pipeline as a daemon
+                                        with a supervised worker pool (tuning
+                                        flags: --workers, --queue-cap,
+                                        --deadline-ms, …; see docs/serve.md)
 
 OPTIONS:
   -o, --out <dir>       parent directory for the device subdirectory (default .)
@@ -136,13 +151,42 @@ properties (SL04xx) in docs/model-checking.md; tracing and profiling in
 docs/observability.md.
 ";
 
+/// Structured CLI failure: the variant decides the process exit code, so
+/// scripts (and the exit-code pinning test) can tell "your input was
+/// rejected by diagnostics" from "you invoked me wrong" from "I broke".
+#[derive(Debug)]
+enum CliError {
+    /// Diagnostics denied the run (spec errors, lint/check gate) — exit 1.
+    Diag(String),
+    /// The invocation itself was wrong (flags, unreadable spec) — exit 2.
+    Usage(String),
+    /// A phase or output write failed; not the user's fault — exit 3.
+    Internal(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Diag(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Internal(_) => 3,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Diag(m) | CliError::Usage(m) | CliError::Internal(m) => m,
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
-        Err(msg) => {
-            eprintln!("splice: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("splice: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -295,7 +339,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
 }
 
 /// Run the model checker over spec text and render its outcome. Returns the
-/// process exit code: success, failure (findings), or 2 when the run could
+/// process exit code: success, failure (findings), or 3 when the run could
 /// not start at all.
 fn run_check(source: &str, opts: &Options) -> ExitCode {
     match splice_check::check_source(source, &opts.check_opts) {
@@ -313,14 +357,14 @@ fn run_check(source: &str, opts: &Options) -> ExitCode {
         }
         Err(e) => {
             eprintln!("splice check: {e}");
-            ExitCode::from(2)
+            ExitCode::from(3)
         }
     }
 }
 
 /// Run the pipeline, translating its error shape into the CLI's
 /// stderr-plus-message convention.
-fn pipeline(source: &str, spec_path: &str, opts: &Options) -> Result<PipelineOutput, String> {
+fn pipeline(source: &str, spec_path: &str, opts: &Options) -> Result<PipelineOutput, CliError> {
     let popts = PipelineOptions {
         gen_date: gen_date(),
         linux: opts.linux,
@@ -333,47 +377,64 @@ fn pipeline(source: &str, spec_path: &str, opts: &Options) -> Result<PipelineOut
             for e in &errors {
                 eprintln!("{e}");
             }
-            Err(format!("{} specification error(s); nothing generated", errors.len()))
+            Err(CliError::Diag(format!(
+                "{} specification error(s); nothing generated",
+                errors.len()
+            )))
         }
-        Err(PipelineError::Phase(msg)) => Err(msg),
+        Err(PipelineError::Phase(msg)) => Err(CliError::Internal(msg)),
     }
 }
 
 /// Apply the lint / check gates exactly as generation does: render findings
 /// to stderr, fail with a summary message.
-fn gate_reports(out: &PipelineOutput, opts: &Options) -> Result<(), String> {
+fn gate_reports(out: &PipelineOutput, opts: &Options) -> Result<(), CliError> {
     if !out.lint.is_clean() {
         eprint!("{}", out.lint.render_text());
     }
     if out.lint.fails(opts.deny_warnings) {
-        return Err(format!(
+        return Err(CliError::Diag(format!(
             "lint reported {} error(s) and {} warning(s); nothing generated",
             out.lint.error_count(),
             out.lint.warning_count()
-        ));
+        )));
     }
     if let Some(check) = &out.check {
         if !check.report.is_clean() {
             eprint!("{}", check.render_text());
         }
         if check.report.fails(opts.deny_warnings) {
-            return Err(format!(
+            return Err(CliError::Diag(format!(
                 "model check reported {} error(s) and {} warning(s); nothing generated",
                 check.report.error_count(),
                 check.report.warning_count()
-            ));
+            )));
         }
     }
     Ok(())
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
-    let Some(opts) = parse_args(args)? else {
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
+    // `splice serve …` has its own flag set (and a hidden worker mode);
+    // dispatch before the generation-oriented parser sees the args.
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve(&args[1..]);
+    }
+
+    let Some(mut opts) = parse_args(args).map_err(CliError::Usage)? else {
         return Ok(ExitCode::SUCCESS);
     };
 
+    // Long-running analysis modes honor Ctrl-C at phase boundaries: the
+    // BFS polls the flag and reports an interrupted (prefix-only) result
+    // instead of dying mid-exploration.
+    if opts.check_only || opts.profile_only || opts.check {
+        splice_obs::interrupt::install_sigint();
+        opts.check_opts.stop = Some(splice_obs::interrupt::interrupted);
+    }
+
     let source = std::fs::read_to_string(&opts.spec_file)
-        .map_err(|e| format!("cannot read {}: {e}", opts.spec_file.display()))?;
+        .map_err(|e| CliError::Usage(format!("cannot read {}: {e}", opts.spec_file.display())))?;
     let spec_path = opts.spec_file.display().to_string();
 
     // Lint-only mode: run the full three-layer analysis and report.
@@ -483,11 +544,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         let mut line = String::new();
         std::io::stdin().lock().read_line(&mut line).ok();
         if !matches!(line.trim(), "y" | "Y" | "yes") {
-            return Err("aborted by user".into());
+            return Err(CliError::Diag("aborted by user".into()));
         }
     }
     std::fs::create_dir_all(&device_dir)
-        .map_err(|e| format!("cannot create {}: {e}", device_dir.display()))?;
+        .map_err(|e| CliError::Internal(format!("cannot create {}: {e}", device_dir.display())))?;
 
     let mut written = 0usize;
     for f in hw {
@@ -506,21 +567,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 /// set, and print the structural timing report (text or `--json`). The
 /// SL06xx timing rules run alongside so `--deny-warnings` gates CI on the
 /// same analysis the report visualizes.
-fn run_timing(source: &str, spec_path: &str, opts: &Options) -> Result<ExitCode, String> {
+fn run_timing(source: &str, spec_path: &str, opts: &Options) -> Result<ExitCode, CliError> {
     let libs = builtin_libraries();
     let spec = splice_spec::parse(source).map_err(|errors| {
         for e in &errors {
             eprintln!("{}", e.render_at(source, spec_path));
         }
-        format!("{} specification error(s); no timing report", errors.len())
+        CliError::Diag(format!("{} specification error(s); no timing report", errors.len()))
     })?;
     let validated = splice_spec::validate::validate(&spec, &libs.spec_registry())
-        .map_err(|e| e.render_at(source, spec_path))?;
+        .map_err(|e| CliError::Diag(e.render_at(source, spec_path)))?;
     let ir = elaborate(&validated.module);
     let modules = splice_core::hdlgen::design_modules(&ir, "timing")
-        .map_err(|e| format!("HDL generation is impossible: {e}"))?;
+        .map_err(|e| CliError::Internal(format!("HDL generation is impossible: {e}")))?;
 
-    let report = splice::timing_report(&ir, &modules, opts.top_paths)?;
+    let report =
+        splice::timing_report(&ir, &modules, opts.top_paths).map_err(CliError::Internal)?;
     if opts.json {
         print!("{}", report.render_json());
     } else {
@@ -577,7 +639,7 @@ fn synth_args(f: &ValidatedFunction) -> CallArgs {
 /// `splice profile <spec>`: run the pipeline, bring the design to life with
 /// the default calculation logic, drive one call per function (times
 /// `--calls`), and print the kernel's per-component attribution.
-fn run_profile(source: &str, spec_path: &str, opts: &Options) -> Result<ExitCode, String> {
+fn run_profile(source: &str, spec_path: &str, opts: &Options) -> Result<ExitCode, CliError> {
     trace::start();
     let out = pipeline(source, spec_path, opts).inspect_err(|_| {
         trace::finish();
@@ -598,22 +660,29 @@ fn run_profile(source: &str, spec_path: &str, opts: &Options) -> Result<ExitCode
 
     let irq = module.params.irq;
     let mut calls = 0u64;
-    for round in 0..opts.calls {
+    let mut interrupted = false;
+    'rounds: for round in 0..opts.calls {
         for f in &module.functions {
+            // Ctrl-C lands between driver calls: stop the workload here
+            // and still flush the partial profile (and trace) below.
+            if splice_obs::interrupt::interrupted() {
+                interrupted = true;
+                break 'rounds;
+            }
             let _sp = trace::span("call");
             trace::attr("function", f.name.as_str());
             trace::attr("round", round);
             let start_cycle = sys.sim().cycle();
             let outcome = sys
                 .call(&f.name, &synth_args(f))
-                .map_err(|e| format!("driver call `{}` failed: {e}", f.name))?;
+                .map_err(|e| CliError::Internal(format!("driver call `{}` failed: {e}", f.name)))?;
             let mut cycles = outcome.bus_cycles;
             if f.nowait && irq {
                 // The call returned before completion; wait for its IRQ so
                 // the profile covers the background computation too.
-                cycles += sys
-                    .wait_irq(&f.name, 0)
-                    .map_err(|e| format!("wait_irq `{}` failed: {e}", f.name))?;
+                cycles += sys.wait_irq(&f.name, 0).map_err(|e| {
+                    CliError::Internal(format!("wait_irq `{}` failed: {e}", f.name))
+                })?;
             }
             trace::cycles(start_cycle, sys.sim().cycle());
             trace::attr("bus_cycles", cycles);
@@ -622,7 +691,7 @@ fn run_profile(source: &str, spec_path: &str, opts: &Options) -> Result<ExitCode
     }
     // Let any remaining background computation (nowait without IRQ) drain,
     // and show the idle fast path in the profile.
-    sys.sim_mut().run(200).map_err(|e| format!("drain run failed: {e}"))?;
+    sys.sim_mut().run(200).map_err(|e| CliError::Internal(format!("drain run failed: {e}")))?;
     let end_cycle = sys.sim().cycle();
     trace::cycles(0, end_cycle);
     drop(_workload);
@@ -634,6 +703,9 @@ fn run_profile(source: &str, spec_path: &str, opts: &Options) -> Result<ExitCode
         idle_cycles: profile.idle_cycles,
     };
 
+    if interrupted {
+        println!("interrupted (SIGINT); profile covers the completed calls only");
+    }
     println!(
         "profiled `{}`: {} driver call(s), {} cycles, {} ticks ({:.2} ticks/cycle), {} idle",
         module.params.device_name,
@@ -657,8 +729,60 @@ fn run_profile(source: &str, spec_path: &str, opts: &Options) -> Result<ExitCode
     Ok(ExitCode::SUCCESS)
 }
 
-fn write_file(path: &Path, text: &str) -> Result<(), String> {
-    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+fn write_file(path: &Path, text: &str) -> Result<(), CliError> {
+    std::fs::write(path, text)
+        .map_err(|e| CliError::Internal(format!("cannot write {}: {e}", path.display())))
+}
+
+/// `splice serve …`: run the generation daemon (or, with the hidden
+/// `--worker` flag, the worker loop the daemon re-execs). All supervision
+/// flags are shared with the standalone `splice-serve` binary.
+fn run_serve(args: &[String]) -> Result<ExitCode, CliError> {
+    if args.first().map(String::as_str) == Some("--worker") {
+        return Ok(ExitCode::from(splice_serve::run_worker() as u8));
+    }
+    let mut config = splice_serve::ServeConfig::default();
+    let mut socket: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        if flag == "-h" || flag == "--help" {
+            println!(
+                "usage: splice serve --socket PATH [--workers N] [--queue-cap N] \
+                 [--per-client N] [--deadline-ms N] [--max-attempts N] \
+                 [--breaker-threshold N] [--breaker-cooldown-ms N] \
+                 [--backoff-base-ms N] [--backoff-cap-ms N] [--cache-cap N] [--seed N]"
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        let Some(value) = args.get(i + 1) else {
+            return Err(CliError::Usage(format!("serve: flag `{flag}` needs a value")));
+        };
+        if flag == "--socket" {
+            socket = Some(value.clone());
+        } else {
+            match splice_serve::apply_config_flag(&mut config, flag, value) {
+                Ok(true) => {}
+                Ok(false) => {
+                    return Err(CliError::Usage(format!("serve: unknown flag `{flag}`")));
+                }
+                Err(e) => return Err(CliError::Usage(format!("serve: {e}"))),
+            }
+        }
+        i += 2;
+    }
+    // Workers are this same binary re-exec'd in worker mode.
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::Internal(format!("cannot locate own binary: {e}")))?;
+    config.worker_cmd = vec![exe.to_string_lossy().into_owned(), "serve".into(), "--worker".into()];
+    match splice_serve::fault::FaultPlan::from_env() {
+        Ok(Some(_)) => config.fault = std::env::var("SPLICE_FAULT").ok(),
+        Ok(None) => {}
+        Err(e) => return Err(CliError::Usage(format!("bad SPLICE_FAULT: {e}"))),
+    }
+    let socket = socket.unwrap_or_else(splice_serve::default_socket_path);
+    splice_serve::serve(&socket, config).map_err(|e| CliError::Internal(format!("serve: {e}")))?;
+    Ok(ExitCode::SUCCESS)
 }
 
 /// A deterministic, environment-derived generation stamp (the `%GEN_DATE%`

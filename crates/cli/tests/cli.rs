@@ -257,6 +257,47 @@ fn generation_notes_are_printed() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Pin the exit-code contract: 0 success, 1 diagnostics denied, 2 usage,
+/// 3 internal failure. Scripts and CI depend on these numbers.
+#[test]
+fn exit_codes_are_pinned() {
+    let dir = tmp_dir("exit-codes");
+    let good = dir.join("good.splice");
+    std::fs::write(&good, TIMER_SPEC).unwrap();
+    let dirty = dir.join("dirty.splice");
+    std::fs::write(&dirty, DIRTY_SPEC).unwrap();
+
+    // 0: clean generation.
+    let out = splice_bin().arg("-n").arg("-o").arg(&dir).arg(&good).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "clean run must exit 0");
+
+    // 1: spec diagnostics denied (lint error aborts generation).
+    let out = splice_bin().arg("-o").arg(&dir).arg("--force").arg(&dirty).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "diagnostic failure must exit 1");
+
+    // 1: parse errors are diagnostics too.
+    let bad = dir.join("bad.splice");
+    std::fs::write(&bad, "%bus_type plb\nvoid f(int*:x y, int x);\n").unwrap();
+    let out = splice_bin().arg("-o").arg(&dir).arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "parse errors must exit 1");
+
+    // 2: usage errors — unknown flag, missing input file.
+    let out = splice_bin().arg("--no-such-flag").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown flag must exit 2");
+    let out = splice_bin().arg(dir.join("nope.splice")).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unreadable input must exit 2");
+    let out = splice_bin().args(["serve", "--no-such-flag", "x"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown serve flag must exit 2");
+
+    // 3: internal failure — output dir collides with a regular file.
+    let blocker = dir.join("blocked");
+    std::fs::write(&blocker, "in the way").unwrap();
+    let out = splice_bin().arg("-o").arg(&blocker).arg("--force").arg(&good).output().unwrap();
+    assert_eq!(out.status.code(), Some(3), "write failure must exit 3");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn linux_flag_emits_the_mmap_header() {
     let dir = tmp_dir("linux");

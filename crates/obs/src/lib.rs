@@ -12,6 +12,9 @@
 //! * [`chrome`] — export of span trees and simulation-kernel component
 //!   lanes as Chrome trace-event JSON, loadable in Perfetto or
 //!   `chrome://tracing`.
+//! * [`interrupt`] — SIGINT/SIGTERM flags polled at phase boundaries so
+//!   long-running subcommands (`check` BFS, `profile`, `serve`) flush
+//!   partial reports or drain gracefully instead of dying mid-write.
 //! * [`json`] — the one shared hand-rolled JSON writer *and* reader
 //!   (escape/quote helpers, a comma-tracking [`json::JsonWriter`], and a
 //!   [`json::JsonValue`] parser), replacing the per-crate copies that
@@ -22,6 +25,7 @@
 //! `docs/observability.md` for the end-to-end tour.
 
 pub mod chrome;
+pub mod interrupt;
 pub mod json;
 pub mod trace;
 

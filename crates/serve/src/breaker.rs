@@ -1,0 +1,189 @@
+//! Per-spec circuit breaker.
+//!
+//! A spec that reliably kills workers (a generator bug, a pathological
+//! input, a `bomb:` fault) must not be allowed to grind the pool down:
+//! after `threshold` *consecutive* failures of the same content key the
+//! breaker **opens** and further jobs for that key fast-fail without
+//! touching a worker. After `cooldown` the breaker moves to **half-open**
+//! and admits exactly one probe job; a probe success closes the breaker,
+//! a probe failure re-opens it for another cooldown. Retries of a job
+//! count individually, so a key needs `threshold` failures in a row —
+//! one eventual success anywhere resets the count, keeping random fault
+//! injection from permanently tripping innocent specs.
+//!
+//! All methods take `now` explicitly so the state machine is unit-testable
+//! without sleeping.
+
+use std::time::{Duration, Instant};
+
+/// The classic three states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; counting consecutive failures.
+    Closed,
+    /// Fast-failing; waiting out the cooldown.
+    Open,
+    /// Cooldown elapsed; one probe may pass.
+    HalfOpen,
+}
+
+/// What to do with a job that reached the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run it normally.
+    Allow,
+    /// Run it as the half-open probe (report the outcome!).
+    Probe,
+    /// Do not run it; respond `breaker_open` immediately.
+    FastFail,
+}
+
+/// Breaker for one content key.
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probing: bool,
+    /// Closed→Open transitions, for metrics.
+    trips: u64,
+}
+
+impl Breaker {
+    /// A closed breaker tripping after `threshold` consecutive failures.
+    pub fn new(threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
+            probing: false,
+            trips: 0,
+        }
+    }
+
+    /// Current state, advancing Open→HalfOpen when the cooldown elapsed.
+    pub fn state(&mut self, now: Instant) -> BreakerState {
+        if self.state == BreakerState::Open {
+            if let Some(at) = self.opened_at {
+                if now.duration_since(at) >= self.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probing = false;
+                }
+            }
+        }
+        self.state
+    }
+
+    /// Should this job run?
+    pub fn admit(&mut self, now: Instant) -> Admission {
+        match self.state(now) {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::Open => Admission::FastFail,
+            BreakerState::HalfOpen => {
+                if self.probing {
+                    Admission::FastFail
+                } else {
+                    self.probing = true;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// A job for this key completed (any deterministic verdict, including
+    /// spec errors — those are *answers*, not crashes).
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+        self.opened_at = None;
+        self.probing = false;
+    }
+
+    /// A job for this key crashed its worker or blew its deadline.
+    pub fn record_failure(&mut self, now: Instant) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                // The probe failed: straight back to Open for another
+                // cooldown. Not counted as a new trip.
+                self.state = BreakerState::Open;
+                self.opened_at = Some(now);
+                self.probing = false;
+            }
+            BreakerState::Open => {}
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = Some(now);
+                    self.trips += 1;
+                }
+            }
+        }
+    }
+
+    /// Closed→Open transitions so far.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let now = t0();
+        let mut b = Breaker::new(3, Duration::from_secs(60));
+        assert_eq!(b.admit(now), Admission::Allow);
+        b.record_failure(now);
+        b.record_failure(now);
+        assert_eq!(b.admit(now), Admission::Allow, "two failures stay closed");
+        b.record_failure(now);
+        assert_eq!(b.admit(now), Admission::FastFail);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let now = t0();
+        let mut b = Breaker::new(3, Duration::from_secs(60));
+        b.record_failure(now);
+        b.record_failure(now);
+        b.record_success();
+        b.record_failure(now);
+        b.record_failure(now);
+        assert_eq!(b.admit(now), Admission::Allow);
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_then_closes_or_reopens() {
+        let now = t0();
+        let mut b = Breaker::new(1, Duration::from_millis(100));
+        b.record_failure(now);
+        assert_eq!(b.admit(now), Admission::FastFail);
+
+        // Cooldown elapsed: exactly one probe.
+        let later = now + Duration::from_millis(150);
+        assert_eq!(b.admit(later), Admission::Probe);
+        assert_eq!(b.admit(later), Admission::FastFail, "second concurrent probe denied");
+
+        // Probe failure → open again, full cooldown.
+        b.record_failure(later);
+        assert_eq!(b.admit(later + Duration::from_millis(50)), Admission::FastFail);
+        // Probe success after the next cooldown → closed.
+        let again = later + Duration::from_millis(150);
+        assert_eq!(b.admit(again), Admission::Probe);
+        b.record_success();
+        assert_eq!(b.admit(again), Admission::Allow);
+        assert_eq!(b.trips(), 1, "re-opens do not double-count trips");
+    }
+}

@@ -1,0 +1,128 @@
+//! Content-addressed result cache.
+//!
+//! Keyed by [`crate::hash::fnv128`] over the spec bytes plus the
+//! canonical option string, so identical submissions never recompute.
+//! Only *deterministic* verdicts are cached — pipeline results and spec
+//! errors, never crashes or timeouts (those describe the worker, not the
+//! spec). Bounded FIFO eviction keeps memory flat under millions of
+//! distinct specs; recency tracking is deliberately omitted because the
+//! expected workload (CI re-submitting the same corpus) hits either 100%
+//! or 0% regardless.
+
+use crate::protocol::JobVerdict;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// Bounded map from content key to verdict.
+#[derive(Debug)]
+pub struct ResultCache {
+    cap: usize,
+    map: HashMap<u128, JobVerdict>,
+    order: VecDeque<u128>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `cap` verdicts (`cap == 0` disables
+    /// caching entirely).
+    pub fn new(cap: usize) -> ResultCache {
+        ResultCache { cap, map: HashMap::new(), order: VecDeque::new(), hits: 0, misses: 0 }
+    }
+
+    /// Look up a verdict, counting the hit/miss.
+    pub fn get(&mut self, key: u128) -> Option<JobVerdict> {
+        match self.map.get(&key) {
+            Some(v) => {
+                self.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a verdict, evicting the oldest entry past capacity.
+    pub fn insert(&mut self, key: u128, verdict: JobVerdict) {
+        if self.cap == 0 {
+            return;
+        }
+        match self.map.entry(key) {
+            Entry::Occupied(mut e) => {
+                e.insert(verdict);
+                return;
+            }
+            Entry::Vacant(e) => {
+                e.insert(verdict);
+                self.order.push_back(key);
+            }
+        }
+        while self.map.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime (hits, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(digest: u64) -> JobVerdict {
+        JobVerdict::SpecError { errors: vec![format!("e{digest}")] }
+    }
+
+    #[test]
+    fn hit_miss_accounting_and_fifo_eviction() {
+        let mut c = ResultCache::new(2);
+        assert!(c.get(1).is_none());
+        c.insert(1, ok(1));
+        c.insert(2, ok(2));
+        assert!(c.get(1).is_some());
+        assert!(c.get(2).is_some());
+        c.insert(3, ok(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_none(), "oldest evicted");
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats(), (3, 2));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, ok(1));
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_without_duplicating_order() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, ok(1));
+        c.insert(1, ok(9));
+        c.insert(2, ok(2));
+        c.insert(3, ok(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_none());
+    }
+}

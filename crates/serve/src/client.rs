@@ -1,0 +1,105 @@
+//! A small synchronous client for the serve protocol, used by the CLI's
+//! `serve submit`/`serve status` helpers, the bench harness, and the
+//! integration tests.
+//!
+//! The protocol is pipelined — responses arrive in *completion* order,
+//! matched to requests by the echoed `id` — so the client exposes both a
+//! simple [`Client::roundtrip`] (send one, read one) and split
+//! [`Client::send`]/[`Client::recv`] for callers running many jobs over
+//! one connection.
+
+use crate::protocol::{read_frame, write_frame, FrameError, JobOptions, Request, Response};
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// One connection to a running daemon.
+pub struct Client {
+    stream: UnixStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to the daemon at `socket_path`.
+    pub fn connect(socket_path: &str) -> io::Result<Client> {
+        Ok(Client { stream: UnixStream::connect(socket_path)?, next_id: 1 })
+    }
+
+    /// Connect, retrying for up to `timeout` (used right after spawning a
+    /// daemon, before its socket exists).
+    pub fn connect_with_retry(socket_path: &str, timeout: Duration) -> io::Result<Client> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match Client::connect(socket_path) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+
+    /// Set a read timeout for [`recv`](Self::recv) (`None` blocks forever).
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    /// Claim the next request id on this connection.
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Send one request.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        write_frame(&mut self.stream, &request.render())
+    }
+
+    /// Read one response (`Ok(None)` when the daemon hung up cleanly).
+    pub fn recv(&mut self) -> Result<Option<Response>, FrameError> {
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Response::parse(&payload).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Send one request and read the next response off the wire. Only
+    /// sound when nothing else is in flight on this connection.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, FrameError> {
+        self.send(request).map_err(FrameError::Io)?;
+        self.recv()?.ok_or(FrameError::Truncated)
+    }
+
+    /// Submit a spec and wait for its response (convenience wrapper).
+    pub fn generate(&mut self, spec: &str, options: JobOptions) -> Result<Response, FrameError> {
+        let id = self.next_id();
+        self.roundtrip(&Request::Generate { id, spec: spec.to_owned(), options })
+    }
+
+    /// Fetch the daemon's status document.
+    pub fn status(&mut self) -> Result<String, FrameError> {
+        let id = self.next_id();
+        match self.roundtrip(&Request::Status { id })? {
+            Response::Status { body, .. } => Ok(body),
+            other => Err(FrameError::Malformed(format!("expected status, got {other:?}"))),
+        }
+    }
+
+    /// Ask the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), FrameError> {
+        let id = self.next_id();
+        match self.roundtrip(&Request::Shutdown { id })? {
+            Response::ShutdownAck { .. } => Ok(()),
+            other => Err(FrameError::Malformed(format!("expected shutdown_ack, got {other:?}"))),
+        }
+    }
+
+    /// Raw byte access for protocol-garbage tests.
+    pub fn stream_mut(&mut self) -> &mut UnixStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,64 @@
+//! Content hashing for the result cache.
+//!
+//! Jobs are keyed by *content*: the raw spec bytes plus a canonical
+//! rendering of the job options. Identical submissions — whatever client
+//! they come from, however often they are retried — therefore share one
+//! cache entry and never recompute. FNV-1a in its 128-bit variant keeps
+//! the implementation dependency-free while making accidental collisions
+//! across a realistic corpus (thousands of specs) vanishingly unlikely;
+//! the key is an opaque `u128`, never persisted, so the hash only has to
+//! be stable within one daemon process plus its documentation.
+
+/// FNV-1a, 128-bit offset basis.
+const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a, 128-bit prime.
+const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// FNV-1a over a byte slice.
+pub fn fnv128(bytes: &[u8]) -> u128 {
+    fnv128_update(OFFSET, bytes)
+}
+
+/// Continue an FNV-1a stream with more bytes (for multi-part keys).
+pub fn fnv128_update(mut h: u128, bytes: &[u8]) -> u128 {
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// FNV-1a, 64-bit offset basis (public so streaming digests can start
+/// from it).
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The 64-bit variant, used for cheap output digests (the serve protocol
+/// reports a digest of every generated file so clients can verify that a
+/// cached result is byte-identical to a fresh one).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_update(FNV64_OFFSET, bytes)
+}
+
+/// Continue a 64-bit FNV-1a stream.
+pub fn fnv64_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_and_sensitive() {
+        assert_eq!(fnv128(b"abc"), fnv128(b"abc"));
+        assert_ne!(fnv128(b"abc"), fnv128(b"abd"));
+        assert_ne!(fnv128(b""), fnv128(b"\0"));
+        // Multi-part streaming equals one-shot concatenation.
+        assert_eq!(fnv128_update(fnv128(b"ab"), b"c"), fnv128(b"abc"));
+        assert_eq!(fnv64_update(fnv64(b"ab"), b"c"), fnv64(b"abc"));
+    }
+}

@@ -116,6 +116,30 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Approximate quantile (`q` in `[0, 1]`) from the log2 buckets: walks
+    /// the cumulative counts to the bucket holding the `q`-th sample and
+    /// returns that bucket's floor, clamped into `[min, max]` so the tails
+    /// stay exact. Resolution is therefore one power of two — good enough
+    /// for p50/p99 latency reporting, which is what the serve daemon and
+    /// the bench harness use it for. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_floor(i).clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
     /// Render as `floor:count` pairs for non-empty buckets, e.g.
     /// `"2:5 4:12 8:3"`.
     pub fn summary(&self) -> String {
@@ -638,6 +662,21 @@ fn event_json(out: &mut String, ev: &Event) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_quantiles_walk_the_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.observe(v);
+        }
+        // Nine samples at 1, one at 1000: the median sits in the `1`
+        // bucket and the p99 lands in the tail bucket, clamped to max.
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.99), 1000);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
 
     #[test]
     fn disabled_registry_records_nothing() {

@@ -47,6 +47,11 @@ impl Rng {
         self.next_u64() & 1 == 1
     }
 
+    /// Uniform `f64` in `[0, 1)`, built from the top 53 bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
     /// Pick one element of a non-empty slice.
     pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         &items[self.range_usize(0, items.len())]
